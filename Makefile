@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race bench experiments examples vet
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at full scale (~15 minutes).
+experiments:
+	go run ./cmd/experiments -fig all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/friendfinder
+	go run ./examples/securityzone
+	go run ./examples/tracking
+	go run ./examples/multifloor

@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's evaluation figures (Figures 9
+// through 13) by running the full simulation pipeline: ground-truth traces,
+// noisy RFID readings, the particle filter-based system, and the symbolic
+// model baseline, reporting KL divergence, kNN hit rate, and top-k success
+// rate exactly as the paper does.
+//
+// Usage:
+//
+//	experiments -list              # show the default parameters (Table 2)
+//	experiments -fig 9             # regenerate one figure
+//	experiments -fig all           # regenerate every figure
+//	experiments -fig 11 -quick     # reduced workload for a fast smoke run
+//	experiments -fig 12 -objects 100 -timestamps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, 13, or all")
+		list       = flag.Bool("list", false, "print the default parameters (paper Table 2) and exit")
+		quick      = flag.Bool("quick", false, "use a reduced workload for a fast run")
+		objects    = flag.Int("objects", 0, "override the number of moving objects")
+		particles  = flag.Int("particles", 0, "override the particle count")
+		timestamps = flag.Int("timestamps", 0, "override the number of query time stamps")
+		windows    = flag.Int("windows", 0, "override the range windows per time stamp")
+		knnPoints  = flag.Int("knnpoints", 0, "override the kNN query points per time stamp")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		ablation   = flag.String("ablation", "", "run a design-choice ablation instead of a figure: "+strings.Join(experiments.AblationIDs(), ", "))
+	)
+	flag.Parse()
+
+	base := experiments.Default()
+	if *quick {
+		base = experiments.Quick()
+	}
+	base.Seed = *seed
+	if *objects > 0 {
+		base.Objects = *objects
+	}
+	if *particles > 0 {
+		base.Particles = *particles
+	}
+	if *timestamps > 0 {
+		base.Timestamps = *timestamps
+	}
+	if *windows > 0 {
+		base.RangeWindows = *windows
+	}
+	if *knnPoints > 0 {
+		base.KNNPoints = *knnPoints
+	}
+
+	if *list {
+		fmt.Printf("Default parameters (paper Table 2):\n")
+		fmt.Printf("  particles          %d\n", base.Particles)
+		fmt.Printf("  query window       %.0f%% of floor area\n", base.WindowPct)
+		fmt.Printf("  moving objects     %d\n", base.Objects)
+		fmt.Printf("  k                  %d\n", base.K)
+		fmt.Printf("  activation range   %.1f m\n", base.ActivationRange)
+		fmt.Printf("  readers            %d\n", base.Readers)
+		fmt.Printf("  time stamps        %d (every %d s after %d s warm-up)\n",
+			base.Timestamps, base.StepBetween, base.WarmupSeconds)
+		fmt.Printf("  range windows      %d per time stamp\n", base.RangeWindows)
+		fmt.Printf("  kNN query points   %d per time stamp\n", base.KNNPoints)
+		return
+	}
+
+	if *ablation != "" {
+		run, ok := experiments.Ablations()[*ablation]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown ablation %q (known: %v)\n", *ablation, experiments.AblationIDs())
+			os.Exit(2)
+		}
+		f, err := run(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		write := f.Write
+		if *csv {
+			write = f.WriteCSV
+		}
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -fig or -ablation is required; see -h")
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = experiments.FigureIDs()
+	} else {
+		ids = []string{*fig}
+	}
+	figs := experiments.Figures()
+	for _, id := range ids {
+		run, ok := figs[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (known: %v)\n", id, experiments.FigureIDs())
+			os.Exit(2)
+		}
+		start := time.Now()
+		f, err := run(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		write := f.Write
+		if *csv {
+			write = f.WriteCSV
+		}
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

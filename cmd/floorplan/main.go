@@ -1,0 +1,144 @@
+// Command floorplan inspects the default office floor plan: it prints an
+// ASCII rendering of rooms, hallways, readers, and anchor points, followed by
+// summary statistics of the derived walking graph and deployment.
+//
+// Usage:
+//
+//	floorplan            # render the default office
+//	floorplan -readers 10 -range 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/anchor"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+func main() {
+	var (
+		readers  = flag.Int("readers", rfid.DefaultReaders, "number of readers to deploy")
+		rng      = flag.Float64("range", rfid.DefaultActivationRange, "reader activation range in meters")
+		spacing  = flag.Float64("spacing", anchor.DefaultSpacing, "anchor point spacing in meters")
+		scale    = flag.Float64("scale", 1.0, "characters per meter horizontally")
+		planFile = flag.String("plan", "", "load a floor plan from a JSON file instead of the default office")
+		twoStory = flag.Bool("two", false, "use the two-story office preset")
+	)
+	flag.Parse()
+
+	var plan *floorplan.Plan
+	switch {
+	case *planFile != "":
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "floorplan: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err = floorplan.Decode(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "floorplan: %v\n", err)
+			os.Exit(1)
+		}
+	case *twoStory:
+		plan = floorplan.TwoStoryOffice()
+	default:
+		plan = floorplan.DefaultOffice()
+	}
+	dep, err := rfid.DeployUniform(plan, *readers, *rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "floorplan: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := walkgraph.Build(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "floorplan: %v\n", err)
+		os.Exit(1)
+	}
+	idx, err := anchor.BuildIndex(g, *spacing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "floorplan: %v\n", err)
+		os.Exit(1)
+	}
+
+	render(plan, dep, *scale)
+
+	fmt.Printf("\nFloor plan: %d rooms, %d hallways, %d doors; total area %.0f m^2, hallway length %.0f m\n",
+		len(plan.Rooms()), len(plan.Hallways()), len(plan.Doors()), plan.TotalArea(), plan.TotalHallwayLength())
+	fmt.Printf("Walking graph: %d nodes, %d edges, total edge length %.0f m\n",
+		g.NumNodes(), g.NumEdges(), g.TotalEdgeLength())
+	fmt.Printf("Anchor index: %d anchor points at %.1f m spacing\n", idx.NumAnchors(), idx.Spacing())
+	if n := len(plan.Links()); n > 0 {
+		fmt.Printf("Links: %d (stairs/elevators)\n", n)
+	}
+	fmt.Printf("Deployment: %d readers, %.1f m activation range, disjoint=%v\n",
+		dep.NumReaders(), *rng, dep.Disjoint())
+}
+
+// render draws the plan on a character grid: '#' walls, 'D' doors, 'R'
+// readers, '.' hallway floor, room names inside rooms.
+func render(plan *floorplan.Plan, dep *rfid.Deployment, scale float64) {
+	b := plan.Bounds()
+	// Terminal cells are roughly twice as tall as wide; use half vertical
+	// resolution.
+	w := int(b.Width()*scale) + 1
+	h := int(b.Height()*scale/2) + 1
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(p geom.Point, c byte) {
+		x := int((p.X - b.Min.X) * scale)
+		y := h - 1 - int((p.Y-b.Min.Y)*scale/2)
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = c
+		}
+	}
+	// Hallway floor.
+	for _, hw := range plan.Hallways() {
+		s := hw.Strip()
+		for x := s.Min.X; x <= s.Max.X; x += 0.5 / scale {
+			for y := s.Min.Y; y <= s.Max.Y; y += 1 / scale {
+				put(geom.Pt(x, y), '.')
+			}
+		}
+	}
+	// Room walls and labels.
+	for _, r := range plan.Rooms() {
+		for _, rb := range r.AllParts() {
+			for x := rb.Min.X; x <= rb.Max.X; x += 0.5 / scale {
+				put(geom.Pt(x, rb.Min.Y), '#')
+				put(geom.Pt(x, rb.Max.Y), '#')
+			}
+			for y := rb.Min.Y; y <= rb.Max.Y; y += 1 / scale {
+				put(geom.Pt(rb.Min.X, y), '#')
+				put(geom.Pt(rb.Max.X, y), '#')
+			}
+		}
+		c := r.Center()
+		x := int((c.X-b.Min.X)*scale) - len(r.Name)/2
+		y := h - 1 - int((c.Y-b.Min.Y)*scale/2)
+		if y >= 0 && y < h {
+			for i := 0; i < len(r.Name); i++ {
+				if x+i >= 0 && x+i < w {
+					grid[y][x+i] = r.Name[i]
+				}
+			}
+		}
+	}
+	// Doors and readers on top.
+	for _, d := range plan.Doors() {
+		put(d.Pos, 'D')
+	}
+	for _, r := range dep.Readers() {
+		put(r.Pos, 'R')
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

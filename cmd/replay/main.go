@@ -1,0 +1,203 @@
+// Command replay re-processes a recorded RFID session offline: it loads a
+// floor plan, a reader deployment, and a raw reading log (as written by
+// `simulate -record`), ingests the stream with full history retention, and
+// answers snapshot or historical queries.
+//
+// Usage:
+//
+//	simulate -record session          # produce session.{plan,deployment}.json + session.readings.jsonl
+//	replay -prefix session -range 10,9,20,8
+//	replay -prefix session -knn 35,12,3 -at 120
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+)
+
+func main() {
+	var (
+		prefix   = flag.String("prefix", "", "recording prefix (required)")
+		rangeStr = flag.String("range", "", "range query: x,y,w,h")
+		knnStr   = flag.String("knn", "", "kNN query: x,y,k")
+		at       = flag.Int64("at", 0, "historical time stamp (0 = live, at the end of the log)")
+	)
+	flag.Parse()
+	if *prefix == "" {
+		fmt.Fprintln(os.Stderr, "replay: -prefix is required; see -h")
+		os.Exit(2)
+	}
+
+	plan, dep, err := loadSession(*prefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.KeepHistory = true
+	sys, err := engine.New(plan, dep, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+
+	count, err := ingestLog(sys, *prefix+".readings.jsonl")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %d raw readings up to t=%d; %d objects known\n",
+		count, sys.Now(), len(sys.Collector().KnownObjects()))
+
+	when := sys.Now()
+	historical := false
+	if *at > 0 {
+		when = model.Time(*at)
+		historical = true
+	}
+
+	if *rangeStr != "" {
+		vals, err := parseFloats(*rangeStr, 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay: -range: %v\n", err)
+			os.Exit(2)
+		}
+		win := geom.RectWH(vals[0], vals[1], vals[2], vals[3])
+		var rs model.ResultSet
+		if historical {
+			rs = sys.RangeQueryAt(win, when)
+		} else {
+			rs = sys.RangeQuery(win)
+		}
+		fmt.Printf("range %v at t=%d:\n", win, when)
+		printResult(rs)
+	}
+
+	if *knnStr != "" {
+		vals, err := parseFloats(*knnStr, 3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay: -knn: %v\n", err)
+			os.Exit(2)
+		}
+		q := geom.Pt(vals[0], vals[1])
+		k := int(vals[2])
+		var rs model.ResultSet
+		if historical {
+			rs = sys.KNNQueryAt(q, k, when)
+		} else {
+			rs = sys.KNNQuery(q, k)
+		}
+		fmt.Printf("%dNN at %v, t=%d:\n", k, q, when)
+		printResult(rs)
+	}
+}
+
+func loadSession(prefix string) (*floorplan.Plan, *rfid.Deployment, error) {
+	planData, err := os.ReadFile(prefix + ".plan.json")
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := floorplan.Decode(planData)
+	if err != nil {
+		return nil, nil, err
+	}
+	depData, err := os.ReadFile(prefix + ".deployment.json")
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := rfid.DecodeDeployment(depData, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, dep, nil
+}
+
+// ingestLog streams the JSONL reading log into the system, grouping entries
+// by second as the live collector expects.
+func ingestLog(sys *engine.System, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	count := 0
+	var batch []model.RawReading
+	var batchTime model.Time = -1
+	flush := func() {
+		if batchTime >= 0 {
+			sys.Ingest(batchTime, batch)
+			batch = batch[:0]
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r model.RawReading
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return count, fmt.Errorf("bad reading line: %w", err)
+		}
+		if r.Time != batchTime {
+			flush()
+			batchTime = r.Time
+		}
+		batch = append(batch, r)
+		count++
+	}
+	flush()
+	return count, sc.Err()
+}
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated values, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func printResult(rs model.ResultSet) {
+	type op struct {
+		o model.ObjectID
+		p float64
+	}
+	all := make([]op, 0, len(rs))
+	for o, p := range rs {
+		all = append(all, op{o, p})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p > all[j].p
+		}
+		return all[i].o < all[j].o
+	})
+	for _, e := range all {
+		fmt.Printf("  o%-4d p=%.3f\n", e.o, e.p)
+	}
+	if len(all) == 0 {
+		fmt.Println("  (empty)")
+	}
+}

@@ -1,0 +1,94 @@
+// Command server runs the indoor spatial query system as an HTTP service:
+// reader gateways POST raw readings to /ingest and applications query
+// /range, /knn, /localize, /occupancy, /stats, /plan, and /snapshot.svg.
+//
+// Usage:
+//
+//	server                        # default office on :8080
+//	server -addr :9000 -plan my-building.json -readers 24 -range 1.5
+//	server -demo                  # also run a built-in simulator feeding readings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		planFile = flag.String("plan", "", "floor plan JSON file (default: built-in office)")
+		readers  = flag.Int("readers", rfid.DefaultReaders, "readers to deploy uniformly")
+		rdRange  = flag.Float64("range", rfid.DefaultActivationRange, "reader activation range (m)")
+		history  = flag.Bool("history", true, "retain full reading history for historical queries")
+		demo     = flag.Bool("demo", false, "run a built-in simulator that feeds readings")
+		objects  = flag.Int("objects", 30, "simulated objects in -demo mode")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	plan := floorplan.DefaultOffice()
+	if *planFile != "" {
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err = floorplan.Decode(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	dep, err := rfid.DeployUniform(plan, *readers, *rdRange)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.KeepHistory = *history
+	cfg.Seed = *seed
+	sys, err := engine.New(plan, dep, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.New(sys, plan, dep)
+
+	if *demo {
+		tc := sim.DefaultTraceConfig()
+		tc.NumObjects = *objects
+		world, err := sim.New(sys.Graph(), rfid.NewSensor(dep), tc, *seed+7)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			// One simulated second per wall-clock second, ingested through
+			// the same code path HTTP clients use.
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for range ticker.C {
+				t, raws := world.Step()
+				srv.IngestDirect(t, raws)
+			}
+		}()
+		fmt.Printf("demo simulator running: %d objects\n", *objects)
+	}
+
+	fmt.Printf("indoor query server on %s (%d rooms, %d readers)\n",
+		*addr, len(plan.Rooms()), dep.NumReaders())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+}

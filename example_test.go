@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the minimal end-to-end flow: build the paper's
+// office, stream simulated readings, and ask both query types.
+func Example() {
+	plan := repro.DefaultOffice()
+	dep := repro.MustDeployUniform(plan, repro.DefaultReaders, repro.DefaultActivationRange)
+	sys := repro.MustNewSystem(plan, dep, repro.DefaultConfig())
+
+	tc := repro.DefaultTraceConfig()
+	tc.NumObjects = 10
+	world := repro.MustNewSimulator(sys.Graph(), repro.NewSensor(dep), tc, 42)
+	for i := 0; i < 120; i++ {
+		t, raws := world.Step()
+		sys.Ingest(t, raws)
+	}
+
+	rs := sys.RangeQuery(plan.Bounds()) // whole floor
+	fmt.Println("objects localized:", len(rs) > 0)
+	knn := sys.KNNQuery(repro.Pt(35, 12), 3)
+	fmt.Println("kNN mass at least k:", knn.TotalProb() >= 3 || len(knn) < 3)
+	// Output:
+	// objects localized: true
+	// kNN mass at least k: true
+}
+
+// ExamplePlanBuilder shows how to describe a custom building instead of
+// using the presets.
+func ExamplePlanBuilder() {
+	b := repro.NewPlanBuilder()
+	hall := b.AddHallway("main", repro.Seg(repro.Pt(0, 10), repro.Pt(30, 10)), 2)
+	b.AddRoom("lab", repro.RectWH(4, 3, 8, 6), hall)
+	b.AddRoom("office", repro.RectWH(16, 3, 8, 6), hall)
+	plan, err := b.Build()
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	fmt.Println("rooms:", len(plan.Rooms()))
+	fmt.Println("hallway meters:", plan.TotalHallwayLength())
+	// Output:
+	// rooms: 2
+	// hallway meters: 30
+}
+
+// ExampleSystem_Localize shows the track-and-trace view on a single badge.
+func ExampleSystem_Localize() {
+	plan := repro.DefaultOffice()
+	dep := repro.MustDeployUniform(plan, repro.DefaultReaders, repro.DefaultActivationRange)
+	sys := repro.MustNewSystem(plan, dep, repro.DefaultConfig())
+	tc := repro.DefaultTraceConfig()
+	tc.NumObjects = 5
+	world := repro.MustNewSimulator(sys.Graph(), repro.NewSensor(dep), tc, 7)
+	for i := 0; i < 150; i++ {
+		t, raws := world.Step()
+		sys.Ingest(t, raws)
+	}
+	loc, ok := sys.Localize(0)
+	fmt.Println("localized:", ok)
+	fmt.Println("estimate inside building:", plan.Bounds().Expand(1).Contains(loc.Mean))
+	// Output:
+	// localized: true
+	// estimate inside building: true
+}

@@ -1,0 +1,76 @@
+// Friend finder: the paper's motivating application. A user standing in a
+// large indoor space (think subway station or convention center) registers a
+// continuous kNN query — "keep telling me which three friends are nearest to
+// me" — and the system maintains the answer as everyone moves, reporting
+// only membership changes. A closest-pairs query at the end finds the two
+// friends most likely to be walking together.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	plan := repro.DefaultOffice()
+	dep := repro.MustDeployUniform(plan, repro.DefaultReaders, repro.DefaultActivationRange)
+	sys := repro.MustNewSystem(plan, dep, repro.DefaultConfig())
+
+	tc := repro.DefaultTraceConfig()
+	tc.NumObjects = 20 // twenty friends carrying RFID badges
+	tc.DwellMin, tc.DwellMax = 2, 8
+	world := repro.MustNewSimulator(sys.Graph(), repro.NewSensor(dep), tc, 7)
+
+	// Warm up: let everyone walk around and be observed.
+	for i := 0; i < 100; i++ {
+		t, raws := world.Step()
+		sys.Ingest(t, raws)
+	}
+
+	// The user stands at the junction of the south and west hallways.
+	me := repro.Pt(2, 12)
+	monitor := repro.NewContinuousKNN(me, 3)
+	fmt.Printf("continuous 3NN at %v, updated every 10 s:\n\n", me)
+
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 10; i++ {
+			t, raws := world.Step()
+			sys.Ingest(t, raws)
+		}
+		answer := sys.KNNQuery(me, 3)
+		added, removed := monitor.Update(answer)
+		truth := world.TrueKNN(me, 3)
+		fmt.Printf("t=%4d  nearest=%v  truth=%v", sys.Now(), monitor.Result(), truth)
+		if len(added) > 0 {
+			fmt.Printf("  +%v", added)
+		}
+		if len(removed) > 0 {
+			fmt.Printf("  -%v", removed)
+		}
+		fmt.Println()
+	}
+
+	// Walking directions to the nearest friend right now.
+	final := sys.KNNQuery(me, 1)
+	if nearest := repro.TopKObjects(final, 1); len(nearest) == 1 {
+		g := sys.Graph()
+		from := g.NearestLocation(me)
+		to := g.NearestLocation(world.TruePosition(nearest[0]))
+		pts, dist := g.Route(from, to)
+		fmt.Printf("\nroute to o%d (%.0f m):", nearest[0], dist)
+		for _, p := range pts {
+			fmt.Printf(" %v", p)
+		}
+		fmt.Println()
+	}
+
+	// Which two friends are most likely walking together right now?
+	pairs := sys.ClosestPairs(3)
+	fmt.Printf("\nclosest pairs (expected walking distance):\n")
+	for _, p := range pairs {
+		da := world.TruePosition(p.A)
+		db := world.TruePosition(p.B)
+		fmt.Printf("  o%d & o%d: E[d] = %.1f m (true positions %v, %v)\n", p.A, p.B, p.Dist, da, db)
+	}
+}

@@ -1,0 +1,62 @@
+package anchor
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/walkgraph"
+)
+
+func TestLinkEdgesCarryNoAnchors(t *testing.T) {
+	g := walkgraph.MustBuild(floorplan.TwoStoryOffice())
+	idx := MustBuildIndex(g, 1.0)
+	for _, e := range g.Edges() {
+		if e.Kind == walkgraph.LinkEdge && len(idx.OnEdge(e.ID)) != 0 {
+			t.Fatalf("link edge %d has anchors", e.ID)
+		}
+	}
+}
+
+func TestSnapOnLinkEdgeUsesEndpoints(t *testing.T) {
+	g := walkgraph.MustBuild(floorplan.TwoStoryOffice())
+	idx := MustBuildIndex(g, 1.0)
+	for _, e := range g.Edges() {
+		if e.Kind != walkgraph.LinkEdge {
+			continue
+		}
+		// A particle one meter up the stairs snaps to an anchor near the
+		// stair landing, never to NoAnchor.
+		ap := idx.Snap(walkgraph.Location{Edge: e.ID, Offset: 1})
+		if ap == NoAnchor {
+			t.Fatal("mid-stair particle snapped to NoAnchor")
+		}
+		a := idx.Anchor(ap)
+		landing := g.Node(e.A).Pos
+		if d := a.Pos.Dist(landing); d > 3 {
+			t.Errorf("stair snap landed %v m from the landing", d)
+		}
+		// Deep into the stairs, it snaps toward the other landing.
+		ap2 := idx.Snap(walkgraph.Location{Edge: e.ID, Offset: e.Length - 1})
+		if ap2 == NoAnchor {
+			t.Fatal("far-stair particle snapped to NoAnchor")
+		}
+		other := g.Node(e.B).Pos
+		if d := idx.Anchor(ap2).Pos.Dist(other); d > 3 {
+			t.Errorf("far stair snap landed %v m from the far landing", d)
+		}
+	}
+}
+
+func TestTwoStoryAnchorCounts(t *testing.T) {
+	g := walkgraph.MustBuild(floorplan.TwoStoryOffice())
+	idx := MustBuildIndex(g, 1.0)
+	rooms := 0
+	for _, a := range idx.Anchors() {
+		if a.Room != floorplan.NoRoom {
+			rooms++
+		}
+	}
+	if rooms != 60 {
+		t.Errorf("room anchors = %d, want 60", rooms)
+	}
+}

@@ -1,0 +1,105 @@
+package anchor
+
+import (
+	"repro/internal/model"
+)
+
+// Table is the paper's APtoObjHT hash table: it maps an anchor point to the
+// list of objects possibly located there with their probabilities, and (for
+// the metrics modules) the reverse map from an object to its distribution
+// over anchor points.
+type Table struct {
+	byAnchor map[ID]model.ResultSet
+	byObject map[model.ObjectID]map[ID]float64
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		byAnchor: make(map[ID]model.ResultSet),
+		byObject: make(map[model.ObjectID]map[ID]float64),
+	}
+}
+
+// Add accumulates probability p for the object at the anchor point.
+func (t *Table) Add(ap ID, obj model.ObjectID, p float64) {
+	if p <= 0 {
+		return
+	}
+	rs, ok := t.byAnchor[ap]
+	if !ok {
+		rs = make(model.ResultSet)
+		t.byAnchor[ap] = rs
+	}
+	rs[obj] += p
+	dist, ok := t.byObject[obj]
+	if !ok {
+		dist = make(map[ID]float64)
+		t.byObject[obj] = dist
+	}
+	dist[ap] += p
+}
+
+// SetDistribution replaces the object's distribution over anchor points.
+func (t *Table) SetDistribution(obj model.ObjectID, dist map[ID]float64) {
+	t.RemoveObject(obj)
+	for ap, p := range dist {
+		t.Add(ap, obj, p)
+	}
+}
+
+// RemoveObject deletes every entry for the object.
+func (t *Table) RemoveObject(obj model.ObjectID) {
+	for ap := range t.byObject[obj] {
+		rs := t.byAnchor[ap]
+		delete(rs, obj)
+		if len(rs) == 0 {
+			delete(t.byAnchor, ap)
+		}
+	}
+	delete(t.byObject, obj)
+}
+
+// Get returns the object probabilities indexed at the anchor point. The
+// returned set is shared; callers must not modify it.
+func (t *Table) Get(ap ID) model.ResultSet { return t.byAnchor[ap] }
+
+// DistributionOf returns the object's probability distribution over anchor
+// points. The returned map is shared; callers must not modify it.
+func (t *Table) DistributionOf(obj model.ObjectID) map[ID]float64 {
+	return t.byObject[obj]
+}
+
+// Objects returns the IDs of all objects present in the table.
+func (t *Table) Objects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(t.byObject))
+	for o := range t.byObject {
+		out = append(out, o)
+	}
+	return out
+}
+
+// HasObject reports whether the table holds a distribution for the object.
+func (t *Table) HasObject(obj model.ObjectID) bool {
+	_, ok := t.byObject[obj]
+	return ok
+}
+
+// TotalProbOf returns the summed probability mass stored for the object
+// (1.0 for a complete distribution, within rounding).
+func (t *Table) TotalProbOf(obj model.ObjectID) float64 {
+	total := 0.0
+	for _, p := range t.byObject[obj] {
+		total += p
+	}
+	return total
+}
+
+// Clear empties the table.
+func (t *Table) Clear() {
+	t.byAnchor = make(map[ID]model.ResultSet)
+	t.byObject = make(map[model.ObjectID]map[ID]float64)
+}
+
+// Len returns the number of anchor points with at least one indexed object.
+func (t *Table) Len() int { return len(t.byAnchor) }

@@ -1,0 +1,130 @@
+package anchor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestTableAddAndGet(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(3), 1, 0.14)
+	tb.Add(ID(3), 3, 0.03)
+	tb.Add(ID(3), 7, 0.37)
+	// This mirrors the paper's APtoObjHT example entry:
+	// (8.5,6.2) -> {<o1,0.14>, <o3,0.03>, <o7,0.37>}.
+	rs := tb.Get(ID(3))
+	if len(rs) != 3 || rs[1] != 0.14 || rs[3] != 0.03 || rs[7] != 0.37 {
+		t.Errorf("Get = %v", rs)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableAccumulates(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 0.25)
+	tb.Add(ID(1), 5, 0.25)
+	if got := tb.Get(ID(1))[5]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("accumulated = %v", got)
+	}
+	if got := tb.TotalProbOf(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TotalProbOf = %v", got)
+	}
+}
+
+func TestTableIgnoresNonPositive(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 0)
+	tb.Add(ID(1), 5, -0.5)
+	if tb.Len() != 0 || tb.HasObject(5) {
+		t.Error("non-positive probabilities were stored")
+	}
+}
+
+func TestTableReverseIndex(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 0.3)
+	tb.Add(ID(2), 5, 0.7)
+	dist := tb.DistributionOf(5)
+	if len(dist) != 2 || dist[ID(1)] != 0.3 || dist[ID(2)] != 0.7 {
+		t.Errorf("DistributionOf = %v", dist)
+	}
+	if !tb.HasObject(5) || tb.HasObject(6) {
+		t.Error("HasObject wrong")
+	}
+	objs := tb.Objects()
+	if len(objs) != 1 || objs[0] != 5 {
+		t.Errorf("Objects = %v", objs)
+	}
+}
+
+func TestTableRemoveObject(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 0.3)
+	tb.Add(ID(1), 6, 0.4)
+	tb.Add(ID(2), 5, 0.7)
+	tb.RemoveObject(5)
+	if tb.HasObject(5) {
+		t.Error("object 5 still present")
+	}
+	if tb.Get(ID(1))[6] != 0.4 {
+		t.Error("object 6 disturbed")
+	}
+	// Anchor 2 had only object 5; it should be gone entirely.
+	if tb.Get(ID(2)) != nil {
+		t.Error("empty anchor entry not removed")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableSetDistributionReplaces(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 1.0)
+	tb.SetDistribution(5, map[ID]float64{ID(2): 0.5, ID(3): 0.5})
+	if _, ok := tb.Get(ID(1))[5]; ok {
+		t.Error("old entry survived SetDistribution")
+	}
+	if tb.Get(ID(2))[5] != 0.5 || tb.Get(ID(3))[5] != 0.5 {
+		t.Error("new distribution not stored")
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tb := NewTable()
+	tb.Add(ID(1), 5, 1.0)
+	tb.Clear()
+	if tb.Len() != 0 || tb.HasObject(5) {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestTableForwardReverseConsistent(t *testing.T) {
+	// Property: after arbitrary adds, the forward and reverse maps agree.
+	f := func(adds []struct {
+		AP  uint8
+		Obj uint8
+		P   float64
+	}) bool {
+		tb := NewTable()
+		for _, a := range adds {
+			tb.Add(ID(a.AP), model.ObjectID(a.Obj), math.Abs(math.Mod(a.P, 1)))
+		}
+		for _, obj := range tb.Objects() {
+			for ap, p := range tb.DistributionOf(obj) {
+				if math.Abs(tb.Get(ap)[obj]-p) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cache implements the paper's cache management module: it stores
+// per-object particle states between queries so that a later query for the
+// same object resumes particle filtering from the cached time stamp instead
+// of re-running it from the first reading. Entries are discarded whenever
+// the object is detected by a new device (keeping every object's filtering
+// based on the readings of its two most recent devices) and age out after a
+// configurable lifetime, since moving patterns from a distant past add
+// nothing to current inferences.
+package cache
+
+import (
+	"repro/internal/model"
+	"repro/internal/particle"
+)
+
+// DefaultLifetime is the default entry lifetime in seconds. It matches the
+// particle filter's coast limit: a state older than that cannot influence
+// the present distribution anyway.
+const DefaultLifetime model.Time = 60
+
+// Cache stores particle states keyed by object.
+type Cache struct {
+	lifetime model.Time
+	entries  map[model.ObjectID]entry
+	hits     int
+	misses   int
+}
+
+type entry struct {
+	state  *particle.State
+	device model.ReaderID
+}
+
+// New returns an empty cache with the given entry lifetime. Non-positive
+// lifetimes fall back to DefaultLifetime.
+func New(lifetime model.Time) *Cache {
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	return &Cache{lifetime: lifetime, entries: make(map[model.ObjectID]entry)}
+}
+
+// Put stores (a copy of) the object's particle state together with the
+// device that was its most recent detector when the state was computed.
+func (c *Cache) Put(st *particle.State, device model.ReaderID) {
+	c.entries[st.Object] = entry{state: st.Clone(), device: device}
+}
+
+// Get returns a copy of the cached state for the object if it is usable: the
+// object's current most recent device must equal the cached one (otherwise
+// the entry is stale by the paper's invalidation rule and is dropped), and
+// the entry must be younger than the lifetime. The returned state may be
+// advanced freely by the caller.
+func (c *Cache) Get(obj model.ObjectID, currentDevice model.ReaderID, now model.Time) (*particle.State, bool) {
+	e, ok := c.entries[obj]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if e.device != currentDevice || now-e.state.Time > c.lifetime {
+		delete(c.entries, obj)
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.state.Clone(), true
+}
+
+// Invalidate removes the object's entry if its most recent device changed.
+// The engine calls this on every ENTER event.
+func (c *Cache) Invalidate(obj model.ObjectID, newDevice model.ReaderID) {
+	if e, ok := c.entries[obj]; ok && e.device != newDevice {
+		delete(c.entries, obj)
+	}
+}
+
+// Remove unconditionally drops the object's entry.
+func (c *Cache) Remove(obj model.ObjectID) { delete(c.entries, obj) }
+
+// EvictExpired drops every entry older than the lifetime.
+func (c *Cache) EvictExpired(now model.Time) {
+	for obj, e := range c.entries {
+		if now-e.state.Time > c.lifetime {
+			delete(c.entries, obj)
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Clear empties the cache and resets statistics.
+func (c *Cache) Clear() {
+	c.entries = make(map[model.ObjectID]entry)
+	c.hits, c.misses = 0, 0
+}

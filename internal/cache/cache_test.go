@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/particle"
+	"repro/internal/walkgraph"
+)
+
+func state(obj model.ObjectID, t model.Time) *particle.State {
+	return &particle.State{
+		Object: obj,
+		Time:   t,
+		Particles: []particle.Particle{
+			{Loc: walkgraph.Location{Edge: 1, Offset: 2}, Speed: 1, Weight: 1},
+		},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	got, ok := c.Get(1, 5, 110)
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if got.Object != 1 || got.Time != 100 {
+		t.Errorf("state = %+v", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d, %d", hits, misses)
+	}
+}
+
+func TestGetMissUnknownObject(t *testing.T) {
+	c := New(60)
+	if _, ok := c.Get(9, 5, 100); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Error("miss not counted")
+	}
+}
+
+func TestGetMissOnDeviceChange(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	if _, ok := c.Get(1, 6, 110); ok {
+		t.Fatal("hit despite device change")
+	}
+	// The stale entry must be dropped entirely.
+	if c.Len() != 0 {
+		t.Error("stale entry kept")
+	}
+}
+
+func TestGetMissOnExpiry(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	if _, ok := c.Get(1, 5, 161); ok {
+		t.Fatal("hit on expired entry")
+	}
+	if c.Len() != 0 {
+		t.Error("expired entry kept")
+	}
+	// Exactly at the lifetime is still valid.
+	c.Put(state(2, 100), 5)
+	if _, ok := c.Get(2, 5, 160); !ok {
+		t.Error("entry at exact lifetime should hit")
+	}
+}
+
+func TestGetReturnsIndependentCopy(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	got, _ := c.Get(1, 5, 100)
+	got.Particles[0].Speed = 99
+	got.Time = 999
+	again, _ := c.Get(1, 5, 100)
+	if again.Particles[0].Speed != 1 || again.Time != 100 {
+		t.Error("cached state aliased by Get")
+	}
+}
+
+func TestPutStoresCopy(t *testing.T) {
+	c := New(60)
+	st := state(1, 100)
+	c.Put(st, 5)
+	st.Particles[0].Speed = 77
+	got, _ := c.Get(1, 5, 100)
+	if got.Particles[0].Speed != 1 {
+		t.Error("cached state aliased by Put")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	c.Invalidate(1, 5) // same device: keep
+	if c.Len() != 1 {
+		t.Error("same-device invalidate dropped entry")
+	}
+	c.Invalidate(1, 6) // new device: drop
+	if c.Len() != 0 {
+		t.Error("new-device invalidate kept entry")
+	}
+	c.Invalidate(42, 1) // unknown object: no-op
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	c.Put(state(2, 100), 5)
+	c.Remove(1)
+	if c.Len() != 1 {
+		t.Error("Remove failed")
+	}
+	c.Get(2, 5, 100)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear failed")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("Clear did not reset stats")
+	}
+}
+
+func TestEvictExpired(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	c.Put(state(2, 150), 5)
+	c.EvictExpired(190)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get(2, 5, 190); !ok {
+		t.Error("young entry evicted")
+	}
+}
+
+func TestDefaultLifetime(t *testing.T) {
+	c := New(0)
+	c.Put(state(1, 100), 5)
+	if _, ok := c.Get(1, 5, 100+DefaultLifetime); !ok {
+		t.Error("default lifetime not applied")
+	}
+	if _, ok := c.Get(1, 5, 100+DefaultLifetime+1); ok {
+		t.Error("entry outlived default lifetime")
+	}
+}

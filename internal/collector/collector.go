@@ -1,0 +1,315 @@
+// Package collector implements the paper's event-driven raw data collector,
+// the front end of the system. It aggregates the high-rate raw RFID stream
+// into one-second entries per object (mitigating false negatives: one
+// successful sample in a second marks the whole second detected), detects
+// ENTER and LEAVE events, and retains readings of only the two most recent
+// consecutive detecting devices per object, discarding older history.
+package collector
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// run is a maximal period during which one device was the object's detecting
+// device (re-entries to the same device extend the run).
+type run struct {
+	reader  model.ReaderID
+	entries []model.AggregatedReading
+}
+
+// objectLog is the retained state for one object.
+type objectLog struct {
+	runs []run
+	// in is the reader currently detecting the object, or NoReader.
+	in model.ReaderID
+	// lastSeen is the time of the most recent detected entry.
+	lastSeen model.Time
+}
+
+// Collector aggregates raw readings and maintains per-object retention.
+// Feed it one full second of raw readings at a time with IngestSecond.
+type Collector struct {
+	objects  map[model.ObjectID]*objectLog
+	events   []model.Event
+	now      model.Time
+	started  bool
+	historic bool
+}
+
+// New returns an empty Collector with the paper's default retention: only
+// the readings of each object's two most recent consecutive detecting
+// devices are kept.
+func New() *Collector {
+	return &Collector{objects: make(map[model.ObjectID]*objectLog)}
+}
+
+// NewWithHistory returns a Collector that retains the full reading history,
+// enabling historical queries (the paper notes the data collector must be
+// modified this way for systems answering queries about past time stamps).
+func NewWithHistory() *Collector {
+	c := New()
+	c.historic = true
+	return c
+}
+
+// Historic reports whether full history retention is enabled.
+func (c *Collector) Historic() bool { return c.historic }
+
+// Now returns the time of the most recently ingested second.
+func (c *Collector) Now() model.Time { return c.now }
+
+// IngestSecond processes every raw reading produced during second t. Calls
+// must be made with strictly increasing t. Readings with a different time
+// stamp are ignored.
+//
+// Aggregation: an object detected by at least one sample of a reader during
+// the second gets a single aggregated entry for that second (when several
+// readers saw it, the one with the most samples wins, ties to the lower ID).
+func (c *Collector) IngestSecond(t model.Time, raws []model.RawReading) {
+	if c.started && t <= c.now {
+		return
+	}
+	c.now = t
+	c.started = true
+
+	// Tally samples per (object, reader).
+	type key struct {
+		obj model.ObjectID
+		rd  model.ReaderID
+	}
+	counts := make(map[key]int)
+	for _, r := range raws {
+		if r.Time != t || r.Reader == model.NoReader {
+			continue
+		}
+		counts[key{r.Object, r.Reader}]++
+	}
+	// Pick the winning reader per object.
+	winners := make(map[model.ObjectID]model.ReaderID)
+	best := make(map[model.ObjectID]int)
+	for k, n := range counts {
+		cur, seen := winners[k.obj]
+		if !seen || n > best[k.obj] || (n == best[k.obj] && k.rd < cur) {
+			winners[k.obj] = k.rd
+			best[k.obj] = n
+		}
+	}
+
+	// Record detections.
+	for obj, rd := range winners {
+		log := c.objects[obj]
+		if log == nil {
+			log = &objectLog{in: model.NoReader}
+			c.objects[obj] = log
+		}
+		if log.in != rd {
+			if log.in != model.NoReader {
+				c.events = append(c.events, model.Event{Kind: model.Leave, Object: obj, Reader: log.in, Time: t})
+			}
+			c.events = append(c.events, model.Event{Kind: model.Enter, Object: obj, Reader: rd, Time: t})
+		}
+		log.in = rd
+		log.lastSeen = t
+		// Extend or open the device run.
+		if len(log.runs) == 0 || log.runs[len(log.runs)-1].reader != rd {
+			log.runs = append(log.runs, run{reader: rd})
+			// Retain only the two most recent consecutive detecting devices,
+			// unless full history is kept for historical queries.
+			if !c.historic && len(log.runs) > 2 {
+				log.runs = log.runs[len(log.runs)-2:]
+			}
+		}
+		last := &log.runs[len(log.runs)-1]
+		last.entries = append(last.entries, model.AggregatedReading{Object: obj, Reader: rd, Time: t})
+	}
+
+	// Emit LEAVE for objects that were in a range but got no reading this
+	// second.
+	for obj, log := range c.objects {
+		if log.in != model.NoReader {
+			if _, detected := winners[obj]; !detected {
+				c.events = append(c.events, model.Event{Kind: model.Leave, Object: obj, Reader: log.in, Time: t})
+				log.in = model.NoReader
+			}
+		}
+	}
+	// Keep event order deterministic (map iteration above is not). The sort
+	// is stable so a handoff's LEAVE stays before its ENTER.
+	sort.SliceStable(c.events, func(i, j int) bool {
+		a, b := c.events[i], c.events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Object < b.Object
+	})
+}
+
+// DrainEvents returns the ENTER/LEAVE events recorded since the previous
+// drain, oldest first.
+func (c *Collector) DrainEvents() []model.Event {
+	ev := c.events
+	c.events = nil
+	return ev
+}
+
+// Aggregated returns the retained one-second entries for the object (the
+// readings of up to its two most recent consecutive detecting devices),
+// oldest first. The result is a copy.
+func (c *Collector) Aggregated(obj model.ObjectID) []model.AggregatedReading {
+	log := c.objects[obj]
+	if log == nil {
+		return nil
+	}
+	runs := log.runs
+	if len(runs) > 2 {
+		// With full history retention the live view still presents only the
+		// two most recent detecting devices, as Algorithm 2 expects.
+		runs = runs[len(runs)-2:]
+	}
+	var out []model.AggregatedReading
+	for _, r := range runs {
+		out = append(out, r.entries...)
+	}
+	return out
+}
+
+// RecentDevices returns the object's second-most-recent and most-recent
+// detecting devices (di, dj in the paper's Algorithm 2). If the object has
+// been detected by a single device so far, di is NoReader. Both are NoReader
+// for unknown objects.
+func (c *Collector) RecentDevices(obj model.ObjectID) (di, dj model.ReaderID) {
+	log := c.objects[obj]
+	if log == nil || len(log.runs) == 0 {
+		return model.NoReader, model.NoReader
+	}
+	if len(log.runs) == 1 {
+		return model.NoReader, log.runs[0].reader
+	}
+	last := len(log.runs) - 1
+	return log.runs[last-1].reader, log.runs[last].reader
+}
+
+// LastReading returns the most recent aggregated entry for the object.
+func (c *Collector) LastReading(obj model.ObjectID) (model.AggregatedReading, bool) {
+	log := c.objects[obj]
+	if log == nil || len(log.runs) == 0 {
+		return model.AggregatedReading{}, false
+	}
+	entries := log.runs[len(log.runs)-1].entries
+	return entries[len(entries)-1], true
+}
+
+// ReadingAt returns the aggregated entry of the object for second t, or an
+// undetected entry (Reader == NoReader) when the object produced no reading
+// that second (the paper's reading.Device = null case).
+func (c *Collector) ReadingAt(obj model.ObjectID, t model.Time) model.AggregatedReading {
+	log := c.objects[obj]
+	if log != nil {
+		for i := len(log.runs) - 1; i >= 0; i-- {
+			entries := log.runs[i].entries
+			j := sort.Search(len(entries), func(k int) bool { return entries[k].Time >= t })
+			if j < len(entries) && entries[j].Time == t {
+				return entries[j]
+			}
+		}
+	}
+	return model.AggregatedReading{Object: obj, Reader: model.NoReader, Time: t}
+}
+
+// AggregatedUpTo returns the aggregated entries the paper's Algorithm 2
+// would use for a historical query at time t: the readings of the object's
+// two most recent consecutive detecting devices as of t, clipped to entries
+// no later than t. It requires full history retention for times older than
+// the live retention window; with the default retention it simply clips the
+// retained entries.
+func (c *Collector) AggregatedUpTo(obj model.ObjectID, t model.Time) []model.AggregatedReading {
+	log := c.objects[obj]
+	if log == nil {
+		return nil
+	}
+	// Collect runs that have at least one entry at or before t, clipped.
+	type clipped struct {
+		entries []model.AggregatedReading
+	}
+	var kept []clipped
+	for _, r := range log.runs {
+		n := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Time > t })
+		if n > 0 {
+			kept = append(kept, clipped{entries: r.entries[:n]})
+		}
+	}
+	if len(kept) > 2 {
+		kept = kept[len(kept)-2:]
+	}
+	var out []model.AggregatedReading
+	for _, r := range kept {
+		out = append(out, r.entries...)
+	}
+	return out
+}
+
+// LastReadingAt returns the most recent aggregated entry at or before t.
+func (c *Collector) LastReadingAt(obj model.ObjectID, t model.Time) (model.AggregatedReading, bool) {
+	entries := c.AggregatedUpTo(obj, t)
+	if len(entries) == 0 {
+		return model.AggregatedReading{}, false
+	}
+	return entries[len(entries)-1], true
+}
+
+// RecentDevicesAt returns the object's second-most-recent and most-recent
+// detecting devices as of time t (NoReader when absent).
+func (c *Collector) RecentDevicesAt(obj model.ObjectID, t model.Time) (di, dj model.ReaderID) {
+	di, dj = model.NoReader, model.NoReader
+	entries := c.AggregatedUpTo(obj, t)
+	for _, e := range entries {
+		if e.Reader != dj {
+			di, dj = dj, e.Reader
+		}
+	}
+	return di, dj
+}
+
+// CurrentlyDetectedBy returns the reader currently detecting the object, or
+// NoReader.
+func (c *Collector) CurrentlyDetectedBy(obj model.ObjectID) model.ReaderID {
+	if log := c.objects[obj]; log != nil {
+		return log.in
+	}
+	return model.NoReader
+}
+
+// KnownObjects returns the IDs of all objects the collector has seen,
+// in ascending order.
+func (c *Collector) KnownObjects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(c.objects))
+	for o := range c.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForgetBefore drops retained entries older than t for all objects (cache
+// aging support). Whole runs that end before t are removed; the most recent
+// run is always kept so RecentDevices stays meaningful.
+func (c *Collector) ForgetBefore(t model.Time) {
+	for obj, log := range c.objects {
+		for len(log.runs) > 1 {
+			entries := log.runs[0].entries
+			if len(entries) == 0 || entries[len(entries)-1].Time < t {
+				log.runs = log.runs[1:]
+			} else {
+				break
+			}
+		}
+		if len(log.runs) == 1 {
+			entries := log.runs[0].entries
+			if len(entries) > 0 && entries[len(entries)-1].Time < t && log.in == model.NoReader {
+				delete(c.objects, obj)
+			}
+		}
+	}
+}

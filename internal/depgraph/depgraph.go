@@ -1,0 +1,381 @@
+// Package depgraph constructs the paper's deployment graph (Section 3.3,
+// following Jensen et al. [9]): the indoor space is partitioned into cells —
+// maximal regions an object can roam without being detected by any
+// positioning device — and the devices form the edges separating them.
+//
+// The construction is realized on the indoor walking graph: every walking
+// edge is cut at the boundaries of reader-covered intervals, producing a
+// fragment graph. Fragments covered by partitioning readers cannot be
+// traversed undetected and separate cells; fragments covered by presence
+// readers sense but do not partition. Cells are the connected components of
+// the traversable fragments.
+package depgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+// FragID indexes a fragment of the deployment graph.
+type FragID int
+
+// Fragment is a maximal piece of a walking-graph edge covered by at most one
+// reader.
+type Fragment struct {
+	ID   FragID
+	Edge walkgraph.EdgeID
+	// Lo and Hi are the offsets bounding the fragment on its edge.
+	Lo, Hi float64
+	// Reader covers this fragment, or model.NoReader for free fragments.
+	Reader model.ReaderID
+	// Blocking marks fragments that cannot be traversed undetected
+	// (covered by a partitioning reader).
+	Blocking bool
+	// A and B are the fragment-graph node indices at the Lo and Hi ends.
+	// Nodes 0..NumWalkNodes-1 coincide with walking-graph nodes; higher
+	// indices are interior cut points.
+	A, B int
+}
+
+// Length returns the fragment's length in meters.
+func (f Fragment) Length() float64 { return f.Hi - f.Lo }
+
+// CellID identifies a deployment-graph cell.
+type CellID int
+
+// NoCell marks locations inside a blocking fragment (covered space belongs
+// to its device, not to any cell).
+const NoCell CellID = -1
+
+// Cell is one deployment-graph cell: everything reachable without being
+// detected by a partitioning device.
+type Cell struct {
+	ID CellID
+	// Fragments lists the traversable fragments composing the cell.
+	Fragments []FragID
+	// Rooms lists the rooms opening into the cell.
+	Rooms []floorplan.RoomID
+	// HallwayLength is the total free hallway centerline length.
+	HallwayLength float64
+	// Area is the cell's floor area: hallway strips plus room areas.
+	Area float64
+}
+
+// Graph is the deployment graph of a reader deployment over a walking graph.
+type Graph struct {
+	g   *walkgraph.Graph
+	dep *rfid.Deployment
+
+	frags    []Fragment
+	incident [][]FragID
+	byReader map[model.ReaderID][]FragID
+	byEdge   [][]FragID
+	numNodes int
+
+	cells      []Cell
+	cellOfFrag []CellID
+	// readerCells maps every reader to the cells its covered fragments
+	// touch (the deployment-graph edges incident to that device).
+	readerCells map[model.ReaderID][]CellID
+}
+
+// Build constructs the deployment graph.
+func Build(g *walkgraph.Graph, dep *rfid.Deployment) (*Graph, error) {
+	dg := &Graph{
+		g:           g,
+		dep:         dep,
+		byReader:    make(map[model.ReaderID][]FragID),
+		byEdge:      make([][]FragID, g.NumEdges()),
+		numNodes:    g.NumNodes(),
+		readerCells: make(map[model.ReaderID][]CellID),
+	}
+	if err := dg.buildFragments(); err != nil {
+		return nil, err
+	}
+	dg.buildCells()
+	return dg, nil
+}
+
+// MustBuild is Build for known-valid inputs.
+func MustBuild(g *walkgraph.Graph, dep *rfid.Deployment) *Graph {
+	dg, err := Build(g, dep)
+	if err != nil {
+		panic(err)
+	}
+	return dg
+}
+
+type covered struct {
+	lo, hi float64
+	reader model.ReaderID
+}
+
+func (dg *Graph) buildFragments() error {
+	g := dg.g
+	for _, e := range g.Edges() {
+		seg := g.EdgeSegment(e.ID)
+		var covs []covered
+		if e.Kind == walkgraph.LinkEdge {
+			// Stairwells are walled off: no reader coverage applies.
+			dg.emit(e.ID, 0, e.Length, model.NoReader, int(e.A), int(e.B))
+			continue
+		}
+		for _, r := range dg.dep.Readers() {
+			t0, t1, ok := r.Circle().SegmentIntersection(seg)
+			if !ok {
+				continue
+			}
+			lo, hi := t0*e.Length, t1*e.Length
+			// Walls block reads: only the hallway-side portion of a door
+			// edge can be covered.
+			if e.Kind == walkgraph.DoorEdge && hi > e.DoorAt {
+				hi = e.DoorAt
+			}
+			if hi-lo <= 1e-9 {
+				continue
+			}
+			covs = append(covs, covered{lo: lo, hi: hi, reader: r.ID})
+		}
+		sort.Slice(covs, func(i, j int) bool { return covs[i].lo < covs[j].lo })
+		// Clip overlaps between readers (normally disjoint; earlier wins).
+		for i := 1; i < len(covs); i++ {
+			if covs[i].lo < covs[i-1].hi {
+				covs[i].lo = covs[i-1].hi
+			}
+		}
+
+		cursor := 0.0
+		prevNode := int(e.A)
+		for _, cv := range covs {
+			if cv.hi <= cv.lo {
+				continue
+			}
+			if cv.lo > cursor+1e-9 {
+				prevNode = dg.emit(e.ID, cursor, cv.lo, model.NoReader, prevNode, -1)
+				cursor = cv.lo
+			}
+			endNode := -1
+			if e.Length-cv.hi <= 1e-9 {
+				endNode = int(e.B)
+			}
+			prevNode = dg.emit(e.ID, cursor, cv.hi, cv.reader, prevNode, endNode)
+			cursor = cv.hi
+		}
+		if e.Length-cursor > 1e-9 || len(dg.byEdge[e.ID]) == 0 {
+			dg.emit(e.ID, cursor, e.Length, model.NoReader, prevNode, int(e.B))
+		}
+	}
+	dg.incident = make([][]FragID, dg.numNodes)
+	for _, f := range dg.frags {
+		dg.incident[f.A] = append(dg.incident[f.A], f.ID)
+		dg.incident[f.B] = append(dg.incident[f.B], f.ID)
+	}
+	if len(dg.frags) == 0 {
+		return fmt.Errorf("depgraph: empty fragment graph")
+	}
+	return nil
+}
+
+func (dg *Graph) emit(e walkgraph.EdgeID, lo, hi float64, reader model.ReaderID, startNode, endNode int) int {
+	if endNode < 0 {
+		endNode = dg.numNodes
+		dg.numNodes++
+	}
+	blocking := false
+	if reader != model.NoReader {
+		blocking = dg.dep.Reader(reader).Kind == rfid.Partitioning
+	}
+	f := Fragment{
+		ID:       FragID(len(dg.frags)),
+		Edge:     e,
+		Lo:       lo,
+		Hi:       hi,
+		Reader:   reader,
+		Blocking: blocking,
+		A:        startNode,
+		B:        endNode,
+	}
+	dg.frags = append(dg.frags, f)
+	dg.byEdge[e] = append(dg.byEdge[e], f.ID)
+	if reader != model.NoReader {
+		dg.byReader[reader] = append(dg.byReader[reader], f.ID)
+	}
+	return endNode
+}
+
+// buildCells labels the connected components of traversable fragments and
+// computes per-cell geometry, then derives the reader-to-cells adjacency.
+func (dg *Graph) buildCells() {
+	dg.cellOfFrag = make([]CellID, len(dg.frags))
+	for i := range dg.cellOfFrag {
+		dg.cellOfFrag[i] = NoCell
+	}
+	plan := dg.g.Plan()
+	for _, f := range dg.frags {
+		if f.Blocking || dg.cellOfFrag[f.ID] != NoCell {
+			continue
+		}
+		id := CellID(len(dg.cells))
+		cell := Cell{ID: id}
+		roomSeen := make(map[floorplan.RoomID]bool)
+		// BFS over traversable fragments.
+		queue := []FragID{f.ID}
+		dg.cellOfFrag[f.ID] = id
+		for len(queue) > 0 {
+			cur := dg.frags[queue[0]]
+			queue = queue[1:]
+			cell.Fragments = append(cell.Fragments, cur.ID)
+			e := dg.g.Edge(cur.Edge)
+			switch e.Kind {
+			case walkgraph.HallwayEdge:
+				cell.HallwayLength += cur.Length()
+				cell.Area += cur.Length() * plan.Hallway(e.Hallway).Width
+			case walkgraph.DoorEdge:
+				if cur.Hi >= e.DoorAt && !roomSeen[e.Room] {
+					roomSeen[e.Room] = true
+					cell.Rooms = append(cell.Rooms, e.Room)
+					cell.Area += plan.Room(e.Room).Area()
+				}
+			}
+			for _, n := range []int{cur.A, cur.B} {
+				for _, next := range dg.incident[n] {
+					nf := dg.frags[next]
+					if nf.Blocking || dg.cellOfFrag[next] != NoCell {
+						continue
+					}
+					dg.cellOfFrag[next] = id
+					queue = append(queue, next)
+				}
+			}
+		}
+		sort.Slice(cell.Rooms, func(i, j int) bool { return cell.Rooms[i] < cell.Rooms[j] })
+		dg.cells = append(dg.cells, cell)
+	}
+
+	// Reader adjacency: the cells touched by each reader's fragments.
+	for reader, fids := range dg.byReader {
+		seen := make(map[CellID]bool)
+		for _, fid := range fids {
+			f := dg.frags[fid]
+			if !f.Blocking {
+				// Presence fragments belong to a cell themselves.
+				if c := dg.cellOfFrag[fid]; c != NoCell && !seen[c] {
+					seen[c] = true
+				}
+				continue
+			}
+			for _, n := range []int{f.A, f.B} {
+				for _, next := range dg.incident[n] {
+					if c := dg.cellOfFrag[next]; c != NoCell && !seen[c] {
+						seen[c] = true
+					}
+				}
+			}
+		}
+		cells := make([]CellID, 0, len(seen))
+		for c := range seen {
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+		dg.readerCells[reader] = cells
+	}
+}
+
+// WalkGraph returns the underlying walking graph.
+func (dg *Graph) WalkGraph() *walkgraph.Graph { return dg.g }
+
+// Deployment returns the underlying reader deployment.
+func (dg *Graph) Deployment() *rfid.Deployment { return dg.dep }
+
+// Fragments returns all fragments indexed by FragID. Must not be modified.
+func (dg *Graph) Fragments() []Fragment { return dg.frags }
+
+// Fragment returns one fragment.
+func (dg *Graph) Fragment(id FragID) Fragment { return dg.frags[id] }
+
+// OnEdge returns the fragments of a walking-graph edge, ordered by Lo.
+func (dg *Graph) OnEdge(e walkgraph.EdgeID) []FragID { return dg.byEdge[e] }
+
+// OfReader returns the fragments covered by a reader.
+func (dg *Graph) OfReader(r model.ReaderID) []FragID { return dg.byReader[r] }
+
+// Incident returns the fragments touching a fragment-graph node.
+func (dg *Graph) Incident(node int) []FragID { return dg.incident[node] }
+
+// NumNodes returns the fragment-graph node count.
+func (dg *Graph) NumNodes() int { return dg.numNodes }
+
+// Cells returns all cells indexed by CellID. Must not be modified.
+func (dg *Graph) Cells() []Cell { return dg.cells }
+
+// Cell returns one cell.
+func (dg *Graph) Cell(id CellID) Cell { return dg.cells[id] }
+
+// CellOfFragment returns the cell containing a fragment (NoCell for
+// blocking fragments).
+func (dg *Graph) CellOfFragment(f FragID) CellID { return dg.cellOfFrag[f] }
+
+// CellAt returns the cell containing a walking-graph location, or NoCell
+// when the location is inside a partitioning reader's covered interval.
+func (dg *Graph) CellAt(loc walkgraph.Location) CellID {
+	loc = dg.g.Clamp(loc)
+	for _, fid := range dg.byEdge[loc.Edge] {
+		f := dg.frags[fid]
+		if loc.Offset >= f.Lo-1e-9 && loc.Offset <= f.Hi+1e-9 {
+			return dg.cellOfFrag[fid]
+		}
+	}
+	return NoCell
+}
+
+// CellsAdjacentTo returns the cells separated or sensed by a reader: for a
+// partitioning device, the cells on its sides; for a presence device, the
+// cell containing it.
+func (dg *Graph) CellsAdjacentTo(r model.ReaderID) []CellID { return dg.readerCells[r] }
+
+// ReachableNodeDists runs Dijkstra over traversable fragments from the given
+// seed nodes (with initial distances), returning per-node shortest distances.
+// Blocking fragments are never traversed.
+func (dg *Graph) ReachableNodeDists(seeds map[int]float64) []float64 {
+	dist := make([]float64, dg.numNodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inQueue := make(map[int]bool)
+	for n, d := range seeds {
+		if d < dist[n] {
+			dist[n] = d
+			inQueue[n] = true
+		}
+	}
+	for len(inQueue) > 0 {
+		best, bestD := -1, math.Inf(1)
+		for n := range inQueue {
+			if dist[n] < bestD {
+				best, bestD = n, dist[n]
+			}
+		}
+		delete(inQueue, best)
+		for _, fid := range dg.incident[best] {
+			f := dg.frags[fid]
+			if f.Blocking {
+				continue
+			}
+			other := f.A
+			if other == best {
+				other = f.B
+			}
+			if nd := bestD + f.Length(); nd < dist[other] {
+				dist[other] = nd
+				inQueue[other] = true
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,283 @@
+package depgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+// corridor: 40 m hallway, rooms on both sides, three partitioning readers at
+// x = 10, 20, 30 (range 2) cutting the hallway into four sections.
+func corridor(t *testing.T) (*walkgraph.Graph, *rfid.Deployment) {
+	t.Helper()
+	b := floorplan.NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddRoom("R0", geom.RectWH(12, 3, 6, 6), h)
+	b.AddRoom("R1", geom.RectWH(24, 11, 6, 6), h)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(10, 10), Range: 2},
+		{Pos: geom.Pt(20, 10), Range: 2},
+		{Pos: geom.Pt(30, 10), Range: 2},
+	})
+	return g, dep
+}
+
+func TestFragmentsTileEveryEdge(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	for _, e := range g.Edges() {
+		ids := dg.OnEdge(e.ID)
+		if len(ids) == 0 {
+			t.Fatalf("edge %d has no fragments", e.ID)
+		}
+		cursor := 0.0
+		for _, fid := range ids {
+			f := dg.Fragment(fid)
+			if math.Abs(f.Lo-cursor) > 1e-6 {
+				t.Fatalf("edge %d fragment gap at %v", e.ID, cursor)
+			}
+			cursor = f.Hi
+		}
+		if math.Abs(cursor-e.Length) > 1e-6 {
+			t.Fatalf("edge %d fragments end at %v of %v", e.ID, cursor, e.Length)
+		}
+	}
+}
+
+func TestEveryReaderHasFragments(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	for _, r := range dep.Readers() {
+		if len(dg.OfReader(r.ID)) == 0 {
+			t.Errorf("reader %d has no covered fragments", r.ID)
+		}
+		for _, fid := range dg.OfReader(r.ID) {
+			if !dg.Fragment(fid).Blocking {
+				t.Errorf("partitioning reader %d has non-blocking fragment", r.ID)
+			}
+		}
+	}
+}
+
+func TestCellPartition(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	// Three readers cut the single hallway into four cells.
+	if got := len(dg.Cells()); got != 4 {
+		t.Fatalf("cells = %d, want 4", got)
+	}
+	// The two rooms belong to the cells of their door sections: room 0's
+	// door is at x=15 (between readers 0 and 1), room 1's at x=27 (between
+	// readers 1 and 2).
+	var roomCell [2]CellID
+	for _, c := range dg.Cells() {
+		for _, r := range c.Rooms {
+			roomCell[r] = c.ID
+		}
+	}
+	if roomCell[0] == roomCell[1] {
+		t.Errorf("rooms in the same cell despite reader between their doors")
+	}
+	// Total cell area: free hallway (40 - 3*~4 covered) * 2 wide + rooms.
+	total := 0.0
+	for _, c := range dg.Cells() {
+		total += c.Area
+	}
+	want := (40-12)*2.0 + 36 + 36
+	if math.Abs(total-want) > 1.0 {
+		t.Errorf("total cell area = %v, want ~%v", total, want)
+	}
+}
+
+func TestCellAt(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	// Points in different sections land in different cells.
+	locA := g.NearestLocation(geom.Pt(5, 10))
+	locB := g.NearestLocation(geom.Pt(15, 10))
+	ca, cb := dg.CellAt(locA), dg.CellAt(locB)
+	if ca == NoCell || cb == NoCell || ca == cb {
+		t.Errorf("cells: %d vs %d", ca, cb)
+	}
+	// A point inside a reader's range belongs to no cell.
+	locR := g.NearestLocation(geom.Pt(10, 10))
+	if got := dg.CellAt(locR); got != NoCell {
+		t.Errorf("covered point in cell %d", got)
+	}
+}
+
+func TestCellsAdjacentToPartitioningReader(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	// The middle reader separates the second and third hallway sections.
+	cells := dg.CellsAdjacentTo(model.ReaderID(1))
+	if len(cells) != 2 {
+		t.Fatalf("adjacent cells = %v, want 2", cells)
+	}
+	// End readers also separate two cells each.
+	if got := dg.CellsAdjacentTo(model.ReaderID(0)); len(got) != 2 {
+		t.Errorf("reader 0 adjacent cells = %v", got)
+	}
+}
+
+// TestPresenceDeviceDoesNotPartition mirrors the paper's reader3: a presence
+// device senses its surroundings but objects can pass it undetected, so the
+// space is not split.
+func TestPresenceDeviceDoesNotPartition(t *testing.T) {
+	b := floorplan.NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddRoom("R0", geom.RectWH(12, 3, 6, 6), h)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(20, 10), Range: 2, Kind: rfid.Presence},
+	})
+	dg := MustBuild(g, dep)
+	if got := len(dg.Cells()); got != 1 {
+		t.Fatalf("cells with a single presence device = %d, want 1", got)
+	}
+	// Its fragments are sensed but not blocking.
+	for _, fid := range dg.OfReader(0) {
+		if dg.Fragment(fid).Blocking {
+			t.Error("presence fragment marked blocking")
+		}
+		if dg.CellOfFragment(fid) == NoCell {
+			t.Error("presence fragment outside any cell")
+		}
+	}
+	// The presence device is adjacent to exactly the one cell containing it.
+	if got := dg.CellsAdjacentTo(0); len(got) != 1 {
+		t.Errorf("presence adjacency = %v", got)
+	}
+}
+
+// TestFigure2Deployment reproduces the topology of the paper's Figure 2: a
+// hallway connecting a staircase-like end section (separated by a directed
+// pair) and rooms reachable without detection, plus a presence reader inside
+// the middle cell.
+func TestFigure2Deployment(t *testing.T) {
+	b := floorplan.NewBuilder()
+	h := b.AddHallway("hall", geom.Seg(geom.Pt(0, 10), geom.Pt(60, 10)), 2)
+	b.AddRoom("roomA", geom.RectWH(20, 3, 8, 6), h)  // opens mid-hallway
+	b.AddRoom("roomB", geom.RectWH(30, 3, 8, 6), h)  // opens mid-hallway
+	b.AddRoom("stair", geom.RectWH(52, 11, 8, 6), h) // the "staircase" end
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(44, 10), Range: 1.5},                      // reader1
+		{Pos: geom.Pt(48, 10), Range: 1.5},                      // reader1'
+		{Pos: geom.Pt(10, 10), Range: 1.5},                      // reader4 (undirected)
+		{Pos: geom.Pt(30, 10), Range: 1.5, Kind: rfid.Presence}, // reader3
+	})
+	if err := dep.AddDirectedPair(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	dg := MustBuild(g, dep)
+	// Cells: west end (left of reader4), the large middle cell with both
+	// rooms and the presence reader, the small gap between the pair, and the
+	// staircase cell east of reader1'.
+	if got := len(dg.Cells()); got != 4 {
+		t.Fatalf("cells = %d, want 4", got)
+	}
+	// Both mid rooms share the middle cell.
+	var midCell CellID = NoCell
+	for _, c := range dg.Cells() {
+		for _, r := range c.Rooms {
+			if plan.Room(r).Name == "roomA" {
+				midCell = c.ID
+			}
+		}
+	}
+	if midCell == NoCell {
+		t.Fatal("roomA not in any cell")
+	}
+	foundB := false
+	for _, r := range dg.Cell(midCell).Rooms {
+		if plan.Room(r).Name == "roomB" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Error("roomA and roomB should share a cell (reachable undetected)")
+	}
+	// The presence reader lives inside the middle cell.
+	adj := dg.CellsAdjacentTo(3)
+	if len(adj) != 1 || adj[0] != midCell {
+		t.Errorf("presence reader adjacency = %v, want [%d]", adj, midCell)
+	}
+	// The directed pair is registered and resolvable in both orders.
+	if _, ok := dep.PairFor(0, 1); !ok {
+		t.Error("PairFor(0,1) not found")
+	}
+	if _, ok := dep.PairFor(1, 0); !ok {
+		t.Error("PairFor(1,0) not found")
+	}
+	if _, ok := dep.PairFor(0, 2); ok {
+		t.Error("PairFor(0,2) should not exist")
+	}
+}
+
+func TestAddDirectedPairValidation(t *testing.T) {
+	_, dep := corridor(t)
+	if err := dep.AddDirectedPair(0, 0); err == nil {
+		t.Error("same-reader pair accepted")
+	}
+	if err := dep.AddDirectedPair(0, 99); err == nil {
+		t.Error("unknown reader accepted")
+	}
+	presDep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(0, 0), Range: 1},
+		{Pos: geom.Pt(5, 0), Range: 1, Kind: rfid.Presence},
+	})
+	if err := presDep.AddDirectedPair(0, 1); err == nil {
+		t.Error("presence reader in pair accepted")
+	}
+}
+
+func TestReachableNodeDistsBlocked(t *testing.T) {
+	g, dep := corridor(t)
+	dg := MustBuild(g, dep)
+	// Seed at the west end: distances east of reader 0 must be unreachable.
+	westLoc := g.NearestLocation(geom.Pt(0, 10))
+	e := g.Edge(westLoc.Edge)
+	seeds := map[int]float64{int(e.A): 0}
+	dist := dg.ReachableNodeDists(seeds)
+	reachedFar := false
+	for _, f := range dg.Fragments() {
+		if f.Blocking {
+			continue
+		}
+		mid := g.Point(walkgraph.Location{Edge: f.Edge, Offset: (f.Lo + f.Hi) / 2})
+		if mid.X > 12 && (dist[f.A] < math.Inf(1) || dist[f.B] < math.Inf(1)) {
+			reachedFar = true
+		}
+	}
+	if reachedFar {
+		t.Error("Dijkstra leaked past a blocking fragment")
+	}
+}
+
+func TestReaderKindString(t *testing.T) {
+	if rfid.Partitioning.String() != "partitioning" || rfid.Presence.String() != "presence" {
+		t.Error("kind strings")
+	}
+	if rfid.ReaderKind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

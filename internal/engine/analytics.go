@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Occupancy returns the expected number of objects per room (and the
+// combined hallway share as a NoRoom entry), ranked descending — the
+// building-wide density view facilities dashboards want.
+func (s *System) Occupancy() []RoomOdds {
+	tab := s.Preprocess(infosToIDs(s.objectInfos()))
+	byRoom := make(map[floorplan.RoomID]float64)
+	for _, obj := range tab.Objects() {
+		for ap, p := range tab.DistributionOf(obj) {
+			byRoom[s.idx.Anchor(ap).Room] += p
+		}
+	}
+	out := make([]RoomOdds, 0, len(byRoom))
+	for room, p := range byRoom {
+		out = append(out, RoomOdds{Room: room, P: p})
+	}
+	sortRoomOdds(out)
+	return out
+}
+
+func sortRoomOdds(out []RoomOdds) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+func less(a, b RoomOdds) bool {
+	if a.P != b.P {
+		return a.P > b.P
+	}
+	return a.Room < b.Room
+}
+
+// TrajectoryPoint is one reconstructed sample of an object's past.
+type TrajectoryPoint struct {
+	Time model.Time
+	// Mean is the probability-weighted position estimate.
+	Mean geom.Point
+	// Room is the most probable room at that moment (NoRoom for hallway).
+	Room floorplan.RoomID
+	// RoomProb is the probability of Room (or the hallway share).
+	RoomProb float64
+}
+
+// Trajectory reconstructs an object's movement between two past time stamps
+// by running historical inference every step seconds. It needs KeepHistory
+// for times beyond the live retention window. Samples where the object had
+// no readings yet are skipped.
+func (s *System) Trajectory(obj model.ObjectID, from, to, step model.Time) []TrajectoryPoint {
+	if step <= 0 {
+		step = 1
+	}
+	var out []TrajectoryPoint
+	for t := from; t <= to; t += step {
+		tab := s.PreprocessAt([]model.ObjectID{obj}, t)
+		dist := tab.DistributionOf(obj)
+		if len(dist) == 0 {
+			continue
+		}
+		var mx, my float64
+		for ap, p := range dist {
+			a := s.idx.Anchor(ap)
+			mx += a.Pos.X * p
+			my += a.Pos.Y * p
+		}
+		tp := TrajectoryPoint{Time: t, Mean: geom.Pt(mx, my)}
+		odds := roomOdds(s.idx, dist)
+		if len(odds) > 0 {
+			tp.Room, tp.RoomProb = odds[0].Room, odds[0].P
+		}
+		out = append(out, tp)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+func TestOccupancySumsToKnownPopulation(t *testing.T) {
+	sys, _ := testSystem(t, 20, 200, 31)
+	occ := sys.Occupancy()
+	if len(occ) == 0 {
+		t.Fatal("empty occupancy")
+	}
+	total := 0.0
+	prev := math.Inf(1)
+	for _, ro := range occ {
+		if ro.P > prev+1e-12 {
+			t.Error("occupancy not sorted descending")
+		}
+		prev = ro.P
+		total += ro.P
+	}
+	// Every filtered object contributes mass 1, so the total equals the
+	// number of objects the system could localize.
+	known := 0
+	tab := sys.Preprocess(sys.Collector().KnownObjects())
+	for range tab.Objects() {
+		known++
+	}
+	if math.Abs(total-float64(known)) > 1e-6 {
+		t.Errorf("occupancy total = %v, localized objects = %d", total, known)
+	}
+}
+
+func TestTrajectoryReconstruction(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := DefaultConfig()
+	cfg.KeepHistory = true
+	cfg.Seed = 41
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 8
+	tc.DwellMin, tc.DwellMax = 2, 8
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 123)
+
+	// Record true positions while simulating.
+	truth := make(map[int]geom.Point)
+	for i := 0; i < 300; i++ {
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws)
+		if tm%50 == 0 {
+			truth[int(tm)] = world.TruePosition(3)
+		}
+	}
+	traj := sys.Trajectory(3, 50, 300, 50)
+	if len(traj) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	bounds := plan.Bounds().Expand(1)
+	var errSum float64
+	for _, tp := range traj {
+		if !bounds.Contains(tp.Mean) {
+			t.Errorf("t=%d mean %v outside building", tp.Time, tp.Mean)
+		}
+		if tp.RoomProb < 0 || tp.RoomProb > 1+1e-9 {
+			t.Errorf("t=%d room prob %v", tp.Time, tp.RoomProb)
+		}
+		errSum += tp.Mean.Dist(truth[int(tp.Time)])
+	}
+	if mean := errSum / float64(len(traj)); mean > 15 {
+		t.Errorf("mean trajectory error %v m", mean)
+	}
+	// Times ascend with the requested step.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].Time <= traj[i-1].Time {
+			t.Error("trajectory times not ascending")
+		}
+	}
+}
+
+func TestTrajectoryStepDefaultsAndUnknownObject(t *testing.T) {
+	sys, _ := testSystem(t, 5, 80, 42)
+	// Unknown object: empty trajectory, no panic.
+	if got := sys.Trajectory(999, 10, 50, 0); got != nil {
+		t.Errorf("unknown object trajectory = %v", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	sys, _ := testSystem(t, 10, 100, 43)
+	before := sys.Stats()
+	if before.ReadingsIngested == 0 {
+		t.Error("no readings counted during warm-up")
+	}
+	whole := sys.Graph().Plan().Bounds()
+	sys.RangeQuery(whole)
+	sys.KNNQuery(geom.Pt(35, 12), 2)
+	after := sys.Stats()
+	if after.RangeQueries != before.RangeQueries+1 {
+		t.Errorf("range queries %d -> %d", before.RangeQueries, after.RangeQueries)
+	}
+	if after.KNNQueries != before.KNNQueries+1 {
+		t.Errorf("kNN queries %d -> %d", before.KNNQueries, after.KNNQueries)
+	}
+	if after.FiltersRun == before.FiltersRun && after.FiltersResumed == before.FiltersResumed {
+		t.Error("no filtering work recorded")
+	}
+	// A repeated query (same readings, same time) should resume from cache.
+	mid := sys.Stats()
+	sys.RangeQuery(whole)
+	end := sys.Stats()
+	if end.FiltersResumed <= mid.FiltersResumed {
+		t.Error("repeat query did not resume any cached filters")
+	}
+}

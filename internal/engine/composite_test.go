@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+// TestCompositeRoomPipeline runs the full system over a plan with an
+// L-shaped room: objects dwell inside it (uniformly over the true
+// footprint), the range query's area-ratio compensation uses the footprint,
+// and querying the notch returns nothing extra.
+func TestCompositeRoomPipeline(t *testing.T) {
+	b := floorplan.NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(60, 10)), 2)
+	b.AddCompositeRoom("L", []geom.Rect{
+		geom.RectWH(4, 2, 12, 4),
+		geom.RectWH(4, 6, 6, 3),
+	}, h)
+	b.AddRoom("A", geom.RectWH(24, 3, 8, 6), h)
+	b.AddRoom("B", geom.RectWH(40, 3, 8, 6), h)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(10, 10), Range: 2},
+		{Pos: geom.Pt(25, 10), Range: 2},
+		{Pos: geom.Pt(42, 10), Range: 2},
+		{Pos: geom.Pt(55, 10), Range: 2},
+	})
+	cfg := DefaultConfig()
+	cfg.Seed = 91
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 10
+	tc.DwellMin, tc.DwellMax = 3, 10
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 919)
+	for i := 0; i < 250; i++ {
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws)
+		// Dwelling objects inside the L always sit on the true footprint.
+		for _, o := range world.Objects() {
+			if world.InRoom(o) {
+				p := world.TruePosition(o)
+				if r := plan.RoomAt(p); r == floorplan.NoRoom {
+					t.Fatalf("dwelling object at %v outside every room", p)
+				}
+			}
+		}
+	}
+	tab := sys.Preprocess(sys.Collector().KnownObjects())
+	for _, obj := range tab.Objects() {
+		if total := tab.TotalProbOf(obj); math.Abs(total-1) > 1e-9 {
+			t.Errorf("o%d mass %v", obj, total)
+		}
+	}
+	// The notch rectangle (inside the bounding box, outside the footprint)
+	// must contribute zero room probability.
+	notch := geom.RectFromCorners(geom.Pt(10.5, 6.5), geom.Pt(15.5, 8.5))
+	rs := sys.RangeQueryOn(tab, notch)
+	for obj, p := range rs {
+		if p > 1e-9 {
+			t.Errorf("P(o%d in notch) = %v, want 0", obj, p)
+		}
+	}
+	// Full-footprint window == the room's whole probability; half-area
+	// window == half of it (uniform-over-footprint semantics).
+	full := sys.RangeQueryOn(tab, geom.RectFromCorners(geom.Pt(4, 2), geom.Pt(16, 9)))
+	base := sys.RangeQueryOn(tab, geom.RectFromCorners(geom.Pt(4, 2), geom.Pt(16, 6)))
+	for obj, p := range base {
+		want := full[obj] * 48.0 / 66.0
+		if full[obj] > 0.2 && math.Abs(p-want) > 1e-6 {
+			t.Errorf("o%d base-part mass = %v, want %v (footprint ratio)", obj, p, want)
+		}
+	}
+}

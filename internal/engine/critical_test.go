@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+func TestCriticalDevicesForWindow(t *testing.T) {
+	sys, _ := testSystem(t, 5, 30, 81)
+	dg := sys.DeploymentGraph()
+	// A window over the west end of the south hallway: its critical devices
+	// must include the readers bounding that stretch but not readers on the
+	// far side of the building.
+	win := geom.RectWH(2, 11, 12, 2)
+	crit := criticalDevices(dg, win)
+	if len(crit) == 0 {
+		t.Fatal("no critical devices for a hallway window")
+	}
+	if len(crit) == sys.Deployment().NumReaders() {
+		t.Fatal("every reader critical: no pruning value")
+	}
+	// Far-side readers (on the north hallway's middle) are not critical.
+	for _, r := range sys.Deployment().Readers() {
+		if crit[r.ID] {
+			// Critical readers must be near the window's cells: within a
+			// cell-diameter-ish distance of the window.
+			if r.Pos.Dist(geom.Pt(8, 12)) > 40 {
+				t.Errorf("implausibly distant critical reader at %v", r.Pos)
+			}
+		}
+	}
+}
+
+func TestCriticalDevicesRoomWindow(t *testing.T) {
+	sys, _ := testSystem(t, 5, 30, 82)
+	dg := sys.DeploymentGraph()
+	// A window entirely inside room S1: critical devices are the ones
+	// bounding the cell its door opens into.
+	room := sys.Graph().Plan().Room(0)
+	crit := criticalDevices(dg, room.Bounds)
+	if len(crit) == 0 {
+		t.Fatal("room window has no critical devices")
+	}
+}
+
+func TestEventDrivenRegistrySkipsQuietQueries(t *testing.T) {
+	sys, world := testSystem(t, 10, 100, 83)
+	reg := NewRegistry(sys)
+	reg.SetEventDriven(true)
+	id := reg.RegisterRange(geom.RectWH(2, 11, 12, 2), 0.5)
+
+	// Baseline evaluation always runs.
+	reg.Evaluate()
+	statsAfterBaseline := sys.Stats()
+
+	// Advance time with NO readings at all: no events anywhere, so the
+	// event-driven registry must skip the query entirely.
+	for i := 0; i < 5; i++ {
+		sys.Ingest(sys.Now()+1, nil)
+	}
+	evs := reg.Evaluate()
+	if len(evs) != 0 {
+		t.Errorf("quiet evaluation produced events: %v", evs)
+	}
+	statsAfterQuiet := sys.Stats()
+	if statsAfterQuiet.FiltersRun != statsAfterBaseline.FiltersRun &&
+		statsAfterQuiet.FiltersResumed != statsAfterBaseline.FiltersResumed {
+		t.Error("quiet evaluation still ran filters")
+	}
+
+	// Resume the world: events eventually touch critical devices and the
+	// query gets refreshed again.
+	refreshed := false
+	for round := 0; round < 15 && !refreshed; round++ {
+		for i := 0; i < 10; i++ {
+			tm, raws := world.Step()
+			sys.Ingest(tm, raws)
+		}
+		before := sys.Stats()
+		reg.Evaluate()
+		after := sys.Stats()
+		if after.RangeQueries > before.RangeQueries {
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.Error("event-driven registry never refreshed despite movement")
+	}
+	_ = id
+}
+
+func TestEventsSinceTruncation(t *testing.T) {
+	sys, _ := testSystem(t, 5, 30, 84)
+	evs, next, truncated := sys.EventsSince(0)
+	if truncated {
+		t.Error("fresh log reported truncated")
+	}
+	if next != len(evs) {
+		t.Errorf("next = %d, events = %d", next, len(evs))
+	}
+	// Asking from a negative (pre-offset) sequence is answered as truncated
+	// only when the log has actually dropped entries; with a fresh log the
+	// offset is 0 and seq 0 is valid.
+	_, _, truncated = sys.EventsSince(next)
+	if truncated {
+		t.Error("at-head read reported truncated")
+	}
+	// Reader events exist after warm-up.
+	found := false
+	for _, ev := range evs {
+		if ev.Reader != model.NoReader {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no reader events recorded during warm-up")
+	}
+}

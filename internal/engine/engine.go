@@ -1,0 +1,575 @@
+// Package engine wires the full system of the paper's Figure 3: raw readings
+// flow through the event-driven raw data collector; the query aware
+// optimization module prunes non-candidate objects; the particle filter-based
+// preprocessing module cleanses each candidate's noisy readings into a
+// probability distribution indexed by anchor points (the APtoObjHT hash
+// table); the cache management module reuses particle states across queries;
+// and the query evaluation module answers range and kNN queries from the
+// hash table. The symbolic model baseline is exposed through the same
+// surface for side-by-side comparison.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/anchor"
+	"repro/internal/cache"
+	"repro/internal/collector"
+	"repro/internal/depgraph"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/particle"
+	"repro/internal/query"
+	"repro/internal/rfid"
+	"repro/internal/rng"
+	"repro/internal/symbolic"
+	"repro/internal/walkgraph"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Particle holds the particle filter parameters.
+	Particle particle.Config
+	// AnchorSpacing is the anchor point spacing in meters.
+	AnchorSpacing float64
+	// MaxSpeed is the maximum walking speed umax used by the pruning
+	// module's uncertain regions and the symbolic baseline.
+	MaxSpeed float64
+	// UseCache enables the cache management module.
+	UseCache bool
+	// CacheLifetime is the cache entry lifetime in seconds.
+	CacheLifetime model.Time
+	// UsePruning enables the query aware optimization module. When false,
+	// every known object is a candidate for every query.
+	UsePruning bool
+	// SMTrials is the Monte Carlo trial count for the symbolic baseline's
+	// maximum-probability kNN set.
+	SMTrials int
+	// KeepHistory retains the full reading history in the collector so
+	// historical queries (RangeQueryAt, KNNQueryAt) can reach arbitrarily
+	// far back. Off by default, matching the paper's snapshot-oriented
+	// collector.
+	KeepHistory bool
+	// Workers bounds the number of goroutines preprocessing objects in
+	// parallel. 0 means GOMAXPROCS. Results are bit-for-bit identical at any
+	// worker count: every object's filtering stream derives from
+	// (Seed, object, query time), not from execution order.
+	Workers int
+	// Seed drives all of the engine's randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's defaults (Table 2).
+func DefaultConfig() Config {
+	return Config{
+		Particle:      particle.DefaultConfig(),
+		AnchorSpacing: anchor.DefaultSpacing,
+		MaxSpeed:      symbolic.DefaultMaxSpeed,
+		UseCache:      true,
+		CacheLifetime: cache.DefaultLifetime,
+		UsePruning:    true,
+		SMTrials:      200,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Particle.Validate(); err != nil {
+		return err
+	}
+	if c.AnchorSpacing <= 0 {
+		return fmt.Errorf("engine: AnchorSpacing must be positive, got %v", c.AnchorSpacing)
+	}
+	if c.MaxSpeed <= 0 {
+		return fmt.Errorf("engine: MaxSpeed must be positive, got %v", c.MaxSpeed)
+	}
+	if c.SMTrials <= 0 {
+		return fmt.Errorf("engine: SMTrials must be positive, got %d", c.SMTrials)
+	}
+	return nil
+}
+
+// Stats are cumulative counters describing the work the system has done.
+type Stats struct {
+	// FiltersRun counts full Algorithm 2 runs; FiltersResumed counts cache
+	// hits that only advanced an existing particle state.
+	FiltersRun, FiltersResumed int
+	// RangeQueries and KNNQueries count evaluated snapshot queries.
+	RangeQueries, KNNQueries int
+	// ReadingsIngested counts raw readings accepted by the collector.
+	ReadingsIngested int
+}
+
+// System is the assembled query evaluation system.
+type System struct {
+	cfg    Config
+	g      *walkgraph.Graph
+	dep    *rfid.Deployment
+	idx    *anchor.Index
+	col    *collector.Collector
+	filter *particle.Filter
+	cache  *cache.Cache
+	pruner *query.Pruner
+	eval   *query.Evaluator
+	sm     *symbolic.Model
+	src    *rng.Source
+	stats  Stats
+	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
+	eventLog []model.Event
+	eventOff int
+}
+
+// Stats returns the system's cumulative work counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// New assembles a System over a floor plan and reader deployment.
+func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := walkgraph.Build(plan)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := anchor.BuildIndex(g, cfg.AnchorSpacing)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := particle.New(cfg.Particle, g, dep)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := symbolic.New(g, dep, idx, cfg.MaxSpeed)
+	if err != nil {
+		return nil, err
+	}
+	col := collector.New()
+	if cfg.KeepHistory {
+		col = collector.NewWithHistory()
+	}
+	return &System{
+		cfg:    cfg,
+		g:      g,
+		dep:    dep,
+		idx:    idx,
+		col:    col,
+		filter: filter,
+		cache:  cache.New(cfg.CacheLifetime),
+		pruner: query.NewPruner(g, idx, dep, cfg.MaxSpeed),
+		eval:   query.NewEvaluator(g, idx),
+		sm:     sm,
+		src:    rng.New(cfg.Seed),
+	}, nil
+}
+
+// MustNew is New for known-valid inputs.
+func MustNew(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) *System {
+	s, err := New(plan, dep, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Accessors for the assembled components.
+
+// Graph returns the indoor walking graph.
+func (s *System) Graph() *walkgraph.Graph { return s.g }
+
+// AnchorIndex returns the anchor point index.
+func (s *System) AnchorIndex() *anchor.Index { return s.idx }
+
+// Deployment returns the reader deployment.
+func (s *System) Deployment() *rfid.Deployment { return s.dep }
+
+// Collector returns the raw data collector.
+func (s *System) Collector() *collector.Collector { return s.col }
+
+// CacheStats returns the cache's cumulative hit and miss counts.
+func (s *System) CacheStats() (hits, misses int) { return s.cache.Stats() }
+
+// Now returns the most recently ingested second.
+func (s *System) Now() model.Time { return s.col.Now() }
+
+// Ingest feeds one second of raw readings into the collector and applies the
+// cache invalidation rule to every ENTER event.
+func (s *System) Ingest(t model.Time, raws []model.RawReading) {
+	s.stats.ReadingsIngested += len(raws)
+	s.col.IngestSecond(t, raws)
+	for _, ev := range s.col.DrainEvents() {
+		if ev.Kind == model.Enter {
+			s.cache.Invalidate(ev.Object, ev.Reader)
+		}
+		s.eventLog = append(s.eventLog, ev)
+	}
+	// Bound the retained log; consumers that fall further behind simply see
+	// a truncated prefix (and, safely, re-evaluate everything).
+	const maxLog = 65536
+	if len(s.eventLog) > maxLog {
+		drop := len(s.eventLog) - maxLog
+		s.eventLog = append(s.eventLog[:0:0], s.eventLog[drop:]...)
+		s.eventOff += drop
+	}
+}
+
+// Expire drops collector state and cached particle states for objects whose
+// last reading is older than t. Pair it with population churn: objects that
+// left the building stop producing readings and age out of the system
+// instead of lingering as stale candidates.
+func (s *System) Expire(olderThan model.Time) {
+	s.col.ForgetBefore(olderThan)
+	s.cache.EvictExpired(s.col.Now())
+}
+
+// EventsSince returns the ENTER/LEAVE events recorded at or after the given
+// sequence number, plus the next sequence number to pass. A consumer that
+// fell behind the bounded log receives truncated=true and should treat the
+// state as fully dirty.
+func (s *System) EventsSince(seq int) (events []model.Event, next int, truncated bool) {
+	next = s.eventOff + len(s.eventLog)
+	if seq < s.eventOff {
+		return s.eventLog, next, true
+	}
+	return s.eventLog[seq-s.eventOff:], next, false
+}
+
+// DeploymentGraph exposes the deployment graph (cells, fragments) built for
+// the symbolic baseline, also used by the registry's critical-device
+// optimization.
+func (s *System) DeploymentGraph() *depgraph.Graph { return s.sm.DeploymentGraph() }
+
+// objectInfos summarizes every known object for the pruning module.
+func (s *System) objectInfos() []query.ObjectInfo {
+	objs := s.col.KnownObjects()
+	out := make([]query.ObjectInfo, 0, len(objs))
+	for _, o := range objs {
+		last, ok := s.col.LastReading(o)
+		if !ok {
+			continue
+		}
+		out = append(out, query.ObjectInfo{Object: o, Reader: last.Reader, LastSeen: last.Time})
+	}
+	return out
+}
+
+// Preprocess runs the particle filter-based preprocessing module for the
+// candidate set and returns the filled APtoObjHT table. It consults and
+// updates the cache when enabled. Objects are filtered in parallel (see
+// Config.Workers); each object's randomness derives from (Seed, object,
+// last reading time), so the output is identical at any parallelism.
+func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
+	tab := anchor.NewTable()
+	now := s.col.Now()
+	sorted := append([]model.ObjectID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	type task struct {
+		obj     model.ObjectID
+		entries []model.AggregatedReading
+		dj      model.ReaderID
+		cached  *particle.State
+		st      *particle.State
+		dist    map[anchor.ID]float64
+	}
+	// Phase 1 (serial): gather readings and consult the cache — collector
+	// and cache are not safe for concurrent use.
+	tasks := make([]task, 0, len(sorted))
+	for _, obj := range sorted {
+		entries := s.col.Aggregated(obj)
+		if len(entries) == 0 {
+			continue
+		}
+		_, dj := s.col.RecentDevices(obj)
+		t := task{obj: obj, entries: entries, dj: dj}
+		if s.cfg.UseCache {
+			if cached, ok := s.cache.Get(obj, dj, now); ok {
+				t.cached = cached
+			}
+		}
+		tasks = append(tasks, t)
+	}
+
+	// Phase 2 (parallel): run the particle filter per object. Each object's
+	// stream is keyed by (Seed, object, last reading time): a later query
+	// with new readings filters differently, but re-asking the same question
+	// gives the same answer, at any worker count.
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	worker := func() {
+		defer wg.Done()
+		for i := range next {
+			t := &tasks[i]
+			src := rng.Derive(s.cfg.Seed, int64(t.obj), int64(t.entries[len(t.entries)-1].Time))
+			if t.cached != nil {
+				t.st = t.cached
+				s.filter.Advance(src, t.st, t.entries, now)
+			} else {
+				st, err := s.filter.Run(src, t.obj, t.entries, now)
+				if err != nil {
+					continue
+				}
+				t.st = st
+			}
+			t.dist = t.st.AnchorDistribution(s.idx)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Phase 3 (serial): commit to the cache and the table.
+	for i := range tasks {
+		t := &tasks[i]
+		if t.st == nil {
+			continue
+		}
+		if t.cached != nil {
+			s.stats.FiltersResumed++
+		} else {
+			s.stats.FiltersRun++
+		}
+		if s.cfg.UseCache {
+			s.cache.Put(t.st, t.dj)
+		}
+		tab.SetDistribution(t.obj, t.dist)
+	}
+	return tab
+}
+
+// RangeCandidates applies the query aware optimization for range queries,
+// or returns all known objects when pruning is disabled.
+func (s *System) RangeCandidates(windows []geom.Rect) []model.ObjectID {
+	infos := s.objectInfos()
+	if !s.cfg.UsePruning {
+		return infosToIDs(infos)
+	}
+	return s.pruner.RangeCandidates(infos, windows, s.col.Now())
+}
+
+// KNNCandidates applies the distance-based pruning for kNN queries, or
+// returns all known objects when pruning is disabled.
+func (s *System) KNNCandidates(q geom.Point, k int) []model.ObjectID {
+	infos := s.objectInfos()
+	if !s.cfg.UsePruning {
+		return infosToIDs(infos)
+	}
+	return s.pruner.KNNCandidates(infos, q, k, s.col.Now())
+}
+
+func infosToIDs(infos []query.ObjectInfo) []model.ObjectID {
+	out := make([]model.ObjectID, len(infos))
+	for i, info := range infos {
+		out[i] = info.Object
+	}
+	return out
+}
+
+// RangeQuery answers a snapshot indoor range query with the particle
+// filter-based method: candidate pruning, preprocessing, then Algorithm 3.
+func (s *System) RangeQuery(window geom.Rect) model.ResultSet {
+	tab := s.Preprocess(s.RangeCandidates([]geom.Rect{window}))
+	return s.RangeQueryOn(tab, window)
+}
+
+// RangeQueryOn evaluates Algorithm 3 against an existing table (for batched
+// workloads that preprocess once for many windows).
+func (s *System) RangeQueryOn(tab *anchor.Table, window geom.Rect) model.ResultSet {
+	s.stats.RangeQueries++
+	return s.eval.Range(tab, window)
+}
+
+// KNNQuery answers a snapshot indoor kNN query with the particle
+// filter-based method: distance pruning, preprocessing, then Algorithm 4.
+func (s *System) KNNQuery(q geom.Point, k int) model.ResultSet {
+	tab := s.Preprocess(s.KNNCandidates(q, k))
+	return s.KNNQueryOn(tab, q, k)
+}
+
+// KNNQueryOn evaluates Algorithm 4 against an existing table.
+func (s *System) KNNQueryOn(tab *anchor.Table, q geom.Point, k int) model.ResultSet {
+	s.stats.KNNQueries++
+	return s.eval.KNN(tab, q, k)
+}
+
+// ObjectDistribution returns the particle filter's current anchor-point
+// distribution for one object (preprocessing just that object).
+func (s *System) ObjectDistribution(obj model.ObjectID) map[anchor.ID]float64 {
+	tab := s.Preprocess([]model.ObjectID{obj})
+	return tab.DistributionOf(obj)
+}
+
+// PreprocessAt runs the particle filter for the candidates as of a past
+// time stamp t, using only readings at or before t. With KeepHistory enabled
+// it reaches arbitrarily far back; otherwise it is limited to the live
+// retention window.
+func (s *System) PreprocessAt(candidates []model.ObjectID, t model.Time) *anchor.Table {
+	tab := anchor.NewTable()
+	sorted := append([]model.ObjectID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, obj := range sorted {
+		entries := s.col.AggregatedUpTo(obj, t)
+		if len(entries) == 0 {
+			continue
+		}
+		st, err := s.filter.Run(s.src, obj, entries, t)
+		if err != nil {
+			continue
+		}
+		tab.SetDistribution(obj, st.AnchorDistribution(s.idx))
+	}
+	return tab
+}
+
+// objectInfosAt summarizes objects as of a past time stamp.
+func (s *System) objectInfosAt(t model.Time) []query.ObjectInfo {
+	objs := s.col.KnownObjects()
+	out := make([]query.ObjectInfo, 0, len(objs))
+	for _, o := range objs {
+		last, ok := s.col.LastReadingAt(o, t)
+		if !ok {
+			continue
+		}
+		out = append(out, query.ObjectInfo{Object: o, Reader: last.Reader, LastSeen: last.Time})
+	}
+	return out
+}
+
+// RangeQueryAt answers a historical indoor range query: the probabilistic
+// result as of time t, inferred from readings up to t only.
+func (s *System) RangeQueryAt(window geom.Rect, t model.Time) model.ResultSet {
+	infos := s.objectInfosAt(t)
+	candidates := infosToIDs(infos)
+	if s.cfg.UsePruning {
+		candidates = s.pruner.RangeCandidates(infos, []geom.Rect{window}, t)
+	}
+	tab := s.PreprocessAt(candidates, t)
+	return s.eval.Range(tab, window)
+}
+
+// KNNQueryAt answers a historical indoor kNN query as of time t.
+func (s *System) KNNQueryAt(q geom.Point, k int, t model.Time) model.ResultSet {
+	infos := s.objectInfosAt(t)
+	candidates := infosToIDs(infos)
+	if s.cfg.UsePruning {
+		candidates = s.pruner.KNNCandidates(infos, q, k, t)
+	}
+	tab := s.PreprocessAt(candidates, t)
+	return s.eval.KNN(tab, q, k)
+}
+
+// PTKNNQuery answers the probabilistic threshold kNN query of Yang et al.
+// (which the paper's related work defines formally): every object whose
+// probability of belonging to the kNN result set is at least threshold,
+// estimated by Monte Carlo over the particle filter's distributions.
+func (s *System) PTKNNQuery(q geom.Point, k int, threshold float64) []query.PTKNNResult {
+	tab := s.Preprocess(s.KNNCandidates(q, k))
+	return s.eval.PTKNN(s.src, tab, q, k, threshold, s.cfg.SMTrials)
+}
+
+// Evaluator exposes the query evaluation module for advanced use (continuous
+// monitors, custom tables).
+func (s *System) Evaluator() *query.Evaluator { return s.eval }
+
+// ClosestPairs answers the closest-pairs query (a future-work extension of
+// the paper): the k object pairs with the smallest expected network
+// distance, over the particle filter's current distributions of all known
+// objects.
+func (s *System) ClosestPairs(k int) []query.Pair {
+	tab := s.Preprocess(infosToIDs(s.objectInfos()))
+	return s.eval.ClosestPairs(tab, k)
+}
+
+// smSighting converts collector state into a symbolic-model sighting.
+func (s *System) smSighting(obj model.ObjectID) (symbolic.Sighting, bool) {
+	last, ok := s.col.LastReading(obj)
+	if !ok {
+		return symbolic.Sighting{}, false
+	}
+	prev, _ := s.col.RecentDevices(obj)
+	return symbolic.Sighting{
+		Reader:  last.Reader,
+		Time:    last.Time,
+		Current: s.col.CurrentlyDetectedBy(obj) != model.NoReader,
+		Prev:    prev,
+	}, true
+}
+
+// SMPreprocess builds the symbolic baseline's anchor-point table for the
+// candidates.
+func (s *System) SMPreprocess(candidates []model.ObjectID) *anchor.Table {
+	tab := anchor.NewTable()
+	now := s.col.Now()
+	for _, obj := range candidates {
+		sight, ok := s.smSighting(obj)
+		if !ok {
+			continue
+		}
+		tab.SetDistribution(obj, s.sm.Distribution(sight, now))
+	}
+	return tab
+}
+
+// SMRangeQuery answers a range query with the symbolic model baseline.
+func (s *System) SMRangeQuery(window geom.Rect) model.ResultSet {
+	tab := s.SMPreprocess(s.RangeCandidates([]geom.Rect{window}))
+	return s.eval.Range(tab, window)
+}
+
+// SMKNNQuery answers a kNN query with the symbolic model baseline: the
+// maximum probability result set of the probabilistic threshold kNN
+// formulation, estimated by Monte Carlo.
+func (s *System) SMKNNQuery(q geom.Point, k int) []model.ObjectID {
+	candidates := s.KNNCandidates(q, k)
+	now := s.col.Now()
+	dists := make(map[model.ObjectID]map[anchor.ID]float64, len(candidates))
+	for _, obj := range candidates {
+		sight, ok := s.smSighting(obj)
+		if !ok {
+			continue
+		}
+		dists[obj] = s.sm.Distribution(sight, now)
+	}
+	return s.smKNNFromDists(dists, q, k)
+}
+
+// SMKNNQueryOn answers a kNN query with the symbolic baseline against an
+// existing SM table (for batched workloads that run SMPreprocess once for
+// many query points).
+func (s *System) SMKNNQueryOn(tab *anchor.Table, q geom.Point, k int) []model.ObjectID {
+	dists := make(map[model.ObjectID]map[anchor.ID]float64)
+	for _, obj := range tab.Objects() {
+		dists[obj] = tab.DistributionOf(obj)
+	}
+	return s.smKNNFromDists(dists, q, k)
+}
+
+func (s *System) smKNNFromDists(dists map[model.ObjectID]map[anchor.ID]float64, q geom.Point, k int) []model.ObjectID {
+	loc := s.g.NearestLocation(q)
+	ids, ds := s.idx.AnchorsByNetworkDistance(loc)
+	anchorDist := make(map[anchor.ID]float64, len(ids))
+	for i, id := range ids {
+		anchorDist[id] = ds[i]
+	}
+	return symbolic.KNNMaxProbSet(s.src, k, dists, anchorDist, s.cfg.SMTrials)
+}

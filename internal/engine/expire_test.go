@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+// TestExpireAgesOutDepartedObjects pairs churn with Expire: objects that
+// left the building stop producing readings and are eventually dropped from
+// the collector instead of lingering as stale candidates.
+func TestExpireAgesOutDepartedObjects(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := DefaultConfig()
+	cfg.Seed = 93
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 15
+	tc.DwellMin, tc.DwellMax = 1, 4
+	tc.ChurnProb = 0.5
+	tc.AwayMin, tc.AwayMax = 200, 400
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 777)
+
+	for i := 0; i < 250; i++ {
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws)
+	}
+	before := len(sys.Collector().KnownObjects())
+	if before == 0 {
+		t.Fatal("no objects known")
+	}
+	awayCount := 0
+	for _, o := range world.Objects() {
+		if world.Away(o) {
+			awayCount++
+		}
+	}
+	if awayCount == 0 {
+		t.Skip("no object happened to be away at the checkpoint")
+	}
+	// Expire anything silent for over 120 s.
+	sys.Expire(sys.Now() - 120)
+	after := len(sys.Collector().KnownObjects())
+	if after >= before {
+		t.Errorf("expiry removed nothing: %d -> %d (away: %d)", before, after, awayCount)
+	}
+	// The system still answers queries cleanly afterwards.
+	tab := sys.Preprocess(sys.Collector().KnownObjects())
+	_ = sys.RangeQueryOn(tab, plan.Bounds())
+}

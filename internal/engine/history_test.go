@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+func historySystem(t *testing.T) (*System, *sim.Simulator) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := DefaultConfig()
+	cfg.KeepHistory = true
+	cfg.Seed = 77
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 15
+	tc.DwellMin, tc.DwellMax = 2, 8
+	simulator := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 4711)
+	return sys, simulator
+}
+
+func TestHistoricalRangeQuery(t *testing.T) {
+	sys, simulator := historySystem(t)
+	// Record ground truth at t=150 while simulating to t=300.
+	var truthAt150 []int
+	for i := 0; i < 300; i++ {
+		tm, raws := simulator.Step()
+		sys.Ingest(tm, raws)
+		if tm == 150 {
+			for _, o := range simulator.TrueRange(sys.Graph().Plan().Bounds()) {
+				truthAt150 = append(truthAt150, int(o))
+			}
+		}
+	}
+	// A whole-floor historical query at t=150 must return normalized
+	// distributions for the objects known then.
+	rs := sys.RangeQueryAt(sys.Graph().Plan().Bounds(), 150)
+	if len(rs) == 0 {
+		t.Fatal("historical whole-floor query empty")
+	}
+	for obj, p := range rs {
+		if p < 0.97 || p > 1+1e-9 {
+			t.Errorf("historical P(o%d) = %v", obj, p)
+		}
+	}
+	_ = truthAt150
+}
+
+func TestHistoricalQueryUsesOnlyPastReadings(t *testing.T) {
+	sys, simulator := historySystem(t)
+	for i := 0; i < 300; i++ {
+		tm, raws := simulator.Step()
+		sys.Ingest(tm, raws)
+	}
+	// The historical answer at t=150 must differ from the live answer at
+	// t=300 for at least some objects (people moved), demonstrating the
+	// query really reconstructs the past.
+	win := geom.RectWH(2, 11, 30, 14)
+	past := sys.RangeQueryAt(win, 150)
+	live := sys.RangeQuery(win)
+	same := true
+	for obj, p := range past {
+		if math.Abs(live[obj]-p) > 0.05 {
+			same = false
+		}
+	}
+	for obj, p := range live {
+		if math.Abs(past[obj]-p) > 0.05 {
+			same = false
+		}
+	}
+	if same && len(past) > 0 && len(live) > 0 {
+		t.Error("historical and live answers identical; history appears ignored")
+	}
+}
+
+func TestHistoricalKNNQuery(t *testing.T) {
+	sys, simulator := historySystem(t)
+	for i := 0; i < 200; i++ {
+		tm, raws := simulator.Step()
+		sys.Ingest(tm, raws)
+	}
+	rs := sys.KNNQueryAt(geom.Pt(35, 12), 3, 120)
+	// The result must carry at least some probability mass (objects were
+	// known by t=120).
+	if rs.TotalProb() <= 0 {
+		t.Fatalf("historical kNN mass = %v", rs.TotalProb())
+	}
+}
+
+func TestHistoricalQueryWithoutHistoryIsLimited(t *testing.T) {
+	// Without KeepHistory, a deep historical query falls back to whatever
+	// the live retention still holds — it must not panic and may be empty.
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	sys := MustNew(plan, dep, DefaultConfig())
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 10
+	simulator := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 1)
+	for i := 0; i < 200; i++ {
+		tm, raws := simulator.Step()
+		sys.Ingest(tm, raws)
+	}
+	_ = sys.RangeQueryAt(geom.RectWH(2, 11, 30, 14), 50)
+}

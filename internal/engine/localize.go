@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/anchor"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// Localization summarizes one object's inferred whereabouts: a point
+// estimate, the most likely anchor, room-level odds, and an uncertainty
+// measure. It is the track-and-trace view on top of the query engine.
+type Localization struct {
+	Object model.ObjectID
+	// Mean is the probability-weighted mean position.
+	Mean geom.Point
+	// Mode is the most probable anchor point.
+	Mode anchor.ID
+	// ModeProb is the probability mass at Mode.
+	ModeProb float64
+	// Room is the most probable room, or floorplan.NoRoom when the object
+	// is more likely in a hallway.
+	Room floorplan.RoomID
+	// RoomProb is the probability of Room (or of "some hallway" when Room
+	// is NoRoom).
+	RoomProb float64
+	// Entropy is the Shannon entropy of the anchor distribution in nats;
+	// 0 means certainty.
+	Entropy float64
+}
+
+// RoomOdds is one entry of a room-level localization ranking.
+type RoomOdds struct {
+	// Room is a room ID, or floorplan.NoRoom for the hallway share.
+	Room floorplan.RoomID
+	P    float64
+}
+
+// Localize runs the particle filter for one object and summarizes the
+// result. ok is false when the object has no readings to infer from.
+func (s *System) Localize(obj model.ObjectID) (Localization, bool) {
+	tab := s.Preprocess([]model.ObjectID{obj})
+	dist := tab.DistributionOf(obj)
+	if len(dist) == 0 {
+		return Localization{}, false
+	}
+	return s.summarize(obj, dist), true
+}
+
+// LocalizeAll localizes every known object, sorted by object ID.
+func (s *System) LocalizeAll() []Localization {
+	objs := s.col.KnownObjects()
+	tab := s.Preprocess(objs)
+	out := make([]Localization, 0, len(objs))
+	for _, obj := range objs {
+		dist := tab.DistributionOf(obj)
+		if len(dist) == 0 {
+			continue
+		}
+		out = append(out, s.summarize(obj, dist))
+	}
+	return out
+}
+
+// RoomDistribution returns the object's room-level distribution, ranked by
+// descending probability; the hallway share appears as a single NoRoom
+// entry. ok is false when the object cannot be localized.
+func (s *System) RoomDistribution(obj model.ObjectID) ([]RoomOdds, bool) {
+	tab := s.Preprocess([]model.ObjectID{obj})
+	dist := tab.DistributionOf(obj)
+	if len(dist) == 0 {
+		return nil, false
+	}
+	return roomOdds(s.idx, dist), true
+}
+
+func roomOdds(idx *anchor.Index, dist map[anchor.ID]float64) []RoomOdds {
+	byRoom := make(map[floorplan.RoomID]float64)
+	for ap, p := range dist {
+		byRoom[idx.Anchor(ap).Room] += p
+	}
+	out := make([]RoomOdds, 0, len(byRoom))
+	for room, p := range byRoom {
+		out = append(out, RoomOdds{Room: room, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Room < out[j].Room
+	})
+	return out
+}
+
+func (s *System) summarize(obj model.ObjectID, dist map[anchor.ID]float64) Localization {
+	loc := Localization{Object: obj, Mode: anchor.NoAnchor}
+	var mx, my float64
+	for ap, p := range dist {
+		a := s.idx.Anchor(ap)
+		mx += a.Pos.X * p
+		my += a.Pos.Y * p
+		if p > loc.ModeProb || (p == loc.ModeProb && ap < loc.Mode) {
+			loc.Mode, loc.ModeProb = ap, p
+		}
+		if p > 0 {
+			loc.Entropy -= p * math.Log(p)
+		}
+	}
+	loc.Mean = geom.Pt(mx, my)
+	odds := roomOdds(s.idx, dist)
+	if len(odds) > 0 {
+		loc.Room, loc.RoomProb = odds[0].Room, odds[0].P
+	}
+	return loc
+}

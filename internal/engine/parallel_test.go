@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+// TestParallelPreprocessDeterministic verifies the core promise of the
+// parallel preprocessing module: worker count never changes the output,
+// because every object's randomness is derived from (Seed, object, last
+// reading time) rather than from execution order.
+func TestParallelPreprocessDeterministic(t *testing.T) {
+	build := func(workers int) map[int]map[int]float64 {
+		plan := floorplan.DefaultOffice()
+		dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+		cfg := DefaultConfig()
+		cfg.Seed = 33
+		cfg.Workers = workers
+		sys := MustNew(plan, dep, cfg)
+		tc := sim.DefaultTraceConfig()
+		tc.NumObjects = 25
+		tc.DwellMin, tc.DwellMax = 2, 8
+		world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 77)
+		for i := 0; i < 150; i++ {
+			tm, raws := world.Step()
+			sys.Ingest(tm, raws)
+		}
+		tab := sys.Preprocess(sys.Collector().KnownObjects())
+		out := make(map[int]map[int]float64)
+		for _, obj := range tab.Objects() {
+			m := make(map[int]float64)
+			for ap, p := range tab.DistributionOf(obj) {
+				m[int(ap)] = p
+			}
+			out[int(obj)] = m
+		}
+		return out
+	}
+	serial := build(1)
+	parallel4 := build(4)
+	parallel16 := build(16)
+	if !reflect.DeepEqual(serial, parallel4) {
+		t.Error("workers=1 and workers=4 disagree")
+	}
+	if !reflect.DeepEqual(serial, parallel16) {
+		t.Error("workers=1 and workers=16 disagree")
+	}
+	if len(serial) == 0 {
+		t.Fatal("no distributions computed")
+	}
+}
+
+// TestRepeatedPreprocessSameAnswer verifies idempotence: asking the same
+// question twice (same readings, same time) gives the same answer even
+// though the cache path is exercised the second time.
+func TestRepeatedPreprocessSameAnswer(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := DefaultConfig()
+	cfg.Seed = 44
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 10
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 88)
+	for i := 0; i < 120; i++ {
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws)
+	}
+	objs := sys.Collector().KnownObjects()
+	first := sys.Preprocess(objs)
+	second := sys.Preprocess(objs)
+	for _, obj := range first.Objects() {
+		a := first.DistributionOf(obj)
+		b := second.DistributionOf(obj)
+		if len(a) != len(b) {
+			t.Errorf("o%d support changed between identical queries", obj)
+			continue
+		}
+		for ap, p := range a {
+			if b[ap] != p {
+				t.Errorf("o%d anchor %d: %v then %v", obj, ap, p, b[ap])
+			}
+		}
+	}
+}

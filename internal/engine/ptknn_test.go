@@ -1,0 +1,27 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPTKNNQueryEndToEnd(t *testing.T) {
+	sys, world := testSystem(t, 15, 150, 71)
+	out := sys.PTKNNQuery(geom.Pt(35, 12), 3, 0.3)
+	for i, r := range out {
+		if r.P < 0.3 || r.P > 1+1e-9 {
+			t.Errorf("member %d P = %v", i, r.P)
+		}
+		if i > 0 && out[i].P > out[i-1].P {
+			t.Error("not sorted descending")
+		}
+	}
+	// Low threshold returns at least as many members as a high one.
+	low := sys.PTKNNQuery(geom.Pt(35, 12), 3, 0.05)
+	high := sys.PTKNNQuery(geom.Pt(35, 12), 3, 0.9)
+	if len(low) < len(high) {
+		t.Errorf("threshold monotonicity violated: %d < %d", len(low), len(high))
+	}
+	_ = world
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+func TestRegistryRangeEvents(t *testing.T) {
+	sys, world := testSystem(t, 15, 100, 61)
+	reg := NewRegistry(sys)
+	zone := geom.RectWH(2, 11, 30, 14)
+	id := reg.RegisterRange(zone, 0.5)
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+
+	sawEnter, sawLeave := false, false
+	members := map[model.ObjectID]bool{}
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 10; i++ {
+			tm, raws := world.Step()
+			sys.Ingest(tm, raws)
+		}
+		for _, ev := range reg.Evaluate() {
+			if ev.Query != id {
+				t.Errorf("event for unknown query %d", ev.Query)
+			}
+			switch ev.Kind {
+			case Entered:
+				if members[ev.Object] {
+					t.Errorf("double enter for o%d", ev.Object)
+				}
+				members[ev.Object] = true
+				sawEnter = true
+			case Left:
+				if !members[ev.Object] {
+					t.Errorf("leave without enter for o%d", ev.Object)
+				}
+				delete(members, ev.Object)
+				sawLeave = true
+			}
+		}
+		// The registry's view matches the accumulated membership.
+		res := reg.Result(id)
+		if len(res) != len(members) {
+			t.Fatalf("round %d: result %v vs accumulated %v", round, res, members)
+		}
+	}
+	if !sawEnter || !sawLeave {
+		t.Errorf("expected both enter and leave events over 120 s (enter=%v leave=%v)", sawEnter, sawLeave)
+	}
+}
+
+func TestRegistryKNNEvents(t *testing.T) {
+	sys, world := testSystem(t, 12, 100, 62)
+	reg := NewRegistry(sys)
+	id := reg.RegisterKNN(geom.Pt(35, 12), 3)
+	changes := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 10; i++ {
+			tm, raws := world.Step()
+			sys.Ingest(tm, raws)
+		}
+		for _, ev := range reg.Evaluate() {
+			if ev.Kind != Added && ev.Kind != Removed {
+				t.Errorf("kNN query produced %v event", ev.Kind)
+			}
+			changes++
+		}
+		if got := len(reg.Result(id)); got > 3 {
+			t.Fatalf("kNN result tracks %d > k objects", got)
+		}
+	}
+	if changes == 0 {
+		t.Error("no membership changes in 100 s of movement")
+	}
+}
+
+func TestRegistryDeregister(t *testing.T) {
+	sys, _ := testSystem(t, 5, 60, 63)
+	reg := NewRegistry(sys)
+	a := reg.RegisterRange(geom.RectWH(0, 0, 10, 10), 0.5)
+	b := reg.RegisterKNN(geom.Pt(10, 12), 2)
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	if !reg.Deregister(a) || reg.Deregister(a) {
+		t.Error("range deregistration wrong")
+	}
+	if !reg.Deregister(b) {
+		t.Error("knn deregistration wrong")
+	}
+	if reg.Len() != 0 {
+		t.Errorf("Len after deregister = %d", reg.Len())
+	}
+	if reg.Evaluate() != nil {
+		t.Error("empty registry produced events")
+	}
+	if reg.Result(a) != nil {
+		t.Error("deregistered query still has results")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		Entered: "entered", Left: "left", Added: "added", Removed: "removed",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", kind, kind.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	ev := QueryEvent{Query: 1, Kind: Entered, Object: 4, Time: 9}
+	if ev.String() != "q1: o4 entered (t=9)" {
+		t.Errorf("event string = %q", ev.String())
+	}
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+	"repro/internal/walkgraph"
+)
+
+// TestTwoStoryPipeline runs the full system over the two-story office:
+// objects roam both floors via the stair links, readings flow, and all query
+// invariants hold.
+func TestTwoStoryPipeline(t *testing.T) {
+	plan := floorplan.TwoStoryOffice()
+	dep, err := rfid.DeployUniform(plan, 38, 2) // 19 per floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	sys := MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 30
+	tc.DwellMin, tc.DwellMax = 2, 8
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 101)
+	for i := 0; i < 400; i++ {
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws)
+	}
+	// Objects should have visited both floors: check some true positions on
+	// each side of the gap (x < 70 ground, x > 72 upper).
+	ground, upper := 0, 0
+	for _, o := range world.Objects() {
+		if world.TruePosition(o).X < 70 {
+			ground++
+		} else {
+			upper++
+		}
+	}
+	if ground == 0 || upper == 0 {
+		t.Fatalf("population did not spread across floors: %d/%d", ground, upper)
+	}
+
+	tab := sys.Preprocess(sys.Collector().KnownObjects())
+	for _, obj := range tab.Objects() {
+		if total := tab.TotalProbOf(obj); math.Abs(total-1) > 1e-9 {
+			t.Errorf("o%d mass %v", obj, total)
+		}
+	}
+
+	// Per-floor range queries: probabilities in range, and a floor query
+	// never exceeds the whole-building answer.
+	groundWin := geom.RectWH(1, 3, 68, 30)
+	whole := plan.Bounds()
+	rsGround := sys.RangeQueryOn(tab, groundWin)
+	rsWhole := sys.RangeQueryOn(tab, whole)
+	for obj, p := range rsGround {
+		if p < -1e-9 || p > 1+1e-9 {
+			t.Errorf("P(o%d on ground) = %v", obj, p)
+		}
+		if p > rsWhole[obj]+1e-6 {
+			t.Errorf("floor query exceeds building query for o%d", obj)
+		}
+	}
+
+	// Cross-floor kNN works: query near the ground stair landing can return
+	// objects from either floor.
+	krs := sys.KNNQueryOn(tab, geom.Pt(68, 18), 3)
+	if krs.TotalProb() <= 0 {
+		t.Error("stairside kNN returned nothing")
+	}
+}
+
+// TestTwoStoryObjectsCrossFloors verifies traces actually traverse the
+// links: at least one object's floor changes over time.
+func TestTwoStoryObjectsCrossFloors(t *testing.T) {
+	plan := floorplan.TwoStoryOffice()
+	dep := rfid.MustDeployUniform(plan, 38, 2)
+	g := simGraph(t, plan)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 20
+	tc.DwellMin, tc.DwellMax = 1, 4
+	world := sim.MustNew(g, rfid.NewSensor(dep), tc, 55)
+	start := make(map[int]bool)
+	for _, o := range world.Objects() {
+		start[int(o)] = world.TruePosition(o).X < 70
+	}
+	crossed := 0
+	for i := 0; i < 500; i++ {
+		world.Step()
+		for _, o := range world.Objects() {
+			if (world.TruePosition(o).X < 70) != start[int(o)] {
+				crossed++
+				start[int(o)] = !start[int(o)]
+			}
+		}
+	}
+	if crossed == 0 {
+		t.Error("no object ever crossed between floors")
+	}
+}
+
+func simGraph(t *testing.T, plan *floorplan.Plan) *walkgraph.Graph {
+	t.Helper()
+	g, err := walkgraph.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

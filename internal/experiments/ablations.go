@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/particle"
+)
+
+// Ablations expose the design-choice sweeps of DESIGN.md as figure-shaped
+// runners, so `cmd/experiments -ablation <name>` regenerates them at any
+// scale (the benchmark harness runs the same sweeps at reduced scale).
+
+// AblationFunc runs one ablation from base parameters.
+type AblationFunc func(base Params) (Figure, error)
+
+// Ablations maps ablation names to their runners.
+func Ablations() map[string]AblationFunc {
+	return map[string]AblationFunc{
+		"resampling":   AblationResampling,
+		"negativeinfo": AblationNegativeInfo,
+		"roomexit":     AblationRoomExit,
+		"anchor":       AblationAnchorSpacing,
+	}
+}
+
+// AblationIDs returns the known ablation names, sorted.
+func AblationIDs() []string {
+	out := make([]string, 0, len(Ablations()))
+	for name := range Ablations() {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func ablationSweep(base Params, name, xlabel string, xs []float64, apply func(*Params, float64)) (Figure, error) {
+	return sweep(base, "A/"+name, "Ablation: "+name, xlabel,
+		[]string{"PF_KL", "SM_KL", "PF_hit", "SM_hit", "top1", "top2"}, xs, apply)
+}
+
+// AblationResampling compares systematic (0) and multinomial (1) resampling.
+func AblationResampling(base Params) (Figure, error) {
+	return ablationSweep(base, "resampling", "multinomial", []float64{0, 1},
+		func(p *Params, x float64) {
+			fn := particle.Systematic
+			if x == 1 {
+				fn = particle.Multinomial
+			}
+			prev := p.Tweak
+			p.Tweak = func(c *engine.Config) {
+				if prev != nil {
+					prev(c)
+				}
+				c.Particle.Resample = fn
+			}
+		})
+}
+
+// AblationNegativeInfo toggles the negative-information extension
+// (0 = paper's literal Algorithm 2, 1 = with silence observations).
+func AblationNegativeInfo(base Params) (Figure, error) {
+	return ablationSweep(base, "negativeinfo", "enabled", []float64{0, 1},
+		func(p *Params, x float64) {
+			on := x == 1
+			prev := p.Tweak
+			p.Tweak = func(c *engine.Config) {
+				if prev != nil {
+					prev(c)
+				}
+				c.Particle.UseNegativeInfo = on
+			}
+		})
+}
+
+// AblationRoomExit sweeps the particle room-exit probability around the
+// paper's 0.1.
+func AblationRoomExit(base Params) (Figure, error) {
+	return ablationSweep(base, "roomexit", "exitProb", []float64{0.05, 0.1, 0.2, 0.4},
+		func(p *Params, x float64) {
+			prev := p.Tweak
+			p.Tweak = func(c *engine.Config) {
+				if prev != nil {
+					prev(c)
+				}
+				c.Particle.RoomExitProb = x
+			}
+		})
+}
+
+// AblationAnchorSpacing sweeps the anchor point spacing.
+func AblationAnchorSpacing(base Params) (Figure, error) {
+	return ablationSweep(base, "anchor", "spacing_m", []float64{0.5, 1.0, 2.0},
+		func(p *Params, x float64) {
+			prev := p.Tweak
+			p.Tweak = func(c *engine.Config) {
+				if prev != nil {
+					prev(c)
+				}
+				c.AnchorSpacing = x
+			}
+		})
+}

@@ -1,0 +1,233 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Builder assembles a Plan incrementally and validates it on Build.
+type Builder struct {
+	plan Plan
+	err  error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddHallway appends an axis-aligned hallway with the given centerline and
+// full width and returns its ID.
+func (b *Builder) AddHallway(name string, center geom.Segment, width float64) HallwayID {
+	id := HallwayID(len(b.plan.hallways))
+	b.plan.hallways = append(b.plan.hallways, Hallway{
+		ID:     id,
+		Name:   name,
+		Center: center,
+		Width:  width,
+	})
+	return id
+}
+
+// AddRoom appends a room and connects it to the given hallway with a door
+// placed at the point of the room boundary nearest the hallway centerline
+// (horizontally or vertically centered on the shared wall). It returns the
+// room's ID.
+func (b *Builder) AddRoom(name string, bounds geom.Rect, hallway HallwayID) RoomID {
+	if int(hallway) < 0 || int(hallway) >= len(b.plan.hallways) {
+		b.fail(fmt.Errorf("floorplan: AddRoom(%q): unknown hallway %d", name, hallway))
+		return NoRoom
+	}
+	h := b.plan.hallways[hallway]
+	center := bounds.Center()
+	// Project the room center onto the hallway centerline, then walk from
+	// that projection back to the room boundary to find the door position on
+	// the shared wall.
+	hp := h.Center.ClosestPoint(center)
+	doorPos := bounds.ClosestPoint(hp)
+	return b.AddRoomWithDoor(name, bounds, hallway, doorPos)
+}
+
+// AddRoomWithDoor appends a room with an explicit door position on its
+// boundary, connected to the given hallway. The door's hallway point is the
+// projection of the door onto the hallway centerline.
+func (b *Builder) AddRoomWithDoor(name string, bounds geom.Rect, hallway HallwayID, doorPos geom.Point) RoomID {
+	if int(hallway) < 0 || int(hallway) >= len(b.plan.hallways) {
+		b.fail(fmt.Errorf("floorplan: AddRoomWithDoor(%q): unknown hallway %d", name, hallway))
+		return NoRoom
+	}
+	roomID := RoomID(len(b.plan.rooms))
+	doorID := DoorID(len(b.plan.doors))
+	h := b.plan.hallways[hallway]
+	b.plan.rooms = append(b.plan.rooms, Room{
+		ID:     roomID,
+		Name:   name,
+		Bounds: bounds,
+		Doors:  []DoorID{doorID},
+	})
+	b.plan.doors = append(b.plan.doors, Door{
+		ID:           doorID,
+		Room:         roomID,
+		Hallway:      hallway,
+		Pos:          doorPos,
+		HallwayPoint: h.Center.ClosestPoint(doorPos),
+	})
+	return roomID
+}
+
+// AddCompositeRoom appends a room composed of several disjoint, connected
+// rectangles (an L/T/U shape) and connects it to the hallway with a door on
+// the part nearest the hallway centerline. It returns the room's ID.
+func (b *Builder) AddCompositeRoom(name string, parts []geom.Rect, hallway HallwayID) RoomID {
+	if len(parts) == 0 {
+		b.fail(fmt.Errorf("floorplan: AddCompositeRoom(%q): no parts", name))
+		return NoRoom
+	}
+	if int(hallway) < 0 || int(hallway) >= len(b.plan.hallways) {
+		b.fail(fmt.Errorf("floorplan: AddCompositeRoom(%q): unknown hallway %d", name, hallway))
+		return NoRoom
+	}
+	h := b.plan.hallways[hallway]
+	bounds := parts[0]
+	for _, p := range parts[1:] {
+		bounds = bounds.Union(p)
+	}
+	// Door on the part whose boundary comes closest to the centerline.
+	best := parts[0]
+	bestDist := math.Inf(1)
+	for _, p := range parts {
+		hp := h.Center.ClosestPoint(p.Center())
+		if d := p.DistToPoint(hp); d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	hp := h.Center.ClosestPoint(best.Center())
+	doorPos := best.ClosestPoint(hp)
+
+	roomID := RoomID(len(b.plan.rooms))
+	doorID := DoorID(len(b.plan.doors))
+	b.plan.rooms = append(b.plan.rooms, Room{
+		ID:     roomID,
+		Name:   name,
+		Bounds: bounds,
+		Parts:  append([]geom.Rect(nil), parts...),
+		Doors:  []DoorID{doorID},
+	})
+	b.plan.doors = append(b.plan.doors, Door{
+		ID:           doorID,
+		Room:         roomID,
+		Hallway:      hallway,
+		Pos:          doorPos,
+		HallwayPoint: h.Center.ClosestPoint(doorPos),
+	})
+	return roomID
+}
+
+// AddDoor adds an extra door to an existing room (rooms created by AddRoom
+// already have one door).
+func (b *Builder) AddDoor(room RoomID, hallway HallwayID, doorPos geom.Point) DoorID {
+	if int(room) < 0 || int(room) >= len(b.plan.rooms) {
+		b.fail(fmt.Errorf("floorplan: AddDoor: unknown room %d", room))
+		return -1
+	}
+	if int(hallway) < 0 || int(hallway) >= len(b.plan.hallways) {
+		b.fail(fmt.Errorf("floorplan: AddDoor: unknown hallway %d", hallway))
+		return -1
+	}
+	doorID := DoorID(len(b.plan.doors))
+	h := b.plan.hallways[hallway]
+	b.plan.doors = append(b.plan.doors, Door{
+		ID:           doorID,
+		Room:         room,
+		Hallway:      hallway,
+		Pos:          doorPos,
+		HallwayPoint: h.Center.ClosestPoint(doorPos),
+	})
+	b.plan.rooms[room].Doors = append(b.plan.rooms[room].Doors, doorID)
+	return doorID
+}
+
+// AddLink connects two hallway points with an abstract walkable link (a
+// staircase, elevator, or escalator) of the given walking length. Each
+// endpoint snaps to the nearest point of its hallway's centerline.
+func (b *Builder) AddLink(name string, ha HallwayID, a geom.Point, hb HallwayID, bPt geom.Point, length float64) LinkID {
+	if int(ha) < 0 || int(ha) >= len(b.plan.hallways) || int(hb) < 0 || int(hb) >= len(b.plan.hallways) {
+		b.fail(fmt.Errorf("floorplan: AddLink(%q): unknown hallway", name))
+		return -1
+	}
+	id := LinkID(len(b.plan.links))
+	b.plan.links = append(b.plan.links, Link{
+		ID:       id,
+		Name:     name,
+		A:        b.plan.hallways[ha].Center.ClosestPoint(a),
+		B:        b.plan.hallways[hb].Center.ClosestPoint(bPt),
+		HallwayA: ha,
+		HallwayB: hb,
+		Length:   length,
+	})
+	return id
+}
+
+// setRoomDoors replaces a room's doors with an explicit serialized list
+// (used by the JSON decoder to round-trip composite rooms exactly).
+func (b *Builder) setRoomDoors(room RoomID, doors []doorJSON) {
+	if int(room) < 0 || int(room) >= len(b.plan.rooms) {
+		return
+	}
+	// Remove the auto-created door (always the most recent one, owned by
+	// this room).
+	r := &b.plan.rooms[room]
+	if len(r.Doors) == 1 && int(r.Doors[0]) == len(b.plan.doors)-1 {
+		b.plan.doors = b.plan.doors[:len(b.plan.doors)-1]
+		r.Doors = nil
+	}
+	for _, d := range doors {
+		h := b.plan.hallways[d.Hallway]
+		doorID := DoorID(len(b.plan.doors))
+		b.plan.doors = append(b.plan.doors, Door{
+			ID:           doorID,
+			Room:         room,
+			Hallway:      HallwayID(d.Hallway),
+			Pos:          pt(d.Pos),
+			HallwayPoint: h.Center.ClosestPoint(pt(d.Pos)),
+		})
+		r.Doors = append(r.Doors, doorID)
+	}
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and returns the assembled plan. The Builder must not be
+// reused afterwards.
+func (b *Builder) Build() (*Plan, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &b.plan
+	// Compute the overall bounds.
+	first := true
+	for _, h := range p.hallways {
+		if first {
+			p.bounds = h.Strip()
+			first = false
+		} else {
+			p.bounds = p.bounds.Union(h.Strip())
+		}
+	}
+	for _, r := range p.rooms {
+		if first {
+			p.bounds = r.Bounds
+			first = false
+		} else {
+			p.bounds = p.bounds.Union(r.Bounds)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

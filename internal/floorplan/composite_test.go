@@ -1,0 +1,144 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// lRoomPlan builds a hallway with one L-shaped room south of it:
+//
+//	───────────── hallway (y=10) ─────────────
+//	┌────────┐
+//	│  top   │   top:  x 4..10, y 6..9
+//	│        ├──┐
+//	│  base  │  │ base: x 4..16, y 2..6
+//	└────────┴──┘
+func lRoomPlan(t *testing.T) *Plan {
+	t.Helper()
+	b := NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddCompositeRoom("L", []geom.Rect{
+		geom.RectWH(4, 2, 12, 4), // base
+		geom.RectWH(4, 6, 6, 3),  // top
+	}, h)
+	b.AddRoom("plain", geom.RectWH(20, 3, 6, 6), h)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompositeRoomGeometry(t *testing.T) {
+	p := lRoomPlan(t)
+	room := p.Room(0)
+	if got := room.Area(); math.Abs(got-(48+18)) > 1e-9 {
+		t.Errorf("L area = %v, want 66", got)
+	}
+	// Bounds is the bounding box.
+	if room.Bounds != geom.RectFromCorners(geom.Pt(4, 2), geom.Pt(16, 9)) {
+		t.Errorf("bounds = %v", room.Bounds)
+	}
+	// Containment respects the notch: (12, 7) is inside the bounding box but
+	// outside the L.
+	if !room.Contains(geom.Pt(5, 7)) || !room.Contains(geom.Pt(14, 4)) {
+		t.Error("interior points rejected")
+	}
+	if room.Contains(geom.Pt(12, 7)) {
+		t.Error("notch point accepted")
+	}
+	if got := p.RoomAt(geom.Pt(12, 7)); got != NoRoom {
+		t.Errorf("RoomAt(notch) = %d", got)
+	}
+	// IntersectArea over the notch region counts only real footprint.
+	win := geom.RectFromCorners(geom.Pt(10, 6), geom.Pt(16, 9))
+	if got := room.IntersectArea(win); got != 0 {
+		t.Errorf("notch intersect area = %v, want 0", got)
+	}
+	win = geom.RectFromCorners(geom.Pt(4, 2), geom.Pt(16, 9))
+	if got := room.IntersectArea(win); math.Abs(got-66) > 1e-9 {
+		t.Errorf("full intersect area = %v, want 66", got)
+	}
+	// Center is inside the largest part (the base).
+	if !room.Contains(room.Center()) {
+		t.Errorf("center %v outside the room", room.Center())
+	}
+}
+
+func TestCompositeRoomValidation(t *testing.T) {
+	// Overlapping parts: rejected.
+	b := NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddCompositeRoom("bad", []geom.Rect{
+		geom.RectWH(4, 2, 10, 6),
+		geom.RectWH(8, 2, 10, 6),
+	}, h)
+	if _, err := b.Build(); err == nil {
+		t.Error("overlapping parts accepted")
+	}
+	// Disconnected parts: rejected.
+	b = NewBuilder()
+	h = b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddCompositeRoom("bad", []geom.Rect{
+		geom.RectWH(4, 2, 4, 4),
+		geom.RectWH(20, 2, 4, 4),
+	}, h)
+	if _, err := b.Build(); err == nil {
+		t.Error("disconnected parts accepted")
+	}
+	// Empty part list: rejected at Build.
+	b = NewBuilder()
+	h = b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddCompositeRoom("bad", nil, h)
+	if _, err := b.Build(); err == nil {
+		t.Error("empty composite accepted")
+	}
+	// Composite overlapping another room: rejected.
+	b = NewBuilder()
+	h = b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	b.AddRoom("plain", geom.RectWH(10, 2, 6, 6), h)
+	b.AddCompositeRoom("bad", []geom.Rect{
+		geom.RectWH(4, 2, 12, 4),
+		geom.RectWH(4, 6, 6, 3),
+	}, h)
+	if _, err := b.Build(); err == nil {
+		t.Error("composite overlapping a plain room accepted")
+	}
+}
+
+func TestCompositeRoomDoorOnNearestPart(t *testing.T) {
+	p := lRoomPlan(t)
+	d := p.Door(p.Room(0).Doors[0])
+	// The top part (y up to 9) is nearest the hallway at y=10; the door must
+	// sit on its boundary.
+	if d.Pos.Y != 9 {
+		t.Errorf("door at %v, want on the top part's upper edge (y=9)", d.Pos)
+	}
+}
+
+func TestCompositeRoomJSONRoundTrip(t *testing.T) {
+	orig := lRoomPlan(t)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := got.Room(0)
+	if len(room.Parts) != 2 {
+		t.Fatalf("parts lost: %d", len(room.Parts))
+	}
+	if math.Abs(room.Area()-66) > 1e-9 {
+		t.Errorf("area after round trip = %v", room.Area())
+	}
+	d := got.Door(room.Doors[0])
+	od := orig.Door(orig.Room(0).Doors[0])
+	if !d.Pos.Equal(od.Pos) {
+		t.Errorf("door moved in round trip: %v vs %v", d.Pos, od.Pos)
+	}
+}

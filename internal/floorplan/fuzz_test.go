@@ -1,0 +1,37 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecode hardens the plan decoder: arbitrary input must either fail
+// cleanly or yield a plan that passes validation (Decode runs Build, which
+// validates) — never panic.
+func FuzzDecode(f *testing.F) {
+	valid, err := json.Marshal(DefaultOffice())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	twoStory, err := json.Marshal(TwoStoryOffice())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(twoStory)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"hallways":[{"name":"h","from":[0,0],"to":[0,0],"width":0}]}`))
+	f.Add([]byte(`{"hallways":[{"name":"h","from":[0,10],"to":[50,10],"width":2}],
+	               "rooms":[{"name":"a","min":[0,0],"max":[5,9],"doors":[{"hallway":0,"pos":[2,9]}]}],
+	               "links":[{"name":"l","hallwayA":0,"a":[0,10],"hallwayB":0,"b":[50,10],"length":60}]}`))
+	f.Add([]byte(`{"hallways":[{"name":"h","from":[1e308,10],"to":[-1e308,10],"width":2}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := plan.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid plan: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// The JSON format is a portable description of a floor plan, so real
+// deployments can load their own layouts instead of the built-in office:
+//
+//	{
+//	  "hallways": [{"name": "hall", "from": [2,12], "to": [68,12], "width": 2}],
+//	  "rooms": [{"name": "S1", "min": [2,4], "max": [8.6,11],
+//	             "doors": [{"hallway": 0, "pos": [5.3,11]}]}]
+//	}
+
+type hallwayJSON struct {
+	Name  string     `json:"name"`
+	From  [2]float64 `json:"from"`
+	To    [2]float64 `json:"to"`
+	Width float64    `json:"width"`
+}
+
+type doorJSON struct {
+	Hallway int        `json:"hallway"`
+	Pos     [2]float64 `json:"pos"`
+}
+
+type roomJSON struct {
+	Name string     `json:"name"`
+	Min  [2]float64 `json:"min"`
+	Max  [2]float64 `json:"max"`
+	// Parts lists the rectangles of a composite room; empty means the room
+	// is the single rectangle [Min, Max].
+	Parts []rectJSON `json:"parts,omitempty"`
+	Doors []doorJSON `json:"doors"`
+}
+
+type rectJSON struct {
+	Min [2]float64 `json:"min"`
+	Max [2]float64 `json:"max"`
+}
+
+type linkJSON struct {
+	Name     string     `json:"name"`
+	HallwayA int        `json:"hallwayA"`
+	A        [2]float64 `json:"a"`
+	HallwayB int        `json:"hallwayB"`
+	B        [2]float64 `json:"b"`
+	Length   float64    `json:"length"`
+}
+
+type planJSON struct {
+	Hallways []hallwayJSON `json:"hallways"`
+	Rooms    []roomJSON    `json:"rooms"`
+	Links    []linkJSON    `json:"links,omitempty"`
+}
+
+func pt(a [2]float64) geom.Point  { return geom.Pt(a[0], a[1]) }
+func arr(p geom.Point) [2]float64 { return [2]float64{p.X, p.Y} }
+
+// MarshalJSON encodes the plan in the portable JSON format.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{}
+	for _, h := range p.hallways {
+		out.Hallways = append(out.Hallways, hallwayJSON{
+			Name:  h.Name,
+			From:  arr(h.Center.A),
+			To:    arr(h.Center.B),
+			Width: h.Width,
+		})
+	}
+	for _, r := range p.rooms {
+		rj := roomJSON{Name: r.Name, Min: arr(r.Bounds.Min), Max: arr(r.Bounds.Max)}
+		for _, part := range r.Parts {
+			rj.Parts = append(rj.Parts, rectJSON{Min: arr(part.Min), Max: arr(part.Max)})
+		}
+		for _, did := range r.Doors {
+			d := p.doors[did]
+			rj.Doors = append(rj.Doors, doorJSON{Hallway: int(d.Hallway), Pos: arr(d.Pos)})
+		}
+		out.Rooms = append(out.Rooms, rj)
+	}
+	for _, l := range p.links {
+		out.Links = append(out.Links, linkJSON{
+			Name:     l.Name,
+			HallwayA: int(l.HallwayA),
+			A:        arr(l.A),
+			HallwayB: int(l.HallwayB),
+			B:        arr(l.B),
+			Length:   l.Length,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// Decode parses the portable JSON format and builds a validated plan.
+func Decode(data []byte) (*Plan, error) {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("floorplan: decode: %w", err)
+	}
+	b := NewBuilder()
+	for _, h := range in.Hallways {
+		b.AddHallway(h.Name, geom.Seg(pt(h.From), pt(h.To)), h.Width)
+	}
+	for _, r := range in.Rooms {
+		if len(r.Doors) == 0 {
+			return nil, fmt.Errorf("floorplan: decode: room %q has no doors", r.Name)
+		}
+		bounds := geom.RectFromCorners(pt(r.Min), pt(r.Max))
+		var room RoomID
+		if len(r.Parts) > 0 {
+			parts := make([]geom.Rect, 0, len(r.Parts))
+			for _, part := range r.Parts {
+				parts = append(parts, geom.RectFromCorners(pt(part.Min), pt(part.Max)))
+			}
+			room = b.AddCompositeRoom(r.Name, parts, HallwayID(r.Doors[0].Hallway))
+			// A composite room's door was chosen by the builder; honor the
+			// serialized doors exactly by replacing with the explicit list.
+			b.setRoomDoors(room, r.Doors)
+		} else {
+			room = b.AddRoomWithDoor(r.Name, bounds, HallwayID(r.Doors[0].Hallway), pt(r.Doors[0].Pos))
+			for _, d := range r.Doors[1:] {
+				b.AddDoor(room, HallwayID(d.Hallway), pt(d.Pos))
+			}
+		}
+	}
+	for _, l := range in.Links {
+		b.AddLink(l.Name, HallwayID(l.HallwayA), pt(l.A), HallwayID(l.HallwayB), pt(l.B), l.Length)
+	}
+	return b.Build()
+}

@@ -1,0 +1,87 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig := DefaultOffice()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rooms()) != len(orig.Rooms()) ||
+		len(got.Hallways()) != len(orig.Hallways()) ||
+		len(got.Doors()) != len(orig.Doors()) {
+		t.Fatalf("round trip changed counts: %d/%d/%d vs %d/%d/%d",
+			len(got.Rooms()), len(got.Hallways()), len(got.Doors()),
+			len(orig.Rooms()), len(orig.Hallways()), len(orig.Doors()))
+	}
+	if math.Abs(got.TotalArea()-orig.TotalArea()) > 1e-9 {
+		t.Errorf("TotalArea changed: %v vs %v", got.TotalArea(), orig.TotalArea())
+	}
+	for i, r := range orig.Rooms() {
+		gr := got.Room(RoomID(i))
+		if gr.Name != r.Name || gr.Bounds != r.Bounds {
+			t.Errorf("room %d changed: %+v vs %+v", i, gr, r)
+		}
+	}
+	for i, d := range orig.Doors() {
+		gd := got.Door(DoorID(i))
+		if !gd.Pos.Equal(d.Pos) || !gd.HallwayPoint.Equal(d.HallwayPoint) {
+			t.Errorf("door %d changed: %+v vs %+v", i, gd, d)
+		}
+	}
+}
+
+func TestPlanJSONMultiDoorRoom(t *testing.T) {
+	b := NewBuilder()
+	h1 := b.AddHallway("h1", geom.Seg(geom.Pt(0, 10), geom.Pt(50, 10)), 2)
+	h2 := b.AddHallway("h2", geom.Seg(geom.Pt(0, 20), geom.Pt(50, 20)), 2)
+	r := b.AddRoom("mid", geom.RectWH(10, 11, 10, 8), h1)
+	b.AddDoor(r, h2, geom.Pt(15, 19))
+	orig, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Room(0).Doors) != 2 {
+		t.Errorf("multi-door room lost a door: %v", got.Room(0).Doors)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"hallways":[],"rooms":[]}`)); err == nil {
+		t.Error("plan without hallways accepted")
+	}
+	// Room without doors.
+	bad := `{"hallways":[{"name":"h","from":[0,10],"to":[50,10],"width":2}],
+	         "rooms":[{"name":"a","min":[0,0],"max":[5,9],"doors":[]}]}`
+	if _, err := Decode([]byte(bad)); err == nil {
+		t.Error("doorless room accepted")
+	}
+	// Door referencing an unknown hallway.
+	bad = `{"hallways":[{"name":"h","from":[0,10],"to":[50,10],"width":2}],
+	        "rooms":[{"name":"a","min":[0,0],"max":[5,9],"doors":[{"hallway":7,"pos":[2,9]}]}]}`
+	if _, err := Decode([]byte(bad)); err == nil {
+		t.Error("bad hallway reference accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTwoStoryOfficeShape(t *testing.T) {
+	p := TwoStoryOffice()
+	if got := len(p.Rooms()); got != 60 {
+		t.Errorf("rooms = %d, want 60", got)
+	}
+	if got := len(p.Hallways()); got != 8 {
+		t.Errorf("hallways = %d, want 8", got)
+	}
+	if got := len(p.Links()); got != 2 {
+		t.Errorf("links = %d, want 2", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Links connect the ground east hallway to the upper west hallway with
+	// the declared stair length.
+	for _, l := range p.Links() {
+		if l.Length != 8 {
+			t.Errorf("link %s length %v", l.Name, l.Length)
+		}
+		if l.Length < l.A.Dist(l.B) {
+			t.Errorf("link %s shorter than its straight-line gap", l.Name)
+		}
+	}
+}
+
+func TestLinkValidationRejectsTooShort(t *testing.T) {
+	b := NewBuilder()
+	h1 := b.AddHallway("h1", geom.Seg(geom.Pt(0, 10), geom.Pt(20, 10)), 2)
+	h2 := b.AddHallway("h2", geom.Seg(geom.Pt(40, 10), geom.Pt(60, 10)), 2)
+	// Gap is 20 m; a 5 m link would break Euclidean pruning soundness.
+	b.AddLink("teleporter", h1, geom.Pt(20, 10), h2, geom.Pt(40, 10), 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("too-short link accepted")
+	}
+}
+
+func TestLinkValidationRejectsUnknownHallway(t *testing.T) {
+	b := NewBuilder()
+	h1 := b.AddHallway("h1", geom.Seg(geom.Pt(0, 10), geom.Pt(20, 10)), 2)
+	b.AddLink("bad", h1, geom.Pt(20, 10), HallwayID(9), geom.Pt(40, 10), 30)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unknown hallway link accepted")
+	}
+}
+
+func TestLinkEndpointsSnapToCenterlines(t *testing.T) {
+	b := NewBuilder()
+	h1 := b.AddHallway("h1", geom.Seg(geom.Pt(0, 10), geom.Pt(20, 10)), 2)
+	h2 := b.AddHallway("h2", geom.Seg(geom.Pt(30, 10), geom.Pt(50, 10)), 2)
+	// Endpoint given off-centerline snaps onto it.
+	b.AddLink("s", h1, geom.Pt(20, 11.5), h2, geom.Pt(30, 8.7), 12)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Link(0)
+	if !l.A.Equal(geom.Pt(20, 10)) || !l.B.Equal(geom.Pt(30, 10)) {
+		t.Errorf("endpoints = %v, %v", l.A, l.B)
+	}
+}
+
+func TestPlanJSONRoundTripWithLinks(t *testing.T) {
+	orig := TwoStoryOffice()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Links()) != 2 {
+		t.Fatalf("links lost in round trip: %d", len(got.Links()))
+	}
+	for i, l := range orig.Links() {
+		gl := got.Link(LinkID(i))
+		if gl.Name != l.Name || math.Abs(gl.Length-l.Length) > 1e-12 ||
+			!gl.A.Equal(l.A) || !gl.B.Equal(l.B) {
+			t.Errorf("link %d changed: %+v vs %+v", i, gl, l)
+		}
+	}
+}

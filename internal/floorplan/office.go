@@ -1,0 +1,108 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Parameters of the default office layout, mirroring the paper's evaluation
+// setting (Section 5): 30 rooms and 4 hallways on a single floor, all rooms
+// connected to hallways by doors.
+const (
+	// OfficeRooms is the number of rooms in the default office.
+	OfficeRooms = 30
+	// OfficeHallways is the number of hallways in the default office.
+	OfficeHallways = 4
+	// OfficeHallwayWidth is the full hallway width in meters. The paper
+	// assumes reader detection ranges cover the full hallway width
+	// (detection range up to ~3 m), so 2 m is a realistic office corridor.
+	OfficeHallwayWidth = 2.0
+)
+
+// DefaultOffice builds the evaluation floor plan used throughout the
+// experiments: a rectangular ring corridor of four hallways with ten rooms
+// along the south wall, ten along the north wall, and ten in the inner
+// block, every room opening onto a hallway.
+//
+// The layout (centerlines):
+//
+//	(2,24) ─────────── H-north ─────────── (68,24)
+//	   │   [10 north rooms above]               │
+//	 H-west    [10 inner rooms]              H-east
+//	   │   [10 south rooms below]               │
+//	(2,12) ─────────── H-south ─────────── (68,12)
+func DefaultOffice() *Plan {
+	// The hallways are declared in ring order (south, east, north, west) with
+	// consistent orientation, so walking the concatenated centerlines
+	// traverses the closed corridor loop once; uniform reader deployment
+	// along the concatenation is then uniform along the physical loop.
+	b := NewBuilder()
+	addOfficeFloor(b, 0, "")
+	p, err := b.Build()
+	if err != nil {
+		// The default office is a compile-time-fixed layout; failure to
+		// build it is a programming error.
+		panic("floorplan: DefaultOffice invalid: " + err.Error())
+	}
+	return p
+}
+
+// TwoStoryOffice builds a two-story variant: two copies of the default
+// office floor laid out side by side in plan coordinates (the second story
+// shifted east), joined by two staircase links whose walking lengths are the
+// true stair distances. It demonstrates the link mechanism used to model
+// multi-story buildings, subway mezzanines, and skybridges.
+func TwoStoryOffice() *Plan {
+	const dx = 72 // second story's plan offset; keeps a 4 m stair gap
+	b := NewBuilder()
+	ground := addOfficeFloor(b, 0, "1-")
+	upper := addOfficeFloor(b, dx, "2-")
+	// Two staircases join the ground floor's east hallway to the upper
+	// floor's west hallway. Each stair walks 8 m (two flights), more than
+	// the 6 m plan-space gap, preserving Euclidean pruning soundness.
+	b.AddLink("stair-north", ground.east, geom.Pt(68, 20), upper.west, geom.Pt(2+dx, 20), 8)
+	b.AddLink("stair-south", ground.east, geom.Pt(68, 16), upper.west, geom.Pt(2+dx, 16), 8)
+	p, err := b.Build()
+	if err != nil {
+		panic("floorplan: TwoStoryOffice invalid: " + err.Error())
+	}
+	return p
+}
+
+// officeFloor records the hallway IDs of one office floor.
+type officeFloor struct {
+	south, east, north, west HallwayID
+}
+
+// addOfficeFloor lays out one ring-corridor office floor shifted east by dx,
+// with room and hallway names prefixed to stay unique across floors.
+func addOfficeFloor(b *Builder, dx float64, prefix string) officeFloor {
+	var f officeFloor
+	f.south = b.AddHallway(prefix+"hall-south", geom.Seg(geom.Pt(2+dx, 12), geom.Pt(68+dx, 12)), OfficeHallwayWidth)
+	f.east = b.AddHallway(prefix+"hall-east", geom.Seg(geom.Pt(68+dx, 12), geom.Pt(68+dx, 24)), OfficeHallwayWidth)
+	f.north = b.AddHallway(prefix+"hall-north", geom.Seg(geom.Pt(68+dx, 24), geom.Pt(2+dx, 24)), OfficeHallwayWidth)
+	f.west = b.AddHallway(prefix+"hall-west", geom.Seg(geom.Pt(2+dx, 24), geom.Pt(2+dx, 12)), OfficeHallwayWidth)
+
+	// Ten rooms along the south wall (below hall-south).
+	for i := 0; i < 10; i++ {
+		x := 2 + dx + 6.6*float64(i)
+		b.AddRoom(fmt.Sprintf("%sS%d", prefix, i+1), geom.RectWH(x, 4, 6.6, 7), f.south)
+	}
+	// Ten rooms along the north wall (above hall-north).
+	for i := 0; i < 10; i++ {
+		x := 2 + dx + 6.6*float64(i)
+		b.AddRoom(fmt.Sprintf("%sN%d", prefix, i+1), geom.RectWH(x, 25, 6.6, 7), f.north)
+	}
+	// Ten inner-block rooms between the two horizontal hallways: five open
+	// south, five open north.
+	for i := 0; i < 5; i++ {
+		x := 3 + dx + 12.8*float64(i)
+		b.AddRoom(fmt.Sprintf("%sIS%d", prefix, i+1), geom.RectWH(x, 13, 12.8, 5), f.south)
+	}
+	for i := 0; i < 5; i++ {
+		x := 3 + dx + 12.8*float64(i)
+		b.AddRoom(fmt.Sprintf("%sIN%d", prefix, i+1), geom.RectWH(x, 18, 12.8, 5), f.north)
+	}
+	return f
+}

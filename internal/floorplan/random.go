@@ -1,0 +1,82 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// RandomOffice generates a random but always-valid office layout: several
+// parallel horizontal hallways joined by a vertical connector, with randomly
+// sized rooms along each hallway side. It exists so property tests and
+// robustness checks can exercise the whole pipeline across many geometries,
+// and doubles as a starting point for users sketching their own buildings.
+//
+// floors of hallways are spaced 14 m apart; rooms are 6 m deep with widths
+// drawn from [4, 10] m. The plan always validates.
+func RandomOffice(src *rng.Source, hallways int) *Plan {
+	if hallways < 1 {
+		hallways = 1
+	}
+	const (
+		spacing   = 14.0
+		width     = 2.0
+		roomDepth = 6.0
+		firstY    = 10.0
+	)
+	length := src.Uniform(40, 80)
+	b := NewBuilder()
+
+	ys := make([]float64, hallways)
+	ids := make([]HallwayID, hallways)
+	for i := 0; i < hallways; i++ {
+		ys[i] = firstY + spacing*float64(i)
+		ids[i] = b.AddHallway(fmt.Sprintf("H%d", i+1),
+			geom.Seg(geom.Pt(2, ys[i]), geom.Pt(2+length, ys[i])), width)
+	}
+	if hallways > 1 {
+		b.AddHallway("V", geom.Seg(geom.Pt(2, ys[0]), geom.Pt(2, ys[hallways-1])), width)
+	}
+
+	room := 0
+	addRow := func(h HallwayID, yLo float64) {
+		// Random partition of the x extent into rooms with random gaps.
+		// Rooms start at x = 3.5 to stay clear of the vertical connector's
+		// strip (x in [1, 3]).
+		x := 3.5
+		for x+4 <= 2+length {
+			w := src.Uniform(4, 10)
+			if x+w > 2+length {
+				w = 2 + length - x
+			}
+			if w < 4 {
+				break
+			}
+			room++
+			b.AddRoom(fmt.Sprintf("R%d", room), geom.RectWH(x, yLo, w, roomDepth), h)
+			x += w
+			if src.Bool(0.3) {
+				x += src.Uniform(1, 4) // leave a gap (e.g. a utility shaft)
+			}
+		}
+	}
+
+	for i := 0; i < hallways; i++ {
+		// Rooms below this hallway (the band under the strip).
+		addRow(ids[i], ys[i]-1-roomDepth)
+		// Rooms above the top hallway only; inner bands belong to the
+		// hallway below to avoid overlaps.
+		if i == hallways-1 {
+			addRow(ids[i], ys[i]+1)
+		}
+	}
+
+	p, err := b.Build()
+	if err != nil {
+		// The construction above is overlap-free by design; failure is a
+		// programming error worth failing loudly on.
+		panic("floorplan: RandomOffice invalid: " + err.Error())
+	}
+	return p
+}

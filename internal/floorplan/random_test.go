@@ -1,0 +1,62 @@
+package floorplan
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRandomOfficeAlwaysValid(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		src := rng.New(seed)
+		hallways := 1 + src.Intn(4)
+		p := RandomOffice(src, hallways)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d (%d hallways): %v", seed, hallways, err)
+		}
+		if len(p.Rooms()) == 0 {
+			t.Fatalf("seed %d: no rooms", seed)
+		}
+		// Every room has a usable door on a real hallway.
+		for _, r := range p.Rooms() {
+			if len(r.Doors) == 0 {
+				t.Fatalf("seed %d: room %s doorless", seed, r.Name)
+			}
+		}
+	}
+}
+
+func TestRandomOfficeHallwayCount(t *testing.T) {
+	src := rng.New(5)
+	p := RandomOffice(src, 3)
+	// 3 horizontal + 1 vertical connector.
+	if got := len(p.Hallways()); got != 4 {
+		t.Errorf("hallways = %d, want 4", got)
+	}
+	src = rng.New(6)
+	p = RandomOffice(src, 1)
+	if got := len(p.Hallways()); got != 1 {
+		t.Errorf("single-hallway plan has %d hallways", got)
+	}
+}
+
+func TestRandomOfficeClampsBadInput(t *testing.T) {
+	src := rng.New(7)
+	p := RandomOffice(src, 0) // clamps to 1
+	if len(p.Hallways()) != 1 {
+		t.Errorf("hallways = %d", len(p.Hallways()))
+	}
+}
+
+func TestRandomOfficeDeterministic(t *testing.T) {
+	a := RandomOffice(rng.New(11), 2)
+	b := RandomOffice(rng.New(11), 2)
+	if len(a.Rooms()) != len(b.Rooms()) {
+		t.Fatal("equal seeds gave different room counts")
+	}
+	for i := range a.Rooms() {
+		if a.Rooms()[i].Bounds != b.Rooms()[i].Bounds {
+			t.Fatal("equal seeds gave different rooms")
+		}
+	}
+}

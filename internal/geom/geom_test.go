@@ -1,0 +1,288 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return a == b || math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return almostEq(a.Dist(b), b.Dist(a)) && a.Dist(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := Pt(1, 1), Pt(5, -3)
+	if !a.Lerp(b, 0).Equal(a) || !a.Lerp(b, 1).Equal(b) {
+		t.Error("Lerp endpoints wrong")
+	}
+	if !a.Lerp(b, 0.5).Equal(Pt(3, -1)) {
+		t.Error("Lerp midpoint wrong")
+	}
+}
+
+func TestSegmentLengthAndAt(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if !almostEq(s.Length(), 5) {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if !s.At(0.5).Equal(Pt(1.5, 2)) {
+		t.Errorf("At(0.5) = %v", s.At(0.5))
+	}
+	if !s.Midpoint().Equal(Pt(1.5, 2)) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+}
+
+func TestSegmentProject(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 0.5},
+		{Pt(-2, 1), 0},  // beyond A clamps to 0
+		{Pt(14, -1), 1}, // beyond B clamps to 1
+		{Pt(2.5, 0), 0.25},
+	}
+	for _, c := range cases {
+		if got := s.Project(c.p); !almostEq(got, c.want) {
+			t.Errorf("Project(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentProjectDegenerate(t *testing.T) {
+	s := Seg(Pt(2, 2), Pt(2, 2))
+	if got := s.Project(Pt(9, 9)); got != 0 {
+		t.Errorf("degenerate Project = %v, want 0", got)
+	}
+	if !almostEq(s.DistToPoint(Pt(5, 6)), 5) {
+		t.Errorf("degenerate DistToPoint = %v", s.DistToPoint(Pt(5, 6)))
+	}
+}
+
+func TestSegmentClosestPointIsClosest(t *testing.T) {
+	// Property: the returned point is at least as close as any sampled point
+	// on the segment.
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		s := Seg(Pt(ax, ay), Pt(bx, by))
+		p := Pt(px, py)
+		best := s.DistToPoint(p)
+		for i := 0; i <= 20; i++ {
+			if s.At(float64(i)/20).Dist(p) < best-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := RectFromCorners(Pt(5, 7), Pt(1, 2))
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Errorf("RectFromCorners did not normalize: %v", r)
+	}
+	r2 := RectWH(3, 3, -2, -1)
+	if r2.Min != Pt(1, 2) || r2.Max != Pt(3, 3) {
+		t.Errorf("RectWH negative size not normalized: %v", r2)
+	}
+}
+
+func TestRectAreaAndCenter(t *testing.T) {
+	r := RectWH(1, 2, 4, 3)
+	if !almostEq(r.Area(), 12) {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if !r.Center().Equal(Pt(3, 3.5)) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !almostEq(r.Width(), 4) || !almostEq(r.Height(), 3) {
+		t.Errorf("Width/Height = %v/%v", r.Width(), r.Height())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := RectWH(0, 0, 10, 5)
+	if !r.Contains(Pt(5, 2)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 5)) {
+		t.Error("Contains failed for inside/boundary points")
+	}
+	if r.Contains(Pt(10.1, 2)) || r.Contains(Pt(-0.1, 2)) {
+		t.Error("Contains accepted outside points")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(5, 5, 10, 10)
+	got := a.Intersect(b)
+	if got.Min != Pt(5, 5) || got.Max != Pt(10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := RectWH(20, 20, 1, 1)
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint rect intersection not empty")
+	}
+	if a.Overlaps(c) {
+		t.Error("Overlaps true for disjoint rects")
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps false for overlapping rects")
+	}
+}
+
+func TestRectIntersectCommutativeAndBounded(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := RectWH(ax, ay, math.Abs(aw), math.Abs(ah))
+		b := RectWH(bx, by, math.Abs(bw), math.Abs(bh))
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		// Area of intersection never exceeds either area.
+		return i1.Area() <= a.Area()+1e-9 && i1.Area() <= b.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := RectWH(ax, ay, math.Abs(aw), math.Abs(ah))
+		b := RectWH(bx, by, math.Abs(bw), math.Abs(bh))
+		u := a.Union(b)
+		return u.Contains(a.Min) && u.Contains(a.Max) &&
+			u.Contains(b.Min) && u.Contains(b.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := RectWH(2, 2, 4, 4).Expand(1)
+	if r.Min != Pt(1, 1) || r.Max != Pt(7, 7) {
+		t.Errorf("Expand = %v", r)
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	if !almostEq(r.DistToPoint(Pt(5, 5)), 0) {
+		t.Error("inside point distance != 0")
+	}
+	if !almostEq(r.DistToPoint(Pt(13, 14)), 5) {
+		t.Errorf("corner distance = %v, want 5", r.DistToPoint(Pt(13, 14)))
+	}
+	if !almostEq(r.DistToPoint(Pt(-3, 5)), 3) {
+		t.Errorf("edge distance = %v, want 3", r.DistToPoint(Pt(-3, 5)))
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{C: Pt(0, 0), R: 2}
+	if !c.Contains(Pt(1, 1)) || !c.Contains(Pt(2, 0)) {
+		t.Error("Contains failed")
+	}
+	if c.Contains(Pt(2, 1)) {
+		t.Error("Contains accepted outside point")
+	}
+}
+
+func TestCircleOverlapsRect(t *testing.T) {
+	c := Circle{C: Pt(0, 0), R: 2}
+	if !c.OverlapsRect(RectWH(1, 1, 5, 5)) {
+		t.Error("overlapping rect reported disjoint")
+	}
+	if c.OverlapsRect(RectWH(3, 3, 5, 5)) {
+		t.Error("disjoint rect reported overlapping")
+	}
+	// Circle entirely inside the rect.
+	if !c.OverlapsRect(RectWH(-10, -10, 20, 20)) {
+		t.Error("containing rect reported disjoint")
+	}
+}
+
+func TestCircleSegmentIntersection(t *testing.T) {
+	c := Circle{C: Pt(5, 0), R: 1}
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	t0, t1, ok := c.SegmentIntersection(s)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !almostEq(t0, 0.4) || !almostEq(t1, 0.6) {
+		t.Errorf("interval = [%v, %v], want [0.4, 0.6]", t0, t1)
+	}
+	// Segment that misses.
+	if _, _, ok := c.SegmentIntersection(Seg(Pt(0, 5), Pt(10, 5))); ok {
+		t.Error("miss reported as hit")
+	}
+	// Segment ending inside the circle.
+	t0, t1, ok = c.SegmentIntersection(Seg(Pt(0, 0), Pt(5, 0)))
+	if !ok || !almostEq(t0, 0.8) || !almostEq(t1, 1.0) {
+		t.Errorf("partial interval = [%v, %v, %v]", t0, t1, ok)
+	}
+	// Degenerate segment inside / outside.
+	if _, _, ok := c.SegmentIntersection(Seg(Pt(5, 0), Pt(5, 0))); !ok {
+		t.Error("degenerate inside reported miss")
+	}
+	if _, _, ok := c.SegmentIntersection(Seg(Pt(9, 9), Pt(9, 9))); ok {
+		t.Error("degenerate outside reported hit")
+	}
+}
+
+func TestCircleSegmentIntersectionConsistentWithOverlap(t *testing.T) {
+	// Map arbitrary floats into a modest coordinate range to avoid overflow
+	// in the quadratic-formula arithmetic.
+	bound := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 100)
+	}
+	f := func(cx, cy, r, ax, ay, bx, by float64) bool {
+		c := Circle{C: Pt(bound(cx), bound(cy)), R: math.Abs(bound(r))}
+		s := Seg(Pt(bound(ax), bound(ay)), Pt(bound(bx), bound(by)))
+		_, _, ok := c.SegmentIntersection(s)
+		// SegmentIntersection and OverlapsSegment must agree (allowing
+		// tangency tolerance differences near the boundary).
+		near := math.Abs(s.DistToPoint(c.C)-c.R) < 1e-6
+		return near || ok == c.OverlapsSegment(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+}

@@ -1,0 +1,113 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregatedReadingDetected(t *testing.T) {
+	if (AggregatedReading{Reader: NoReader}).Detected() {
+		t.Error("NoReader entry reported detected")
+	}
+	if !(AggregatedReading{Reader: 3}).Detected() {
+		t.Error("real reader entry reported undetected")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Enter.String() != "ENTER" || Leave.String() != "LEAVE" {
+		t.Errorf("kind strings: %q %q", Enter, Leave)
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Errorf("unknown kind string: %q", EventKind(9))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := RawReading{Object: 1, Reader: 2, Time: 3}
+	if r.String() != "o1@d2 t=3" {
+		t.Errorf("RawReading.String() = %q", r)
+	}
+	e := Event{Kind: Enter, Object: 4, Reader: 5, Time: 6}
+	if e.String() != "ENTER o4 d5 t=6" {
+		t.Errorf("Event.String() = %q", e)
+	}
+}
+
+func TestResultSetAdd(t *testing.T) {
+	s := ResultSet{1: 0.2, 2: 0.15}
+	s.Add(ResultSet{2: 0.1, 3: 0.05})
+	// This is the worked example from the paper's Section 4.6.1.
+	want := ResultSet{1: 0.2, 2: 0.25, 3: 0.05}
+	for o, p := range want {
+		if math.Abs(s[o]-p) > 1e-12 {
+			t.Errorf("s[%d] = %v, want %v", o, s[o], p)
+		}
+	}
+	if len(s) != 3 {
+		t.Errorf("len = %d", len(s))
+	}
+}
+
+func TestResultSetScale(t *testing.T) {
+	s := ResultSet{1: 0.4, 2: 0.8}
+	s.Scale(0.5)
+	if s[1] != 0.2 || s[2] != 0.4 {
+		t.Errorf("after Scale: %v", s)
+	}
+}
+
+func TestResultSetTotalProb(t *testing.T) {
+	s := ResultSet{1: 0.25, 2: 0.5, 3: 0.25}
+	if got := s.TotalProb(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("TotalProb = %v", got)
+	}
+	if (ResultSet{}).TotalProb() != 0 {
+		t.Error("empty TotalProb != 0")
+	}
+}
+
+func TestResultSetCloneIsDeep(t *testing.T) {
+	s := ResultSet{1: 0.5}
+	c := s.Clone()
+	c[1] = 0.9
+	c[2] = 0.1
+	if s[1] != 0.5 || len(s) != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestResultSetObjects(t *testing.T) {
+	s := ResultSet{5: 0.1, 7: 0.2}
+	objs := s.Objects()
+	if len(objs) != 2 {
+		t.Fatalf("Objects len = %d", len(objs))
+	}
+	seen := map[ObjectID]bool{}
+	for _, o := range objs {
+		seen[o] = true
+	}
+	if !seen[5] || !seen[7] {
+		t.Errorf("Objects = %v", objs)
+	}
+}
+
+func TestResultSetAddCommutesOnTotals(t *testing.T) {
+	f := func(ps, qs []float64) bool {
+		a, b := ResultSet{}, ResultSet{}
+		for i, p := range ps {
+			a[ObjectID(i)] = math.Abs(math.Mod(p, 1))
+		}
+		for i, q := range qs {
+			b[ObjectID(i)] = math.Abs(math.Mod(q, 1))
+		}
+		x, y := a.Clone(), b.Clone()
+		x.Add(b)
+		y.Add(a)
+		return math.Abs(x.TotalProb()-y.TotalProb()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+package particle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// Filter runs the paper's Algorithm 2 (Particle Filter) for individual
+// objects: initialize particles in the activation range of the older of the
+// object's two retained detecting devices, step them through the motion
+// model at one-second resolution, reweight and resample at every detected
+// second, and stop MaxCoastSeconds past the last reading.
+type Filter struct {
+	cfg Config
+	g   *walkgraph.Graph
+	dep *rfid.Deployment
+}
+
+// New builds a Filter. The configuration is validated once here.
+func New(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Filter{cfg: cfg, g: g, dep: dep}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment) *Filter {
+	f, err := New(cfg, g, dep)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the filter's configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// InitAt creates a fresh particle set for an object uniformly distributed on
+// the graph edges within the detection range of the given reader, each
+// particle with a random direction and a Gaussian walking speed.
+func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.ReaderID, t model.Time) *State {
+	r := f.dep.Reader(reader)
+	circle := r.Circle()
+
+	// Collect the edge intervals covered by the activation range.
+	type interval struct {
+		edge     walkgraph.EdgeID
+		lo, hi   float64 // offsets in meters
+		length   float64
+		cumStart float64
+	}
+	var ivs []interval
+	total := 0.0
+	for _, e := range f.g.Edges() {
+		t0, t1, ok := circle.SegmentIntersection(f.g.EdgeSegment(e.ID))
+		if !ok {
+			continue
+		}
+		lo, hi := t0*e.Length, t1*e.Length
+		// A detected object cannot be inside a room (walls block reads), so
+		// only the hallway-side portion of a door edge can hold particles.
+		// Link edges (stairwells) are not physical space at all.
+		if e.Kind == walkgraph.LinkEdge {
+			continue
+		}
+		if e.Kind == walkgraph.DoorEdge && hi > e.DoorAt {
+			hi = e.DoorAt
+		}
+		if hi-lo <= 0 {
+			continue
+		}
+		ivs = append(ivs, interval{edge: e.ID, lo: lo, hi: hi, length: hi - lo, cumStart: total})
+		total += hi - lo
+	}
+
+	st := &State{Object: obj, Time: t, LastReadingTime: t}
+	st.Particles = make([]Particle, f.cfg.Ns)
+	for i := range st.Particles {
+		var loc walkgraph.Location
+		if total > 0 {
+			u := src.Uniform(0, total)
+			// Find the interval containing u.
+			j := sort.Search(len(ivs), func(k int) bool { return ivs[k].cumStart > u }) - 1
+			iv := ivs[j]
+			loc = walkgraph.Location{Edge: iv.edge, Offset: iv.lo + (u - iv.cumStart)}
+		} else {
+			// Degenerate deployment: the range covers no edge; collapse to
+			// the nearest graph point.
+			loc = f.g.NearestLocation(r.Pos)
+		}
+		e := f.g.Edge(loc.Edge)
+		toward := e.A
+		if src.Bool(0.5) {
+			toward = e.B
+		}
+		st.Particles[i] = Particle{
+			Loc:    loc,
+			Toward: toward,
+			Speed:  src.TruncGaussian(f.cfg.SpeedMean, f.cfg.SpeedStd, f.cfg.MinSpeed, f.cfg.MaxSpeed),
+			Weight: 1.0 / float64(f.cfg.Ns),
+		}
+	}
+	return st
+}
+
+// Run executes the full Algorithm 2 for one object: entries must be the
+// object's aggregated readings from the collector (oldest first, covering at
+// most its two most recent detecting devices). The filter initializes at the
+// first entry's device and advances to min(lastReading + MaxCoastSeconds,
+// now). It returns an error when there are no readings to start from.
+func (f *Filter) Run(src *rng.Source, obj model.ObjectID, entries []model.AggregatedReading, now model.Time) (*State, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("particle: no readings for object %d", obj)
+	}
+	first := entries[0]
+	st := f.InitAt(src, obj, first.Reader, first.Time)
+	f.advance(src, st, entries[1:], now)
+	return st, nil
+}
+
+// Advance resumes a cached state: it incorporates entries newer than the
+// state's time stamp and steps the particles up to min(lastReading +
+// MaxCoastSeconds, now). Entries at or before the state's time are skipped.
+// This is the cache-hit path of the cache management module.
+func (f *Filter) Advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time) {
+	fresh := entries[:0:0]
+	for _, e := range entries {
+		if e.Time > st.Time {
+			fresh = append(fresh, e)
+		}
+	}
+	f.advance(src, st, fresh, now)
+}
+
+// advance steps st second by second to min(td + coast, now), where td is the
+// newest reading time, reweighting and resampling at every detected second.
+func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time) {
+	byTime := make(map[model.Time]model.ReaderID, len(entries))
+	td := st.LastReadingTime
+	for _, e := range entries {
+		if e.Detected() {
+			byTime[e.Time] = e.Reader
+			if e.Time > td {
+				td = e.Time
+			}
+		}
+	}
+	tmin := td + model.Time(f.cfg.MaxCoastSeconds)
+	if now < tmin {
+		tmin = now
+	}
+	for tj := st.Time + 1; tj <= tmin; tj++ {
+		for i := range st.Particles {
+			f.cfg.Step(src, f.g, &st.Particles[i], 1.0)
+		}
+		reader, detected := byTime[tj]
+		if !detected {
+			// The paper's reading.Device = null case. With negative
+			// information enabled, silence is itself an observation: the
+			// object is (almost surely) not inside any reader's range.
+			if f.cfg.UseNegativeInfo {
+				st.Particles = f.negativeUpdate(src, st.Particles)
+			}
+			continue
+		}
+		if !f.reweight(st.Particles, reader) {
+			// Degenerate observation: no particle is consistent with the
+			// reading. Without intervention the filter would keep the wrong
+			// cloud forever (all weights equally low), so recover by
+			// reinitializing within the detecting reader's range — the
+			// standard kidnapped-robot recovery.
+			fresh := f.InitAt(src, st.Object, reader, tj)
+			st.Particles = fresh.Particles
+			continue
+		}
+		NormalizeWeights(st.Particles)
+		st.Particles = f.cfg.Resample(src, st.Particles)
+		f.roughen(src, st.Particles)
+	}
+	if tmin > st.Time {
+		st.Time = tmin
+	}
+	st.LastReadingTime = td
+}
+
+// negativeUpdate applies the negative observation "no reader saw the object
+// this second". Unlike positive readings, silence is weak evidence — a
+// particle can be a second or two ahead of the true object — so the update
+// is a sequential importance step: weights of covered (non-room) particles
+// are multiplied by NegativeWeight and the set is resampled only when the
+// effective sample size degenerates below half the particle count. This
+// preserves particle diversity across long silent stretches instead of
+// collapsing the cloud into whichever hypothesis was briefly favored.
+func (f *Filter) negativeUpdate(src *rng.Source, ps []Particle) []Particle {
+	inside := 0
+	for i := range ps {
+		if f.g.Edge(ps[i].Loc.Edge).Kind == walkgraph.LinkEdge {
+			continue // stairwells are shielded: always consistent with silence
+		}
+		_, covered := f.dep.CoveringReader(f.g.Point(ps[i].Loc))
+		// Particles inside rooms are shielded by walls and therefore always
+		// consistent with silence.
+		if covered && f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom {
+			ps[i].Weight *= f.cfg.NegativeWeight
+			inside++
+		}
+	}
+	if inside == 0 {
+		return ps
+	}
+	NormalizeWeights(ps)
+	if EffectiveSampleSize(ps) < float64(len(ps))/2 {
+		ps = f.cfg.Resample(src, ps)
+		f.roughen(src, ps)
+	}
+	return ps
+}
+
+// roughen perturbs resampled particle speeds with small Gaussian noise so
+// cloned particles diverge again instead of moving in lock-step.
+func (f *Filter) roughen(src *rng.Source, ps []Particle) {
+	if f.cfg.SpeedJitter <= 0 {
+		return
+	}
+	for i := range ps {
+		ps[i].Speed = src.TruncGaussian(ps[i].Speed, f.cfg.SpeedJitter, f.cfg.MinSpeed, f.cfg.MaxSpeed)
+	}
+}
+
+// reweight applies the device sensing model: particles within the detecting
+// reader's activation range are consistent with the observation and get
+// HighWeight; the rest get LowWeight. It reports whether any particle was
+// consistent with the observation.
+func (f *Filter) reweight(ps []Particle, reader model.ReaderID) bool {
+	r := f.dep.Reader(reader)
+	any := false
+	for i := range ps {
+		// A detection places the object in the reader's range outside any
+		// room or stairwell: walls block reads, so those particles are
+		// inconsistent.
+		if r.Covers(f.g.Point(ps[i].Loc)) &&
+			f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom &&
+			f.g.Edge(ps[i].Loc.Edge).Kind != walkgraph.LinkEdge {
+			ps[i].Weight = f.cfg.HighWeight
+			any = true
+		} else {
+			ps[i].Weight = f.cfg.LowWeight
+		}
+	}
+	return any
+}

@@ -1,0 +1,97 @@
+package particle
+
+import (
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// Step advances one particle by dt seconds under the object motion model:
+// particles move forward with their constant speed along graph edges, pick a
+// random direction at intersections (never an immediate U-turn unless at a
+// dead end), enter rooms when their random walk reaches a room node, and
+// once resting in a room leave it with probability RoomExitProb per second.
+func (c *Config) Step(src *rng.Source, g *walkgraph.Graph, p *Particle, dt float64) {
+	if p.Resting {
+		if !src.Bool(c.RoomExitProb * dt) {
+			return
+		}
+		// Leave the room: head down one of its door edges.
+		p.Resting = false
+		node := roomNodeOf(g, p.Loc)
+		edges := g.IncidentEdges(node)
+		next := edges[src.Intn(len(edges))]
+		p.Loc = locationAtNode(g, next, node)
+		p.Toward = g.OtherEnd(next, node)
+	}
+	remaining := p.Speed * dt
+	for remaining > 0 {
+		e := g.Edge(p.Loc.Edge)
+		var toNode float64
+		if p.Toward == e.B {
+			toNode = e.Length - p.Loc.Offset
+		} else {
+			toNode = p.Loc.Offset
+		}
+		if remaining < toNode {
+			if p.Toward == e.B {
+				p.Loc.Offset += remaining
+			} else {
+				p.Loc.Offset -= remaining
+			}
+			return
+		}
+		remaining -= toNode
+		node := p.Toward
+		if g.Node(node).Kind == walkgraph.RoomCenter {
+			// The particle walked through a door into the room; it stays
+			// inside until the exit coin flip succeeds on a later second.
+			p.Loc = locationAtNode(g, p.Loc.Edge, node)
+			p.Resting = true
+			return
+		}
+		next := chooseNextEdge(src, g, node, p.Loc.Edge)
+		p.Loc = locationAtNode(g, next, node)
+		p.Toward = g.OtherEnd(next, node)
+	}
+}
+
+// chooseNextEdge picks a uniformly random incident edge at the node,
+// excluding the edge just traversed unless the node is a dead end.
+func chooseNextEdge(src *rng.Source, g *walkgraph.Graph, node walkgraph.NodeID, from walkgraph.EdgeID) walkgraph.EdgeID {
+	edges := g.IncidentEdges(node)
+	if len(edges) == 1 {
+		return edges[0]
+	}
+	// Reservoir-free uniform pick among candidates != from.
+	n := 0
+	pick := from
+	for _, e := range edges {
+		if e == from {
+			continue
+		}
+		n++
+		if src.Intn(n) == 0 {
+			pick = e
+		}
+	}
+	return pick
+}
+
+// locationAtNode returns the Location on edge e that coincides with node n.
+func locationAtNode(g *walkgraph.Graph, e walkgraph.EdgeID, n walkgraph.NodeID) walkgraph.Location {
+	edge := g.Edge(e)
+	if edge.A == n {
+		return walkgraph.Location{Edge: e, Offset: 0}
+	}
+	return walkgraph.Location{Edge: e, Offset: edge.Length}
+}
+
+// roomNodeOf returns the RoomCenter endpoint of the door edge a resting
+// particle sits on.
+func roomNodeOf(g *walkgraph.Graph, loc walkgraph.Location) walkgraph.NodeID {
+	e := g.Edge(loc.Edge)
+	if g.Node(e.B).Kind == walkgraph.RoomCenter {
+		return e.B
+	}
+	return e.A
+}

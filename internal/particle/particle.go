@@ -1,0 +1,240 @@
+// Package particle implements the paper's particle filter-based location
+// inference (Sampling Importance Resampling): particles hypothesize an
+// object's location, direction, and walking speed on the indoor walking
+// graph; RFID readings reweight them through the device sensing model; and
+// systematic resampling (the paper's Algorithm 1) concentrates them on
+// consistent hypotheses. The Filter type runs the paper's Algorithm 2 over
+// an object's aggregated readings.
+package particle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/anchor"
+	"repro/internal/model"
+	"repro/internal/walkgraph"
+)
+
+// Particle is one hypothesis of an object's state: a location on the walking
+// graph, a movement direction (the edge endpoint it is heading toward), a
+// constant walking speed, and an importance weight.
+type Particle struct {
+	Loc walkgraph.Location
+	// Toward is the endpoint of Loc.Edge the particle moves toward.
+	Toward walkgraph.NodeID
+	// Speed is the particle's walking speed in m/s.
+	Speed float64
+	// Resting marks a particle that has entered a room and is staying inside
+	// (it leaves with the room-exit probability each second).
+	Resting bool
+	// Weight is the importance weight. Weights are normalized across a
+	// particle set before resampling.
+	Weight float64
+}
+
+// Config holds the particle filter parameters. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Ns is the number of particles per object (paper default: 64).
+	Ns int
+	// SpeedMean and SpeedStd parameterize the Gaussian walking speed
+	// distribution (paper: mu = 1 m/s, sigma = 0.1).
+	SpeedMean, SpeedStd float64
+	// MinSpeed and MaxSpeed truncate sampled speeds to a sane range.
+	MinSpeed, MaxSpeed float64
+	// RoomExitProb is the per-second probability that a particle resting in
+	// a room moves out (paper: 0.1).
+	RoomExitProb float64
+	// HighWeight is assigned to particles consistent with a reading (inside
+	// the detecting reader's activation range); LowWeight to the rest.
+	HighWeight, LowWeight float64
+	// MaxCoastSeconds bounds how long the filter keeps predicting past the
+	// last active reading before the distribution becomes unusable
+	// (paper: 60 s).
+	MaxCoastSeconds int
+	// UseNegativeInfo enables negative observations: during a second with no
+	// reading for the object, particles sitting inside any reader's
+	// activation range are inconsistent (a covered tag virtually never stays
+	// silent for a whole second under the sensing model) and are reweighted
+	// down. The paper's Algorithm 2 skips silent seconds entirely; this
+	// extension follows the full device sensing model of the RFID cleansing
+	// literature the paper builds on and is benchmarked by the
+	// negative-information ablation.
+	UseNegativeInfo bool
+	// SpeedJitter is the standard deviation of the roughening noise added to
+	// particle speeds after every resampling step. Resampling clones
+	// particles; without roughening a cloud degenerates into identical
+	// copies that snap to a single anchor point. Zero disables roughening.
+	SpeedJitter float64
+	// NegativeWeight is the weight a particle inside some reader's range
+	// receives on a silent second. It is deliberately much softer than
+	// LowWeight: a whole-second miss of a covered tag is rare, but a particle
+	// can be slightly ahead of or behind the true object, entering the next
+	// range a second or two early, and annihilating such particles collapses
+	// the filter into rooms.
+	NegativeWeight float64
+	// Resample is the resampling algorithm (default: Systematic, the
+	// paper's Algorithm 1).
+	Resample ResampleFunc
+}
+
+// DefaultConfig returns the paper's parameters (Table 2 and Section 4.4).
+func DefaultConfig() Config {
+	return Config{
+		Ns:              64,
+		SpeedMean:       1.0,
+		SpeedStd:        0.1,
+		MinSpeed:        0.1,
+		MaxSpeed:        2.5,
+		RoomExitProb:    0.1,
+		HighWeight:      1.0,
+		LowWeight:       0.01,
+		MaxCoastSeconds: 60,
+		UseNegativeInfo: true,
+		NegativeWeight:  0.3,
+		SpeedJitter:     0.05,
+		Resample:        Systematic,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ns <= 0 {
+		return fmt.Errorf("particle: Ns must be positive, got %d", c.Ns)
+	}
+	if c.SpeedMean <= 0 || c.SpeedStd < 0 {
+		return fmt.Errorf("particle: invalid speed distribution (%v, %v)", c.SpeedMean, c.SpeedStd)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("particle: invalid speed bounds [%v, %v]", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.RoomExitProb < 0 || c.RoomExitProb > 1 {
+		return fmt.Errorf("particle: RoomExitProb %v out of [0,1]", c.RoomExitProb)
+	}
+	if c.HighWeight <= c.LowWeight || c.LowWeight < 0 {
+		return fmt.Errorf("particle: weights must satisfy 0 <= low < high, got %v, %v", c.LowWeight, c.HighWeight)
+	}
+	if c.MaxCoastSeconds < 0 {
+		return fmt.Errorf("particle: MaxCoastSeconds %d negative", c.MaxCoastSeconds)
+	}
+	if c.UseNegativeInfo && (c.NegativeWeight <= 0 || c.NegativeWeight > c.HighWeight) {
+		return fmt.Errorf("particle: NegativeWeight %v out of (0, HighWeight]", c.NegativeWeight)
+	}
+	if c.SpeedJitter < 0 {
+		return fmt.Errorf("particle: SpeedJitter %v negative", c.SpeedJitter)
+	}
+	if c.Resample == nil {
+		return fmt.Errorf("particle: Resample function missing")
+	}
+	return nil
+}
+
+// State is a filtered particle set for one object at a point in time. It is
+// the unit stored by the cache management module.
+type State struct {
+	Object    model.ObjectID
+	Particles []Particle
+	// Time is the simulation second the particle set describes.
+	Time model.Time
+	// LastReadingTime is the time of the newest reading incorporated.
+	LastReadingTime model.Time
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Particles = make([]Particle, len(s.Particles))
+	copy(c.Particles, s.Particles)
+	return &c
+}
+
+// NormalizeWeights scales weights to sum to one. If all weights are zero it
+// resets them to uniform.
+func NormalizeWeights(ps []Particle) {
+	total := 0.0
+	for i := range ps {
+		total += ps[i].Weight
+	}
+	if total <= 0 {
+		u := 1.0 / float64(len(ps))
+		for i := range ps {
+			ps[i].Weight = u
+		}
+		return
+	}
+	for i := range ps {
+		ps[i].Weight /= total
+	}
+}
+
+// EffectiveSampleSize returns 1 / sum(w^2) for normalized weights, the
+// standard degeneracy diagnostic: it approaches 1 when one particle
+// dominates and Ns when weights are uniform.
+func EffectiveSampleSize(ps []Particle) float64 {
+	sq := 0.0
+	for i := range ps {
+		sq += ps[i].Weight * ps[i].Weight
+	}
+	if sq == 0 {
+		return 0
+	}
+	return 1 / sq
+}
+
+// AnchorDistribution snaps every particle to its nearest anchor point and
+// returns the resulting probability distribution, weighting each particle by
+// its (normalized) importance weight; with uniform weights — always the case
+// right after a resampling step — this is exactly the paper's n/Ns counting.
+// This is the discretization step feeding the APtoObjHT hash table.
+func (s *State) AnchorDistribution(idx *anchor.Index) map[anchor.ID]float64 {
+	if len(s.Particles) == 0 {
+		return nil
+	}
+	// Normalize on the fly without mutating the particle weights, so
+	// repeated calls on the same (possibly cached) state are bit-for-bit
+	// identical.
+	total := 0.0
+	for i := range s.Particles {
+		total += s.Particles[i].Weight
+	}
+	dist := make(map[anchor.ID]float64)
+	if total <= 0 {
+		u := 1.0 / float64(len(s.Particles))
+		for i := range s.Particles {
+			dist[idx.Snap(s.Particles[i].Loc)] += u
+		}
+		return dist
+	}
+	for i := range s.Particles {
+		dist[idx.Snap(s.Particles[i].Loc)] += s.Particles[i].Weight / total
+	}
+	return dist
+}
+
+// MeanPoint returns the weighted mean of particle positions, a crude point
+// estimate used by diagnostics.
+func (s *State) MeanPoint(g *walkgraph.Graph) (x, y float64) {
+	if len(s.Particles) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	total := 0.0
+	for i := range s.Particles {
+		total += s.Particles[i].Weight
+	}
+	if total <= 0 {
+		total = float64(len(s.Particles))
+		for i := range s.Particles {
+			p := g.Point(s.Particles[i].Loc)
+			x += p.X / total
+			y += p.Y / total
+		}
+		return x, y
+	}
+	for i := range s.Particles {
+		p := g.Point(s.Particles[i].Loc)
+		x += p.X * s.Particles[i].Weight / total
+		y += p.Y * s.Particles[i].Weight / total
+	}
+	return x, y
+}

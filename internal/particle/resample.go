@@ -1,0 +1,63 @@
+package particle
+
+import (
+	"repro/internal/rng"
+)
+
+// ResampleFunc replaces a weighted particle set with an equally weighted one
+// drawn (approximately) proportionally to the weights. Implementations must
+// preserve the particle count. Input weights must be normalized.
+type ResampleFunc func(src *rng.Source, ps []Particle) []Particle
+
+// Systematic is the paper's Algorithm 1: construct the weight CDF, draw one
+// uniform starting point u1 in [0, 1/Ns], and take Ns equally spaced probes
+// u_j = u1 + (j-1)/Ns through the CDF. Low-weight particles are eliminated,
+// high-weight particles replicated, and all output weights are 1/Ns.
+func Systematic(src *rng.Source, ps []Particle) []Particle {
+	ns := len(ps)
+	if ns == 0 {
+		return nil
+	}
+	// Construct the CDF.
+	cdf := make([]float64, ns)
+	acc := 0.0
+	for i := range ps {
+		acc += ps[i].Weight
+		cdf[i] = acc
+	}
+	// Guard against rounding: the last CDF entry must cover u_Ns.
+	cdf[ns-1] = acc + 1
+
+	out := make([]Particle, ns)
+	u1 := src.Uniform(0, 1.0/float64(ns))
+	i := 0
+	for j := 0; j < ns; j++ {
+		u := u1 + float64(j)/float64(ns)
+		for u > cdf[i] {
+			i++
+		}
+		out[j] = ps[i]
+		out[j].Weight = 1.0 / float64(ns)
+	}
+	return out
+}
+
+// Multinomial draws each output particle independently proportionally to the
+// weights. It has higher variance than Systematic and exists as the ablation
+// baseline for the resampling design choice.
+func Multinomial(src *rng.Source, ps []Particle) []Particle {
+	ns := len(ps)
+	if ns == 0 {
+		return nil
+	}
+	weights := make([]float64, ns)
+	for i := range ps {
+		weights[i] = ps[i].Weight
+	}
+	out := make([]Particle, ns)
+	for j := 0; j < ns; j++ {
+		out[j] = ps[src.Categorical(weights)]
+		out[j].Weight = 1.0 / float64(ns)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// This file implements the continuous query types the paper lists as future
+// work (Section 6): continuous range and continuous kNN monitors that track
+// a registered query's result set across snapshot re-evaluations and report
+// the deltas, so clients only see membership changes instead of re-reading
+// full probabilistic answers.
+
+// ContinuousRange monitors a registered range query. Call Update with each
+// new snapshot answer; it reports the objects whose membership probability
+// crossed the threshold in either direction.
+type ContinuousRange struct {
+	// Window is the monitored query window.
+	Window geom.Rect
+	// Threshold is the membership probability above which an object counts
+	// as "in the result".
+	Threshold float64
+	prev      map[model.ObjectID]bool
+}
+
+// NewContinuousRange registers a continuous range query. Threshold must be
+// in (0, 1); 0.5 is a sensible default.
+func NewContinuousRange(window geom.Rect, threshold float64) *ContinuousRange {
+	return &ContinuousRange{
+		Window:    window,
+		Threshold: threshold,
+		prev:      make(map[model.ObjectID]bool),
+	}
+}
+
+// Update feeds the next snapshot answer for the window and returns the
+// objects that entered (probability rose to >= Threshold) and left
+// (dropped below) since the previous update, each sorted ascending.
+func (c *ContinuousRange) Update(rs model.ResultSet) (entered, left []model.ObjectID) {
+	cur := make(map[model.ObjectID]bool, len(rs))
+	for o, p := range rs {
+		if p >= c.Threshold {
+			cur[o] = true
+		}
+	}
+	for o := range cur {
+		if !c.prev[o] {
+			entered = append(entered, o)
+		}
+	}
+	for o := range c.prev {
+		if !cur[o] {
+			left = append(left, o)
+		}
+	}
+	c.prev = cur
+	sortIDs(entered)
+	sortIDs(left)
+	return entered, left
+}
+
+// Result returns the current result membership, sorted ascending.
+func (c *ContinuousRange) Result() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(c.prev))
+	for o := range c.prev {
+		out = append(out, o)
+	}
+	sortIDs(out)
+	return out
+}
+
+// ContinuousKNN monitors a registered kNN query: it tracks the k most
+// probable objects of each snapshot answer and reports set changes.
+type ContinuousKNN struct {
+	// Q is the query point; K the number of neighbors tracked.
+	Q geom.Point
+	K int
+
+	prev map[model.ObjectID]bool
+}
+
+// NewContinuousKNN registers a continuous kNN query.
+func NewContinuousKNN(q geom.Point, k int) *ContinuousKNN {
+	return &ContinuousKNN{Q: q, K: k, prev: make(map[model.ObjectID]bool)}
+}
+
+// Update feeds the next snapshot answer and returns the objects added to and
+// removed from the top-k set, each sorted ascending.
+func (c *ContinuousKNN) Update(rs model.ResultSet) (added, removed []model.ObjectID) {
+	top := TopKObjects(rs, c.K)
+	cur := make(map[model.ObjectID]bool, len(top))
+	for _, o := range top {
+		cur[o] = true
+	}
+	for o := range cur {
+		if !c.prev[o] {
+			added = append(added, o)
+		}
+	}
+	for o := range c.prev {
+		if !cur[o] {
+			removed = append(removed, o)
+		}
+	}
+	c.prev = cur
+	sortIDs(added)
+	sortIDs(removed)
+	return added, removed
+}
+
+// Result returns the current top-k membership, sorted ascending.
+func (c *ContinuousKNN) Result() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(c.prev))
+	for o := range c.prev {
+		out = append(out, o)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []model.ObjectID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,107 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/anchor"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func TestPTKNNPointMasses(t *testing.T) {
+	g, idx, _ := corridor(t)
+	e := NewEvaluator(g, idx)
+	tab := anchor.NewTable()
+	// Certain positions: objects at x ~ 5, 8, 30.
+	tab.Add(hallwayAnchorNear(t, idx, 5), 1, 1)
+	tab.Add(hallwayAnchorNear(t, idx, 8), 2, 1)
+	tab.Add(hallwayAnchorNear(t, idx, 30), 3, 1)
+	src := rng.New(1)
+	out := e.PTKNN(src, tab, geom.Pt(6, 10), 2, 0.5, 200)
+	if len(out) != 2 {
+		t.Fatalf("PTKNN = %v", out)
+	}
+	if out[0].Object != 1 && out[0].Object != 2 {
+		t.Errorf("unexpected member %v", out[0])
+	}
+	for _, r := range out {
+		if math.Abs(r.P-1) > 1e-9 {
+			t.Errorf("deterministic member P = %v", r.P)
+		}
+		if r.Object == 3 {
+			t.Error("far object included")
+		}
+	}
+}
+
+func TestPTKNNThresholdFilters(t *testing.T) {
+	g, idx, _ := corridor(t)
+	e := NewEvaluator(g, idx)
+	tab := anchor.NewTable()
+	// Object 2 is split between a lobe right at the query point and a far
+	// one, so its 1NN membership is ~50%; object 1 sits 3 m away and wins
+	// exactly when object 2 samples the far lobe.
+	tab.Add(hallwayAnchorNear(t, idx, 5), 1, 1)
+	tab.Add(hallwayAnchorNear(t, idx, 2), 2, 0.5)
+	tab.Add(hallwayAnchorNear(t, idx, 35), 2, 0.5)
+	src := rng.New(2)
+	probs := e.KNNMembership(src, tab, geom.Pt(2, 10), 1, 2000)
+	if probs[1] < 0.3 || probs[1] > 0.7 {
+		t.Errorf("P(1 in 1NN) = %v", probs[1])
+	}
+	if math.Abs(probs[1]+probs[2]-1) > 0.05 {
+		t.Errorf("memberships do not sum to ~1 for 1NN: %v", probs)
+	}
+	// High threshold excludes both; low includes both.
+	if got := e.PTKNN(src, tab, geom.Pt(2, 10), 1, 0.95, 500); len(got) != 0 {
+		t.Errorf("T=0.95 returned %v", got)
+	}
+	if got := e.PTKNN(src, tab, geom.Pt(2, 10), 1, 0.2, 500); len(got) != 2 {
+		t.Errorf("T=0.2 returned %v", got)
+	}
+}
+
+func TestKNNMembershipSumsToK(t *testing.T) {
+	g, idx, _ := corridor(t)
+	e := NewEvaluator(g, idx)
+	tab := anchor.NewTable()
+	for i, x := range []float64{4, 9, 14, 22, 31, 36} {
+		tab.Add(hallwayAnchorNear(t, idx, x), int2obj(i), 1)
+	}
+	src := rng.New(3)
+	k := 3
+	probs := e.KNNMembership(src, tab, geom.Pt(12, 10), k, 500)
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	if math.Abs(total-float64(k)) > 1e-9 {
+		t.Errorf("membership mass = %v, want %d", total, k)
+	}
+}
+
+func TestPTKNNEdgeCases(t *testing.T) {
+	g, idx, _ := corridor(t)
+	e := NewEvaluator(g, idx)
+	src := rng.New(4)
+	if got := e.KNNMembership(src, anchor.NewTable(), geom.Pt(5, 10), 2, 100); got != nil {
+		t.Errorf("empty table membership = %v", got)
+	}
+	tab := anchor.NewTable()
+	tab.Add(hallwayAnchorNear(t, idx, 5), 1, 1)
+	if got := e.KNNMembership(src, tab, geom.Pt(5, 10), 0, 100); got != nil {
+		t.Errorf("k=0 membership = %v", got)
+	}
+	if got := e.KNNMembership(src, tab, geom.Pt(5, 10), 2, 0); got != nil {
+		t.Errorf("trials=0 membership = %v", got)
+	}
+	// k larger than population clamps: single object always a member.
+	probs := e.KNNMembership(src, tab, geom.Pt(5, 10), 5, 50)
+	if probs[1] != 1 {
+		t.Errorf("clamped k membership = %v", probs)
+	}
+}
+
+func int2obj(i int) model.ObjectID { return model.ObjectID(i) }

@@ -1,0 +1,260 @@
+// Package query implements the paper's query evaluation module: indoor range
+// queries (Algorithm 3) and indoor kNN queries (Algorithm 4) over the
+// APtoObjHT anchor-point index, plus the query aware optimization module's
+// candidate pruning for both query types.
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/anchor"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+// Evaluator answers range and kNN queries against an anchor-point table.
+type Evaluator struct {
+	g   *walkgraph.Graph
+	idx *anchor.Index
+}
+
+// NewEvaluator builds an Evaluator over a walking graph and its anchor
+// index.
+func NewEvaluator(g *walkgraph.Graph, idx *anchor.Index) *Evaluator {
+	return &Evaluator{g: g, idx: idx}
+}
+
+// Range evaluates an indoor range query (the paper's Algorithm 3). Anchor
+// points are the 1-D projection of the 2-D indoor space, so the lost
+// dimension is compensated per intersected cell: hallway probabilities are
+// scaled by the fraction of the hallway width the query covers, and room
+// probabilities by the fraction of the room area it covers.
+func (e *Evaluator) Range(tab *anchor.Table, q geom.Rect) model.ResultSet {
+	resultSet := make(model.ResultSet)
+	plan := e.g.Plan()
+
+	// Hallway cells.
+	for _, h := range plan.Hallways() {
+		strip := h.Strip()
+		overlap := strip.Intersect(q)
+		if overlap.Empty() {
+			continue
+		}
+		var ratio, lo, hi float64
+		if h.Horizontal() {
+			ratio = overlap.Height() / h.Width
+			lo, hi = overlap.Min.X, overlap.Max.X
+		} else {
+			ratio = overlap.Width() / h.Width
+			lo, hi = overlap.Min.Y, overlap.Max.Y
+		}
+		result := make(model.ResultSet)
+		for _, a := range e.idx.Anchors() {
+			if a.Hallway != h.ID {
+				continue
+			}
+			coord := a.Pos.X
+			if !h.Horizontal() {
+				coord = a.Pos.Y
+			}
+			if coord >= lo && coord <= hi {
+				result.Add(tab.Get(a.ID))
+			}
+		}
+		result.Scale(ratio)
+		resultSet.Add(result)
+	}
+
+	// Room cells: the covered fraction of the room's footprint (which may be
+	// a composite of several rectangles).
+	for _, room := range plan.Rooms() {
+		covered := room.IntersectArea(q)
+		if covered <= 0 {
+			continue
+		}
+		ap := e.idx.RoomAnchor(room.ID)
+		if ap == anchor.NoAnchor {
+			continue
+		}
+		result := tab.Get(ap).Clone()
+		result.Scale(covered / room.Area())
+		resultSet.Add(result)
+	}
+	return resultSet
+}
+
+// KNN evaluates an indoor kNN query (the paper's Algorithm 4): starting from
+// the query point (approximated onto the nearest walking-graph edge), anchor
+// points are visited in ascending shortest network distance, accumulating
+// each anchor's indexed objects, until the total probability of the result
+// set reaches k. The result holds at least k objects (probability mass k)
+// whenever the table contains that much mass.
+func (e *Evaluator) KNN(tab *anchor.Table, q geom.Point, k int) model.ResultSet {
+	resultSet := make(model.ResultSet)
+	if k <= 0 {
+		return resultSet
+	}
+	loc := e.g.NearestLocation(q)
+	ids, _ := e.idx.AnchorsByNetworkDistance(loc)
+	for _, ap := range ids {
+		entry := tab.Get(ap)
+		if len(entry) == 0 {
+			continue
+		}
+		resultSet.Add(entry)
+		if resultSet.TotalProb() >= float64(k) {
+			break
+		}
+	}
+	return resultSet
+}
+
+// TopKObjects ranks a probabilistic result set by descending probability and
+// returns the k most likely objects (ties to lower IDs). It converts the
+// paper's probabilistic kNN answer into a concrete set for hit-rate style
+// metrics.
+func TopKObjects(rs model.ResultSet, k int) []model.ObjectID {
+	type op struct {
+		o model.ObjectID
+		p float64
+	}
+	all := make([]op, 0, len(rs))
+	for o, p := range rs {
+		all = append(all, op{o: o, p: p})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p > all[j].p
+		}
+		return all[i].o < all[j].o
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]model.ObjectID, k)
+	for i := range out {
+		out[i] = all[i].o
+	}
+	return out
+}
+
+// ObjectInfo is the pruning-relevant summary of an object: its most recent
+// detecting device and when it was last read.
+type ObjectInfo struct {
+	Object   model.ObjectID
+	Reader   model.ReaderID
+	LastSeen model.Time
+}
+
+// Pruner implements the query aware optimization module: it filters out
+// non-candidate objects that cannot appear in any registered query's result.
+type Pruner struct {
+	g   *walkgraph.Graph
+	idx *anchor.Index
+	dep *rfid.Deployment
+	// umax is the maximum walking speed used to grow uncertain regions.
+	umax float64
+}
+
+// NewPruner builds a Pruner.
+func NewPruner(g *walkgraph.Graph, idx *anchor.Index, dep *rfid.Deployment, umax float64) *Pruner {
+	return &Pruner{g: g, idx: idx, dep: dep, umax: umax}
+}
+
+// UncertainRegion returns the Euclidean uncertain region UR(o): a circle
+// centered at the object's last detecting device with radius
+// umax * (now - lastSeen) + device range.
+func (p *Pruner) UncertainRegion(info ObjectInfo, now model.Time) geom.Circle {
+	r := p.dep.Reader(info.Reader)
+	lmax := p.umax * float64(now-info.LastSeen)
+	if lmax < 0 {
+		lmax = 0
+	}
+	return geom.Circle{C: r.Pos, R: lmax + r.Range}
+}
+
+// RangeCandidates returns the objects whose uncertain regions overlap at
+// least one of the query windows; all others are non-candidates whose
+// filtering cost is saved.
+func (p *Pruner) RangeCandidates(infos []ObjectInfo, windows []geom.Rect, now model.Time) []model.ObjectID {
+	var out []model.ObjectID
+	for _, info := range infos {
+		ur := p.UncertainRegion(info, now)
+		for _, w := range windows {
+			if ur.OverlapsRect(w) {
+				out = append(out, info.Object)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// KNNCandidates implements the paper's distance-based pruning: with
+// s_i (l_i) the minimum (maximum) shortest network distance from the query
+// point to UR(o_i), and f the k-th smallest l_i, every object with s_i > f
+// is pruned — at least k objects are certainly closer.
+func (p *Pruner) KNNCandidates(infos []ObjectInfo, q geom.Point, k int, now model.Time) []model.ObjectID {
+	if len(infos) == 0 {
+		return nil
+	}
+	loc := p.g.NearestLocation(q)
+	nodeDist := p.g.DistancesFromLocation(loc)
+
+	type bounds struct {
+		obj    model.ObjectID
+		si, li float64
+	}
+	bs := make([]bounds, 0, len(infos))
+	ls := make([]float64, 0, len(infos))
+	for _, info := range infos {
+		ur := p.UncertainRegion(info, now)
+		si, li := math.Inf(1), 0.0
+		for _, a := range p.idx.Anchors() {
+			if !ur.Contains(a.Pos) {
+				continue
+			}
+			d := p.g.DistToLocation(loc, nodeDist, a.Loc)
+			if d < si {
+				si = d
+			}
+			if d > li {
+				li = d
+			}
+		}
+		if math.IsInf(si, 1) {
+			// The region is too small to contain an anchor; bound through
+			// the device center instead.
+			reader := p.dep.Reader(info.Reader)
+			center := p.g.NearestLocation(reader.Pos)
+			d := p.g.DistToLocation(loc, nodeDist, center)
+			si = math.Max(0, d-ur.R)
+			li = d + ur.R
+		}
+		bs = append(bs, bounds{obj: info.Object, si: si, li: li})
+		ls = append(ls, li)
+	}
+	sort.Float64s(ls)
+	idx := k - 1
+	if idx >= len(ls) {
+		idx = len(ls) - 1
+	}
+	f := ls[idx]
+	var out []model.ObjectID
+	for _, b := range bs {
+		if b.si <= f {
+			out = append(out, b.obj)
+		}
+	}
+	return out
+}
+
+// RoomOf exposes the plan lookup used by ground-truth helpers: the room
+// containing pt, or floorplan.NoRoom.
+func (e *Evaluator) RoomOf(pt geom.Point) floorplan.RoomID {
+	return e.g.Plan().RoomAt(pt)
+}

@@ -1,0 +1,33 @@
+package rfid
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// FuzzDecodeDeployment hardens the deployment decoder: arbitrary input must
+// either fail cleanly or yield a usable deployment — never panic.
+func FuzzDecodeDeployment(f *testing.F) {
+	plan := floorplan.DefaultOffice()
+	valid, err := json.Marshal(MustDeployUniform(plan, DefaultReaders, DefaultActivationRange))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"readers":[{"pos":[10,12],"range":2,"kind":"presence"}],"pairs":[[0,0]]}`))
+	f.Add([]byte(`{"readers":[{"pos":[1e308,-1e308],"range":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dep, err := DecodeDeployment(data, plan)
+		if err != nil {
+			return
+		}
+		// Usable: every reader addressable, CoveringReader never panics.
+		for _, r := range dep.Readers() {
+			_ = dep.Reader(r.ID)
+		}
+		dep.CoveringReader(plan.Bounds().Center())
+	})
+}

@@ -1,0 +1,85 @@
+package rfid
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+)
+
+// The JSON format describes a reader deployment portably:
+//
+//	{
+//	  "readers": [{"pos": [10,12], "range": 2, "kind": "partitioning"}],
+//	  "pairs": [[0, 1]]
+//	}
+
+type readerJSON struct {
+	Pos   [2]float64 `json:"pos"`
+	Range float64    `json:"range"`
+	Kind  string     `json:"kind,omitempty"`
+}
+
+type deploymentJSON struct {
+	Readers []readerJSON `json:"readers"`
+	Pairs   [][2]int     `json:"pairs,omitempty"`
+}
+
+// MarshalJSON encodes the deployment in the portable JSON format.
+func (d *Deployment) MarshalJSON() ([]byte, error) {
+	out := deploymentJSON{}
+	for _, r := range d.readers {
+		kind := ""
+		if r.Kind == Presence {
+			kind = "presence"
+		}
+		out.Readers = append(out.Readers, readerJSON{
+			Pos:   [2]float64{r.Pos.X, r.Pos.Y},
+			Range: r.Range,
+			Kind:  kind,
+		})
+	}
+	for _, p := range d.pairs {
+		out.Pairs = append(out.Pairs, [2]int{int(p.Entry), int(p.Exit)})
+	}
+	return json.Marshal(out)
+}
+
+// DecodeDeployment parses the portable JSON format. The plan is used to
+// locate each reader's hallway.
+func DecodeDeployment(data []byte, plan *floorplan.Plan) (*Deployment, error) {
+	var in deploymentJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("rfid: decode: %w", err)
+	}
+	readers := make([]Reader, 0, len(in.Readers))
+	for i, r := range in.Readers {
+		kind := Partitioning
+		switch r.Kind {
+		case "", "partitioning":
+		case "presence":
+			kind = Presence
+		default:
+			return nil, fmt.Errorf("rfid: decode: reader %d has unknown kind %q", i, r.Kind)
+		}
+		if r.Range <= 0 {
+			return nil, fmt.Errorf("rfid: decode: reader %d has non-positive range %v", i, r.Range)
+		}
+		pos := geom.Pt(r.Pos[0], r.Pos[1])
+		readers = append(readers, Reader{
+			Pos:     pos,
+			Hallway: plan.HallwayAt(pos),
+			Range:   r.Range,
+			Kind:    kind,
+		})
+	}
+	d := NewDeployment(readers)
+	for _, p := range in.Pairs {
+		if err := d.AddDirectedPair(model.ReaderID(p[0]), model.ReaderID(p[1])); err != nil {
+			return nil, fmt.Errorf("rfid: decode: %w", err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,76 @@
+package rfid
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+func TestDeploymentJSONRoundTrip(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	orig := MustDeployUniform(plan, DefaultReaders, DefaultActivationRange)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDeployment(data, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReaders() != orig.NumReaders() {
+		t.Fatalf("reader count changed: %d vs %d", got.NumReaders(), orig.NumReaders())
+	}
+	for i, r := range orig.Readers() {
+		gr := got.Readers()[i]
+		if !gr.Pos.Equal(r.Pos) || gr.Range != r.Range || gr.Kind != r.Kind || gr.Hallway != r.Hallway {
+			t.Errorf("reader %d changed: %+v vs %+v", i, gr, r)
+		}
+	}
+}
+
+func TestDeploymentJSONKindsAndPairs(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	orig := NewDeployment([]Reader{
+		{Pos: geom.Pt(10, 12), Range: 1.5},
+		{Pos: geom.Pt(14, 12), Range: 1.5},
+		{Pos: geom.Pt(30, 12), Range: 2, Kind: Presence},
+	})
+	if err := orig.AddDirectedPair(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDeployment(data, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reader(2).Kind != Presence {
+		t.Error("presence kind lost")
+	}
+	if _, ok := got.PairFor(0, 1); !ok {
+		t.Error("directed pair lost")
+	}
+	if len(got.DirectedPairs()) != 1 {
+		t.Errorf("pairs = %v", got.DirectedPairs())
+	}
+}
+
+func TestDecodeDeploymentRejectsBadInput(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	if _, err := DecodeDeployment([]byte("nope"), plan); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeDeployment([]byte(`{"readers":[{"pos":[1,1],"range":0}]}`), plan); err == nil {
+		t.Error("zero range accepted")
+	}
+	if _, err := DecodeDeployment([]byte(`{"readers":[{"pos":[1,1],"range":2,"kind":"alien"}]}`), plan); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeDeployment([]byte(`{"readers":[{"pos":[1,1],"range":2}],"pairs":[[0,5]]}`), plan); err == nil {
+		t.Error("bad pair accepted")
+	}
+}

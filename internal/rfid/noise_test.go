@@ -1,0 +1,94 @@
+package rfid
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func twoReaderSensor() *Sensor {
+	d := NewDeployment([]Reader{
+		{Pos: geom.Pt(0, 0), Range: 2},
+		{Pos: geom.Pt(10, 0), Range: 2},
+	})
+	return NewSensor(d)
+}
+
+func TestOfflineReaderSilent(t *testing.T) {
+	s := twoReaderSensor()
+	src := rng.New(1)
+	s.SetOffline(0, true)
+	if !s.Offline(0) || s.Offline(1) {
+		t.Fatal("offline bookkeeping wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.ReadSecond(src, 1, geom.Pt(1, 0), model.Time(i)); got != nil {
+			t.Fatalf("offline reader produced readings: %v", got)
+		}
+	}
+	// The other reader still works.
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += len(s.ReadSecond(src, 1, geom.Pt(9, 0), model.Time(i)))
+	}
+	if total == 0 {
+		t.Error("online reader silent")
+	}
+	// Restore.
+	s.SetOffline(0, false)
+	total = 0
+	for i := 0; i < 100; i++ {
+		total += len(s.ReadSecond(src, 1, geom.Pt(1, 0), model.Time(i)))
+	}
+	if total == 0 {
+		t.Error("restored reader still silent")
+	}
+}
+
+func TestGhostReads(t *testing.T) {
+	s := twoReaderSensor()
+	s.GhostReadProb = 0.5
+	src := rng.New(2)
+	ghost := 0
+	const seconds = 2000
+	for i := 0; i < seconds; i++ {
+		for _, r := range s.ReadSecond(src, 1, geom.Pt(1, 0), model.Time(i)) {
+			if r.Reader == 1 {
+				ghost++
+			}
+		}
+	}
+	// Roughly one ghost read on half the seconds.
+	if ghost < 800 || ghost > 1200 {
+		t.Errorf("ghost reads = %d over %d s, want ~1000", ghost, seconds)
+	}
+	// Ghosts never outvote the true reader in a second: samples ~7 vs 1.
+}
+
+func TestGhostReadsDisabledByDefault(t *testing.T) {
+	s := twoReaderSensor()
+	src := rng.New(3)
+	for i := 0; i < 500; i++ {
+		for _, r := range s.ReadSecond(src, 1, geom.Pt(1, 0), model.Time(i)) {
+			if r.Reader != 0 {
+				t.Fatalf("unexpected ghost read from %d", r.Reader)
+			}
+		}
+	}
+}
+
+func TestGhostReadsToOfflineReaderSuppressed(t *testing.T) {
+	s := twoReaderSensor()
+	s.GhostReadProb = 1.0
+	s.SetOffline(1, true)
+	src := rng.New(4)
+	for i := 0; i < 200; i++ {
+		for _, r := range s.ReadSecond(src, 1, geom.Pt(1, 0), model.Time(i)) {
+			if r.Reader == 1 {
+				t.Fatal("ghost read from offline reader")
+			}
+		}
+	}
+}

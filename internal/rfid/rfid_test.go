@@ -1,0 +1,186 @@
+package rfid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+func TestDeployUniformDefaults(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	d := MustDeployUniform(plan, DefaultReaders, DefaultActivationRange)
+	if d.NumReaders() != 19 {
+		t.Fatalf("NumReaders = %d", d.NumReaders())
+	}
+	// All readers sit on hallway centerlines.
+	for _, r := range d.Readers() {
+		h := plan.Hallway(r.Hallway)
+		if h.Center.DistToPoint(r.Pos) > 1e-9 {
+			t.Errorf("reader %d at %v off hallway %d centerline", r.ID, r.Pos, r.Hallway)
+		}
+	}
+	// Uniform spacing along the concatenation: 156/19 m apart.
+	spacing := plan.TotalHallwayLength() / 19
+	if spacing < 8 || spacing > 8.5 {
+		t.Fatalf("unexpected spacing %v", spacing)
+	}
+}
+
+func TestDeployUniformDisjointRanges(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	// With the default 2 m range and ~8.2 m spacing, ranges are disjoint.
+	d := MustDeployUniform(plan, DefaultReaders, DefaultActivationRange)
+	if !d.Disjoint() {
+		t.Error("default deployment has overlapping activation ranges")
+	}
+	// With a huge range they overlap.
+	d2 := MustDeployUniform(plan, DefaultReaders, 10)
+	if d2.Disjoint() {
+		t.Error("10 m ranges reported disjoint")
+	}
+}
+
+func TestDeployUniformValidation(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	if _, err := DeployUniform(plan, 0, 2); err == nil {
+		t.Error("expected error for zero readers")
+	}
+	if _, err := DeployUniform(plan, 5, 0); err == nil {
+		t.Error("expected error for zero range")
+	}
+}
+
+func TestCoveringReader(t *testing.T) {
+	d := NewDeployment([]Reader{
+		{Pos: geom.Pt(10, 10), Range: 2},
+		{Pos: geom.Pt(20, 10), Range: 2},
+	})
+	if id, ok := d.CoveringReader(geom.Pt(11, 10)); !ok || id != 0 {
+		t.Errorf("CoveringReader = %v, %v", id, ok)
+	}
+	if id, ok := d.CoveringReader(geom.Pt(19, 10)); !ok || id != 1 {
+		t.Errorf("CoveringReader = %v, %v", id, ok)
+	}
+	if _, ok := d.CoveringReader(geom.Pt(15, 10)); ok {
+		t.Error("gap point reported covered")
+	}
+}
+
+func TestCoveringReaderNearestWins(t *testing.T) {
+	d := NewDeployment([]Reader{
+		{Pos: geom.Pt(10, 10), Range: 5},
+		{Pos: geom.Pt(14, 10), Range: 5},
+	})
+	if id, _ := d.CoveringReader(geom.Pt(11, 10)); id != 0 {
+		t.Errorf("nearest reader = %v, want 0", id)
+	}
+	if id, _ := d.CoveringReader(geom.Pt(13.5, 10)); id != 1 {
+		t.Errorf("nearest reader = %v, want 1", id)
+	}
+}
+
+func TestReaderCovers(t *testing.T) {
+	r := Reader{Pos: geom.Pt(0, 0), Range: 2}
+	if !r.Covers(geom.Pt(1, 1)) || !r.Covers(geom.Pt(2, 0)) {
+		t.Error("Covers failed inside range")
+	}
+	if r.Covers(geom.Pt(2, 1)) {
+		t.Error("Covers accepted point outside range")
+	}
+	if r.Circle().R != 2 {
+		t.Error("Circle radius")
+	}
+}
+
+func TestNewDeploymentReassignsIDs(t *testing.T) {
+	d := NewDeployment([]Reader{
+		{ID: 77, Pos: geom.Pt(0, 0), Range: 1},
+		{ID: 99, Pos: geom.Pt(10, 0), Range: 1},
+	})
+	for i, r := range d.Readers() {
+		if r.ID != model.ReaderID(i) {
+			t.Errorf("reader %d has ID %d", i, r.ID)
+		}
+	}
+	if d.Reader(1).Pos != geom.Pt(10, 0) {
+		t.Error("Reader(1) wrong")
+	}
+}
+
+func TestSensorSecondMissProb(t *testing.T) {
+	s := &Sensor{PerSampleDetection: 0.7, SamplesPerSecond: 10}
+	want := math.Pow(0.3, 10)
+	if got := s.SecondMissProb(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("SecondMissProb = %v, want %v", got, want)
+	}
+}
+
+func TestSensorReadSecondOutsideRangeSilent(t *testing.T) {
+	d := NewDeployment([]Reader{{Pos: geom.Pt(0, 0), Range: 2}})
+	s := NewSensor(d)
+	r := rng.New(1)
+	if got := s.ReadSecond(r, 1, geom.Pt(50, 50), 0); got != nil {
+		t.Errorf("readings outside range: %v", got)
+	}
+}
+
+func TestSensorReadSecondInsideRangeRate(t *testing.T) {
+	d := NewDeployment([]Reader{{Pos: geom.Pt(0, 0), Range: 2}})
+	s := NewSensor(d)
+	r := rng.New(2)
+	totalReads := 0
+	seconds := 2000
+	for i := 0; i < seconds; i++ {
+		reads := s.ReadSecond(r, 1, geom.Pt(1, 0), model.Time(i))
+		totalReads += len(reads)
+		for _, rd := range reads {
+			if rd.Object != 1 || rd.Reader != 0 || rd.Time != model.Time(i) {
+				t.Fatalf("bad reading %v", rd)
+			}
+		}
+	}
+	// Expected reads per second = 10 * 0.7 = 7.
+	rate := float64(totalReads) / float64(seconds)
+	if math.Abs(rate-7) > 0.2 {
+		t.Errorf("read rate = %v, want ~7", rate)
+	}
+}
+
+func TestSensorFullSecondMissesAreRare(t *testing.T) {
+	d := NewDeployment([]Reader{{Pos: geom.Pt(0, 0), Range: 2}})
+	s := NewSensor(d)
+	r := rng.New(3)
+	misses := 0
+	const seconds = 20000
+	for i := 0; i < seconds; i++ {
+		if len(s.ReadSecond(r, 1, geom.Pt(1, 0), model.Time(i))) == 0 {
+			misses++
+		}
+	}
+	// Expected miss rate ~6e-6; with 20000 trials, even 3 misses would be
+	// far above expectation.
+	if misses > 2 {
+		t.Errorf("full-second misses = %d, want ~0", misses)
+	}
+}
+
+func TestSensorLowRateHasMisses(t *testing.T) {
+	d := NewDeployment([]Reader{{Pos: geom.Pt(0, 0), Range: 2}})
+	s := &Sensor{Deployment: d, PerSampleDetection: 0.1, SamplesPerSecond: 1}
+	r := rng.New(4)
+	misses := 0
+	const seconds = 10000
+	for i := 0; i < seconds; i++ {
+		if len(s.ReadSecond(r, 1, geom.Pt(1, 0), model.Time(i))) == 0 {
+			misses++
+		}
+	}
+	rate := float64(misses) / seconds
+	if math.Abs(rate-0.9) > 0.02 {
+		t.Errorf("miss rate = %v, want ~0.9", rate)
+	}
+}

@@ -1,0 +1,348 @@
+// Package server exposes the indoor spatial query system over HTTP with a
+// small JSON API, so reader gateways can stream raw readings in and
+// applications can query object locations out. Standard library only.
+//
+// Endpoints:
+//
+//	POST /ingest        {"time": 123, "readings": [{"Object":1,"Reader":2,"Time":123}, ...]}
+//	GET  /range?x=&y=&w=&h=[&at=]   probabilistic range query
+//	GET  /knn?x=&y=&k=[&at=]        probabilistic kNN query
+//	GET  /localize?object=          localization summary for one object
+//	GET  /occupancy                 expected objects per room
+//	GET  /objects                   known object IDs
+//	GET  /stats                     cumulative work counters
+//	GET  /plan                      the floor plan as JSON
+//	GET  /snapshot.svg              rendered floor plan + distributions
+//
+// The System is not safe for concurrent use; the server serializes access
+// with a mutex, which matches the one-writer reality of a reading stream.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/viz"
+)
+
+// Server wraps a System with an HTTP API.
+type Server struct {
+	mu   sync.Mutex
+	sys  *engine.System
+	plan *floorplan.Plan
+	dep  *rfid.Deployment
+}
+
+// New builds a Server around an assembled system.
+func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
+	return &Server{sys: sys, plan: plan, dep: dep}
+}
+
+// IngestDirect feeds one second of readings bypassing HTTP (used by the
+// demo simulator); it takes the same lock as the handlers.
+func (s *Server) IngestDirect(t model.Time, raws []model.RawReading) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t > s.sys.Now() {
+		s.sys.Ingest(t, raws)
+	}
+}
+
+// Handler returns the HTTP handler with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /range", s.handleRange)
+	mux.HandleFunc("GET /knn", s.handleKNN)
+	mux.HandleFunc("GET /localize", s.handleLocalize)
+	mux.HandleFunc("GET /occupancy", s.handleOccupancy)
+	mux.HandleFunc("GET /objects", s.handleObjects)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /plan", s.handlePlan)
+	mux.HandleFunc("GET /route", s.handleRoute)
+	mux.HandleFunc("GET /snapshot.svg", s.handleSnapshot)
+	mux.HandleFunc("GET /{$}", s.handleUI)
+	return mux
+}
+
+// uiPage is a minimal live dashboard: the SVG snapshot refreshing every two
+// seconds next to the occupancy table.
+const uiPage = `<!DOCTYPE html>
+<html><head><title>indoor query system</title>
+<style>
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+#wrap { display: flex; gap: 2em; align-items: flex-start; }
+img { border: 1px solid #ccc; max-width: 70vw; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ddd; padding: 2px 8px; font-size: 13px; text-align: left; }
+</style></head>
+<body>
+<h2>Indoor spatial query system</h2>
+<div id="wrap">
+  <img id="snap" src="/snapshot.svg" alt="floor snapshot">
+  <div>
+    <h3>Occupancy</h3>
+    <table id="occ"><tr><th>room</th><th>expected</th></tr></table>
+    <p id="stats"></p>
+  </div>
+</div>
+<script>
+async function tick() {
+  document.getElementById('snap').src = '/snapshot.svg?ts=' + Date.now();
+  const occ = await (await fetch('/occupancy')).json();
+  const rows = (occ || []).slice(0, 15).map(function(e) {
+    return '<tr><td>' + e.room + '</td><td>' + e.p.toFixed(2) + '</td></tr>';
+  }).join('');
+  document.getElementById('occ').innerHTML = '<tr><th>room</th><th>expected</th></tr>' + rows;
+  const st = await (await fetch('/stats')).json();
+  document.getElementById('stats').textContent =
+    't=' + st.now + ', readings=' + st.work.ReadingsIngested;
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body></html>
+`
+
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, uiPage)
+}
+
+// ingestRequest is the body of POST /ingest.
+type ingestRequest struct {
+	Time     model.Time         `json:"time"`
+	Readings []model.RawReading `json:"readings"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Time <= s.sys.Now() {
+		httpError(w, http.StatusConflict, "time %d not after current %d", req.Time, s.sys.Now())
+		return
+	}
+	// Stamp readings with the batch time when omitted.
+	for i := range req.Readings {
+		if req.Readings[i].Time == 0 {
+			req.Readings[i].Time = req.Time
+		}
+	}
+	s.sys.Ingest(req.Time, req.Readings)
+	writeJSON(w, map[string]any{"now": s.sys.Now(), "accepted": len(req.Readings)})
+}
+
+// objProb is one entry of a probabilistic answer, sorted by probability.
+type objProb struct {
+	Object model.ObjectID `json:"object"`
+	P      float64        `json:"p"`
+}
+
+func toSorted(rs model.ResultSet) []objProb {
+	out := make([]objProb, 0, len(rs))
+	for o, p := range rs {
+		out = append(out, objProb{Object: o, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	x, errX := queryFloat(r, "x")
+	y, errY := queryFloat(r, "y")
+	ww, errW := queryFloat(r, "w")
+	h, errH := queryFloat(r, "h")
+	if errX != nil || errY != nil || errW != nil || errH != nil {
+		httpError(w, http.StatusBadRequest, "range needs float params x, y, w, h")
+		return
+	}
+	win := geom.RectWH(x, y, ww, h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rs model.ResultSet
+	if at, ok, err := queryTime(r, "at"); err != nil {
+		httpError(w, http.StatusBadRequest, "bad at: %v", err)
+		return
+	} else if ok {
+		rs = s.sys.RangeQueryAt(win, at)
+	} else {
+		rs = s.sys.RangeQuery(win)
+	}
+	writeJSON(w, map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	x, errX := queryFloat(r, "x")
+	y, errY := queryFloat(r, "y")
+	k, errK := strconv.Atoi(r.URL.Query().Get("k"))
+	if errX != nil || errY != nil || errK != nil || k <= 0 {
+		httpError(w, http.StatusBadRequest, "knn needs float params x, y and positive integer k")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rs model.ResultSet
+	if at, ok, err := queryTime(r, "at"); err != nil {
+		httpError(w, http.StatusBadRequest, "bad at: %v", err)
+		return
+	} else if ok {
+		rs = s.sys.KNNQueryAt(geom.Pt(x, y), k, at)
+	} else {
+		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
+	}
+	writeJSON(w, map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)})
+}
+
+// handleRoute returns the shortest indoor walking route between two points
+// as a polyline: GET /route?x1=&y1=&x2=&y2=.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	x1, e1 := queryFloat(r, "x1")
+	y1, e2 := queryFloat(r, "y1")
+	x2, e3 := queryFloat(r, "x2")
+	y2, e4 := queryFloat(r, "y2")
+	if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+		httpError(w, http.StatusBadRequest, "route needs float params x1, y1, x2, y2")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.sys.Graph()
+	pts, dist := g.Route(g.NearestLocation(geom.Pt(x1, y1)), g.NearestLocation(geom.Pt(x2, y2)))
+	poly := make([][2]float64, len(pts))
+	for i, p := range pts {
+		poly[i] = [2]float64{p.X, p.Y}
+	}
+	writeJSON(w, map[string]any{"meters": dist, "polyline": poly})
+}
+
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("object"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "localize needs integer param object")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.sys.Localize(model.ObjectID(id))
+	if !ok {
+		httpError(w, http.StatusNotFound, "object %d has no readings", id)
+		return
+	}
+	roomName := ""
+	if loc.Room != floorplan.NoRoom {
+		roomName = s.plan.Room(loc.Room).Name
+	}
+	writeJSON(w, map[string]any{
+		"object":   loc.Object,
+		"mean":     [2]float64{loc.Mean.X, loc.Mean.Y},
+		"room":     roomName,
+		"roomProb": loc.RoomProb,
+		"entropy":  loc.Entropy,
+	})
+}
+
+func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type entry struct {
+		Room string  `json:"room"`
+		P    float64 `json:"p"`
+	}
+	var out []entry
+	for _, ro := range s.sys.Occupancy() {
+		name := "(hallways)"
+		if ro.Room != floorplan.NoRoom {
+			name = s.plan.Room(ro.Room).Name
+		}
+		out = append(out, entry{Room: name, P: ro.P})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, s.sys.Collector().KnownObjects())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits, misses := s.sys.CacheStats()
+	writeJSON(w, map[string]any{
+		"now":         s.sys.Now(),
+		"work":        s.sys.Stats(),
+		"cacheHits":   hits,
+		"cacheMisses": misses,
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(s.plan)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode plan: %v", err)
+		return
+	}
+	w.Write(data)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := viz.NewCanvas(s.plan, 10)
+	c.DrawPlan(s.plan)
+	c.DrawDeployment(s.dep)
+	tab := s.sys.Preprocess(s.sys.Collector().KnownObjects())
+	colors := []string{"#d62728", "#ff7f0e", "#9467bd", "#17becf", "#bcbd22", "#e377c2"}
+	for i, obj := range tab.Objects() {
+		c.DrawDistribution(s.sys.AnchorIndex(), tab.DistributionOf(obj), colors[i%len(colors)])
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, c.SVG())
+}
+
+func queryFloat(r *http.Request, name string) (float64, error) {
+	return strconv.ParseFloat(r.URL.Query().Get(name), 64)
+}
+
+// queryTime parses an optional time parameter; ok=false when absent.
+func queryTime(r *http.Request, name string) (model.Time, bool, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	return model.Time(n), err == nil, err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+// testServer builds a server over a warmed-up world and returns a test
+// HTTP server plus the simulator (for ground truth).
+func testServer(t *testing.T) (*httptest.Server, *sim.Simulator) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := engine.DefaultConfig()
+	cfg.KeepHistory = true
+	sys := engine.MustNew(plan, dep, cfg)
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 12
+	tc.DwellMin, tc.DwellMax = 2, 8
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 321)
+	srv := New(sys, plan, dep)
+
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Stream 120 seconds through the HTTP API itself.
+	client := ts.Client()
+	for i := 0; i < 120; i++ {
+		tm, raws := world.Step()
+		body, err := json.Marshal(ingestRequest{Time: tm, Readings: raws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	return ts, world
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIngestAndRange(t *testing.T) {
+	ts, world := testServer(t)
+	var out struct {
+		Result []objProb `json:"result"`
+	}
+	if code := getJSON(t, ts, "/range?x=1&y=2&w=140&h=32", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Result) == 0 {
+		t.Fatal("whole-floor range empty")
+	}
+	for _, op := range out.Result {
+		if op.P < 0 || op.P > 1.0001 {
+			t.Errorf("P(o%d) = %v", op.Object, op.P)
+		}
+	}
+	_ = world
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var out struct {
+		K      int       `json:"k"`
+		Result []objProb `json:"result"`
+	}
+	if code := getJSON(t, ts, "/knn?x=35&y=12&k=3", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.K != 3 {
+		t.Errorf("k echoed as %d", out.K)
+	}
+	// Sorted descending.
+	for i := 1; i < len(out.Result); i++ {
+		if out.Result[i].P > out.Result[i-1].P {
+			t.Error("result not sorted")
+		}
+	}
+}
+
+func TestHistoricalQueryParam(t *testing.T) {
+	ts, _ := testServer(t)
+	var out struct {
+		Result []objProb `json:"result"`
+	}
+	if code := getJSON(t, ts, "/range?x=1&y=2&w=140&h=32&at=60", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+}
+
+func TestLocalizeEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var objects []int
+	if code := getJSON(t, ts, "/objects", &objects); code != http.StatusOK || len(objects) == 0 {
+		t.Fatalf("objects: %d known", len(objects))
+	}
+	var out struct {
+		Object  int        `json:"object"`
+		Mean    [2]float64 `json:"mean"`
+		Entropy float64    `json:"entropy"`
+	}
+	path := fmt.Sprintf("/localize?object=%d", objects[0])
+	if code := getJSON(t, ts, path, &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Object != objects[0] {
+		t.Errorf("object echoed as %d", out.Object)
+	}
+	// Unknown object: 404.
+	if code := getJSON(t, ts, "/localize?object=9999", &out); code != http.StatusNotFound {
+		t.Errorf("unknown object status %d", code)
+	}
+}
+
+func TestOccupancyStatsPlanSnapshot(t *testing.T) {
+	ts, _ := testServer(t)
+	var occ []struct {
+		Room string  `json:"room"`
+		P    float64 `json:"p"`
+	}
+	if code := getJSON(t, ts, "/occupancy", &occ); code != http.StatusOK || len(occ) == 0 {
+		t.Fatalf("occupancy: %d entries", len(occ))
+	}
+	var stats struct {
+		Now  int64       `json:"now"`
+		Work interface{} `json:"work"`
+	}
+	if code := getJSON(t, ts, "/stats", &stats); code != http.StatusOK || stats.Now != 120 {
+		t.Fatalf("stats now = %d", stats.Now)
+	}
+	var plan struct {
+		Rooms []any `json:"rooms"`
+	}
+	if code := getJSON(t, ts, "/plan", &plan); code != http.StatusOK || len(plan.Rooms) != 30 {
+		t.Fatalf("plan rooms = %d", len(plan.Rooms))
+	}
+	resp, err := ts.Client().Get(ts.URL + "/snapshot.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "svg") {
+		t.Errorf("snapshot content type %q", ct)
+	}
+}
+
+func TestIngestRejectsStaleTime(t *testing.T) {
+	ts, _ := testServer(t)
+	body, _ := json.Marshal(ingestRequest{Time: 5}) // far behind now=120
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale ingest status %d", resp.StatusCode)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, path := range []string{
+		"/range?x=a&y=2&w=3&h=4",
+		"/range?x=1",
+		"/knn?x=1&y=2&k=0",
+		"/knn?x=1&y=2&k=frog",
+		"/localize?object=frog",
+		"/range?x=1&y=2&w=3&h=4&at=frog",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Ingest with a broken body.
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken ingest status %d", resp.StatusCode)
+	}
+}
+
+func TestUIPage(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("UI status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("UI content type %q", ct)
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var out struct {
+		Meters   float64      `json:"meters"`
+		Polyline [][2]float64 `json:"polyline"`
+	}
+	if code := getJSON(t, ts, "/route?x1=5&y1=12&x2=60&y2=24", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Meters <= 0 || len(out.Polyline) < 2 {
+		t.Errorf("route = %+v", out)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/route?x1=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad params status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+func churnWorld(t *testing.T) *Simulator {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 20
+	cfg.DwellMin, cfg.DwellMax = 1, 4
+	cfg.ChurnProb = 0.4
+	cfg.AwayMin, cfg.AwayMax = 20, 60
+	return MustNew(g, rfid.NewSensor(dep), cfg, 77)
+}
+
+func TestChurnValidation(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.ChurnProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("ChurnProb > 1 accepted")
+	}
+	cfg = DefaultTraceConfig()
+	cfg.ChurnProb = 0.2 // away bounds unset
+	if err := cfg.Validate(); err == nil {
+		t.Error("churn without away bounds accepted")
+	}
+	cfg.AwayMin, cfg.AwayMax = 10, 30
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid churn config rejected: %v", err)
+	}
+}
+
+func TestChurnObjectsLeaveAndReturn(t *testing.T) {
+	s := churnWorld(t)
+	sawAway, sawReturn := false, false
+	wasAway := make(map[model.ObjectID]bool)
+	for i := 0; i < 400; i++ {
+		_, raws := s.Step()
+		for _, o := range s.Objects() {
+			if s.Away(o) {
+				sawAway = true
+				wasAway[o] = true
+			} else if wasAway[o] {
+				sawReturn = true
+				delete(wasAway, o)
+			}
+		}
+		// Away objects never produce readings.
+		for _, r := range raws {
+			if s.Away(r.Object) {
+				t.Fatalf("away object %d produced a reading", r.Object)
+			}
+		}
+	}
+	if !sawAway || !sawReturn {
+		t.Errorf("churn never cycled: away=%v return=%v", sawAway, sawReturn)
+	}
+}
+
+func TestChurnGroundTruthExcludesAway(t *testing.T) {
+	s := churnWorld(t)
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	whole := s.Graph().Plan().Bounds()
+	inRange := map[model.ObjectID]bool{}
+	for _, o := range s.TrueRange(whole) {
+		inRange[o] = true
+	}
+	knn := map[model.ObjectID]bool{}
+	for _, o := range s.TrueKNN(whole.Center(), len(s.Objects())) {
+		knn[o] = true
+	}
+	for _, o := range s.Objects() {
+		if s.Away(o) {
+			if inRange[o] {
+				t.Errorf("away object %d in TrueRange", o)
+			}
+			if knn[o] {
+				t.Errorf("away object %d in TrueKNN", o)
+			}
+		} else {
+			if !inRange[o] {
+				t.Errorf("present object %d missing from whole-floor TrueRange", o)
+			}
+		}
+	}
+}
+
+func TestNoChurnByDefault(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.MustDeployUniform(plan, 19, 2)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 10
+	s := MustNew(g, rfid.NewSensor(dep), cfg, 5)
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	for _, o := range s.Objects() {
+		if s.Away(o) {
+			t.Fatalf("object %d went away without churn", o)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package sim implements the paper's simulator (Section 5.1, Figure 8): a
+// true trace generator that moves objects along shortest walking-graph paths
+// between randomly chosen destination rooms at Gaussian walking speeds, a
+// raw reading generator that runs the noisy RFID sensor model against the
+// true positions, and ground-truth query evaluation for scoring the
+// probabilistic methods.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// TraceConfig parameterizes the true trace generator.
+type TraceConfig struct {
+	// NumObjects is the number of moving objects (paper default: 200).
+	NumObjects int
+	// SpeedMean/SpeedStd parameterize walking speeds (paper: 1 m/s, 0.1).
+	SpeedMean, SpeedStd float64
+	// MinSpeed/MaxSpeed truncate sampled speeds.
+	MinSpeed, MaxSpeed float64
+	// DwellMin/DwellMax bound the uniform dwell time an object spends in a
+	// destination room before choosing the next destination.
+	DwellMin, DwellMax model.Time
+	// ChurnProb is the probability, evaluated each time a dwell ends, that
+	// the object leaves the building instead of starting a new trip. Away
+	// objects produce no readings and are excluded from ground truth until
+	// they re-enter. Zero (the default) disables churn.
+	ChurnProb float64
+	// AwayMin/AwayMax bound the uniform time an object stays away.
+	AwayMin, AwayMax model.Time
+}
+
+// DefaultTraceConfig returns the paper's trace parameters.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		NumObjects: 200,
+		SpeedMean:  1.0,
+		SpeedStd:   0.1,
+		MinSpeed:   0.1,
+		MaxSpeed:   2.5,
+		DwellMin:   5,
+		DwellMax:   30,
+	}
+}
+
+// Validate checks the configuration.
+func (c TraceConfig) Validate() error {
+	if c.NumObjects <= 0 {
+		return fmt.Errorf("sim: NumObjects must be positive, got %d", c.NumObjects)
+	}
+	if c.SpeedMean <= 0 || c.SpeedStd < 0 {
+		return fmt.Errorf("sim: invalid speed distribution (%v, %v)", c.SpeedMean, c.SpeedStd)
+	}
+	if c.MinSpeed <= 0 || c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("sim: invalid speed bounds [%v, %v]", c.MinSpeed, c.MaxSpeed)
+	}
+	if c.DwellMin < 0 || c.DwellMax < c.DwellMin {
+		return fmt.Errorf("sim: invalid dwell bounds [%d, %d]", c.DwellMin, c.DwellMax)
+	}
+	if c.ChurnProb < 0 || c.ChurnProb > 1 {
+		return fmt.Errorf("sim: ChurnProb %v out of [0, 1]", c.ChurnProb)
+	}
+	if c.ChurnProb > 0 && (c.AwayMin <= 0 || c.AwayMax < c.AwayMin) {
+		return fmt.Errorf("sim: invalid away bounds [%d, %d]", c.AwayMin, c.AwayMax)
+	}
+	return nil
+}
+
+// walker is one simulated person.
+type walker struct {
+	id  model.ObjectID
+	loc walkgraph.Location
+	// path is the remaining node sequence to the destination; empty while
+	// dwelling.
+	path  []walkgraph.NodeID
+	speed float64
+	// dwellUntil is set while the walker rests inside a room.
+	dwellUntil model.Time
+	// roomPos is the walker's 2-D position inside the room while dwelling.
+	roomPos geom.Point
+	inRoom  bool
+	// lateral is the walker's offset across the hallway width for the
+	// current trip, making true positions genuinely two-dimensional.
+	lateral float64
+	// away marks a walker that left the building; returnAt is when it
+	// re-enters.
+	away     bool
+	returnAt model.Time
+}
+
+// Simulator owns the true traces and the raw reading generation.
+type Simulator struct {
+	g      *walkgraph.Graph
+	sensor *rfid.Sensor
+	cfg    TraceConfig
+	src    *rng.Source
+	ws     []*walker
+	now    model.Time
+}
+
+// New builds a simulator with the given seed. Objects start dwelling in
+// uniformly random rooms.
+func New(g *walkgraph.Graph, sensor *rfid.Sensor, cfg TraceConfig, seed int64) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{g: g, sensor: sensor, cfg: cfg, src: rng.New(seed)}
+	rooms := g.Plan().Rooms()
+	if len(rooms) == 0 {
+		return nil, fmt.Errorf("sim: plan has no rooms to walk between")
+	}
+	for i := 0; i < cfg.NumObjects; i++ {
+		room := rooms[s.src.Intn(len(rooms))]
+		w := &walker{
+			id:         model.ObjectID(i),
+			loc:        g.LocationAtNode(g.RoomNode(room.ID)),
+			inRoom:     true,
+			roomPos:    s.randomPointInRoom(room),
+			dwellUntil: model.Time(s.src.Intn(int(cfg.DwellMax-cfg.DwellMin+1))) + cfg.DwellMin,
+		}
+		s.ws = append(s.ws, w)
+	}
+	return s, nil
+}
+
+// MustNew is New for known-valid parameters.
+func MustNew(g *walkgraph.Graph, sensor *rfid.Sensor, cfg TraceConfig, seed int64) *Simulator {
+	s, err := New(g, sensor, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// randomPointInRoom draws a uniform point over the room's footprint,
+// weighting composite parts by area.
+func (s *Simulator) randomPointInRoom(r floorplan.Room) geom.Point {
+	parts := r.AllParts()
+	part := parts[0]
+	// Single-part rooms skip the part draw, keeping the random stream (and
+	// thus every seeded simulation) identical to plans without composites.
+	if len(parts) > 1 {
+		weights := make([]float64, len(parts))
+		for i, p := range parts {
+			weights[i] = p.Area()
+		}
+		part = parts[s.src.Categorical(weights)]
+	}
+	return geom.Pt(s.src.Uniform(part.Min.X, part.Max.X), s.src.Uniform(part.Min.Y, part.Max.Y))
+}
+
+// Now returns the current simulation second.
+func (s *Simulator) Now() model.Time { return s.now }
+
+// Graph returns the walking graph traces move on.
+func (s *Simulator) Graph() *walkgraph.Graph { return s.g }
+
+// Objects returns all object IDs in ascending order.
+func (s *Simulator) Objects() []model.ObjectID {
+	out := make([]model.ObjectID, len(s.ws))
+	for i, w := range s.ws {
+		out[i] = w.id
+	}
+	return out
+}
+
+// Step advances the simulation by one second: every walker moves along its
+// trace, and the sensor model produces this second's raw readings.
+func (s *Simulator) Step() (model.Time, []model.RawReading) {
+	s.now++
+	var raws []model.RawReading
+	for _, w := range s.ws {
+		s.advance(w)
+		if w.away {
+			continue // outside the building: no readings
+		}
+		if s.g.Edge(w.loc.Edge).Kind == walkgraph.LinkEdge {
+			continue // stairwells are walled off from the readers
+		}
+		pos := s.truePoint(w)
+		// Walls block RF: a tag inside a room is never read by the hallway
+		// readers, even when Euclidean distance alone would allow it.
+		if s.g.Plan().RoomAt(pos) != floorplan.NoRoom {
+			continue
+		}
+		raws = append(raws, s.sensor.ReadSecond(s.src, w.id, pos, s.now)...)
+	}
+	return s.now, raws
+}
+
+// Run advances n seconds, discarding readings (warm-up helper).
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// advance moves one walker one second forward.
+func (s *Simulator) advance(w *walker) {
+	if w.away {
+		if s.now < w.returnAt {
+			return
+		}
+		// Re-enter at a random room.
+		rooms := s.g.Plan().Rooms()
+		room := rooms[s.src.Intn(len(rooms))]
+		w.away = false
+		w.inRoom = true
+		w.loc = s.g.LocationAtNode(s.g.RoomNode(room.ID))
+		w.roomPos = s.randomPointInRoom(room)
+		w.dwellUntil = s.now + s.dwell()
+		return
+	}
+	if w.inRoom {
+		if s.now < w.dwellUntil {
+			return
+		}
+		// The dwell ended: maybe leave the building entirely.
+		if s.cfg.ChurnProb > 0 && s.src.Bool(s.cfg.ChurnProb) {
+			w.away = true
+			w.returnAt = s.now + model.Time(s.src.Intn(int(s.cfg.AwayMax-s.cfg.AwayMin+1))) + s.cfg.AwayMin
+			return
+		}
+		// Otherwise choose a new destination room and leave.
+		s.startTrip(w)
+		if w.inRoom {
+			return // degenerate: chose the same room
+		}
+	}
+	remaining := w.speed
+	for remaining > 0 && len(w.path) > 0 {
+		next := w.path[0]
+		e := s.g.Edge(w.loc.Edge)
+		var toNode float64
+		if next == e.B {
+			toNode = e.Length - w.loc.Offset
+		} else {
+			toNode = w.loc.Offset
+		}
+		if remaining < toNode {
+			if next == e.B {
+				w.loc.Offset += remaining
+			} else {
+				w.loc.Offset -= remaining
+			}
+			return
+		}
+		remaining -= toNode
+		w.path = w.path[1:]
+		if len(w.path) == 0 {
+			// Arrived at the destination room node.
+			w.loc = s.g.LocationAtNode(next)
+			room := s.g.Node(next).Room
+			w.inRoom = true
+			w.roomPos = s.randomPointInRoom(s.g.Plan().Room(room))
+			w.dwellUntil = s.now + s.dwell()
+			return
+		}
+		eid, ok := s.g.EdgeBetween(next, w.path[0])
+		if !ok {
+			// Defensive: a broken path; restart the trip next second.
+			w.loc = s.g.LocationAtNode(next)
+			w.path = nil
+			w.inRoom = s.g.Node(next).Kind == walkgraph.RoomCenter
+			w.dwellUntil = s.now
+			return
+		}
+		edge := s.g.Edge(eid)
+		if edge.A == next {
+			w.loc = walkgraph.Location{Edge: eid, Offset: 0}
+		} else {
+			w.loc = walkgraph.Location{Edge: eid, Offset: edge.Length}
+		}
+	}
+}
+
+func (s *Simulator) dwell() model.Time {
+	return model.Time(s.src.Intn(int(s.cfg.DwellMax-s.cfg.DwellMin+1))) + s.cfg.DwellMin
+}
+
+// startTrip picks a random destination room distinct from the current one
+// and computes the shortest path there.
+func (s *Simulator) startTrip(w *walker) {
+	rooms := s.g.Plan().Rooms()
+	curRoom := s.g.RoomAt(w.loc)
+	var dest floorplan.RoomID
+	for {
+		dest = rooms[s.src.Intn(len(rooms))].ID
+		if dest != curRoom || len(rooms) == 1 {
+			break
+		}
+	}
+	destNode := s.g.RoomNode(dest)
+	path, _ := s.g.PathFromLocation(w.loc, destNode)
+	if len(path) == 0 {
+		return // unreachable; stay put
+	}
+	// The walker is at a room node; drop the leading node if it is the
+	// current position so path[0] is always the next node to reach.
+	if here := s.g.NodeAt(w.loc, 1e-9); here != walkgraph.NoNode && len(path) > 0 && path[0] == here {
+		path = path[1:]
+	}
+	if len(path) == 0 {
+		return
+	}
+	w.path = path
+	w.inRoom = false
+	w.speed = s.src.TruncGaussian(s.cfg.SpeedMean, s.cfg.SpeedStd, s.cfg.MinSpeed, s.cfg.MaxSpeed)
+	w.lateral = s.src.Uniform(-1, 1)
+}
+
+// truePoint returns the walker's true 2-D position: inside a room it is the
+// walker's fixed dwell point; on a hallway it is the centerline point
+// shifted by the walker's lateral offset across the hallway width.
+func (s *Simulator) truePoint(w *walker) geom.Point {
+	if w.inRoom {
+		return w.roomPos
+	}
+	p := s.g.Point(w.loc)
+	e := s.g.Edge(w.loc.Edge)
+	if e.Kind != walkgraph.HallwayEdge {
+		return p
+	}
+	h := s.g.Plan().Hallway(e.Hallway)
+	half := h.Width / 2 * w.lateral
+	if h.Horizontal() {
+		return geom.Pt(p.X, p.Y+half)
+	}
+	return geom.Pt(p.X+half, p.Y)
+}
+
+// TruePosition returns an object's true 2-D position.
+func (s *Simulator) TruePosition(obj model.ObjectID) geom.Point {
+	return s.truePoint(s.ws[obj])
+}
+
+// TrueLocation returns an object's true walking-graph location.
+func (s *Simulator) TrueLocation(obj model.ObjectID) walkgraph.Location {
+	return s.ws[obj].loc
+}
+
+// InRoom reports whether the object is currently dwelling inside a room.
+func (s *Simulator) InRoom(obj model.ObjectID) bool { return s.ws[obj].inRoom }
+
+// Away reports whether the object has left the building.
+func (s *Simulator) Away(obj model.ObjectID) bool { return s.ws[obj].away }
+
+// TrueRange evaluates the ground-truth range query: the objects whose true
+// positions lie inside the window, ascending by ID.
+func (s *Simulator) TrueRange(q geom.Rect) []model.ObjectID {
+	var out []model.ObjectID
+	for _, w := range s.ws {
+		if w.away {
+			continue
+		}
+		if q.Contains(s.truePoint(w)) {
+			out = append(out, w.id)
+		}
+	}
+	return out
+}
+
+// TrueKNN evaluates the ground-truth kNN query by shortest network distance
+// from the query point to every object's true location.
+func (s *Simulator) TrueKNN(q geom.Point, k int) []model.ObjectID {
+	loc := s.g.NearestLocation(q)
+	nd := s.g.DistancesFromLocation(loc)
+	type od struct {
+		obj model.ObjectID
+		d   float64
+	}
+	all := make([]od, 0, len(s.ws))
+	for _, w := range s.ws {
+		if w.away {
+			continue
+		}
+		all = append(all, od{obj: w.id, d: s.g.DistToLocation(loc, nd, w.loc)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].obj < all[j].obj
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]model.ObjectID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].obj
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+func office(t *testing.T) (*walkgraph.Graph, *rfid.Sensor) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	return g, rfid.NewSensor(dep)
+}
+
+func TestTraceConfigValidate(t *testing.T) {
+	good := DefaultTraceConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	cases := []func(*TraceConfig){
+		func(c *TraceConfig) { c.NumObjects = 0 },
+		func(c *TraceConfig) { c.SpeedMean = 0 },
+		func(c *TraceConfig) { c.SpeedStd = -1 },
+		func(c *TraceConfig) { c.MinSpeed = 0 },
+		func(c *TraceConfig) { c.MaxSpeed = 0.01 },
+		func(c *TraceConfig) { c.DwellMin = -1 },
+		func(c *TraceConfig) { c.DwellMax = 0; c.DwellMin = 5 },
+	}
+	for i, mut := range cases {
+		cfg := good
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 20
+	a := MustNew(g, sensor, cfg, 7)
+	b := MustNew(g, sensor, cfg, 7)
+	for i := 0; i < 50; i++ {
+		ta, rawsA := a.Step()
+		tb, rawsB := b.Step()
+		if ta != tb || len(rawsA) != len(rawsB) {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+	for _, obj := range a.Objects() {
+		if a.TruePosition(obj) != b.TruePosition(obj) {
+			t.Fatalf("object %d position diverged", obj)
+		}
+	}
+}
+
+func TestObjectsStayOnWalkableSpace(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 30
+	s := MustNew(g, sensor, cfg, 1)
+	plan := g.Plan()
+	for step := 0; step < 300; step++ {
+		s.Step()
+		for _, obj := range s.Objects() {
+			p := s.TruePosition(obj)
+			inRoom := plan.RoomAt(p) != floorplan.NoRoom
+			onHall := plan.HallwayAt(p) != floorplan.NoHallway
+			if !inRoom && !onHall {
+				t.Fatalf("object %d at %v is neither in a room nor on a hallway (step %d)", obj, p, step)
+			}
+			// Consistency between InRoom and the graph location.
+			if s.InRoom(obj) && !inRoom {
+				t.Fatalf("object %d claims to dwell but is at %v", obj, p)
+			}
+		}
+	}
+}
+
+func TestObjectsActuallyMove(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 20
+	cfg.DwellMin, cfg.DwellMax = 1, 3
+	s := MustNew(g, sensor, cfg, 2)
+	start := make(map[model.ObjectID]geom.Point)
+	for _, o := range s.Objects() {
+		start[o] = s.TruePosition(o)
+	}
+	s.Run(120)
+	moved := 0
+	for _, o := range s.Objects() {
+		if s.TruePosition(o).Dist(start[o]) > 3 {
+			moved++
+		}
+	}
+	if moved < 15 {
+		t.Errorf("only %d/20 objects moved after 120 s", moved)
+	}
+}
+
+func TestReadingsAreGenerated(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 50
+	cfg.DwellMin, cfg.DwellMax = 1, 5
+	s := MustNew(g, sensor, cfg, 3)
+	total := 0
+	for i := 0; i < 200; i++ {
+		_, raws := s.Step()
+		total += len(raws)
+		for _, r := range raws {
+			if r.Time != s.Now() {
+				t.Fatalf("raw reading with wrong time: %v at now=%d", r, s.Now())
+			}
+			reader := sensor.Deployment.Reader(r.Reader)
+			if !reader.Covers(s.TruePosition(r.Object)) {
+				t.Fatalf("reading from reader %d not covering object %d", r.Reader, r.Object)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no raw readings in 200 s of 50 objects")
+	}
+}
+
+func TestTrueRange(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 40
+	s := MustNew(g, sensor, cfg, 4)
+	s.Run(60)
+	// The whole floor contains every object.
+	all := s.TrueRange(g.Plan().Bounds())
+	if len(all) != 40 {
+		t.Errorf("whole-floor range = %d objects, want 40", len(all))
+	}
+	// An empty window contains none.
+	if got := s.TrueRange(geom.RectWH(-100, -100, 1, 1)); len(got) != 0 {
+		t.Errorf("far window = %v", got)
+	}
+	// Results are consistent with positions.
+	q := geom.RectWH(10, 10, 20, 10)
+	got := s.TrueRange(q)
+	seen := map[model.ObjectID]bool{}
+	for _, o := range got {
+		seen[o] = true
+		if !q.Contains(s.TruePosition(o)) {
+			t.Errorf("object %d reported in window but at %v", o, s.TruePosition(o))
+		}
+	}
+	for _, o := range s.Objects() {
+		if !seen[o] && q.Contains(s.TruePosition(o)) {
+			t.Errorf("object %d missed by TrueRange", o)
+		}
+	}
+}
+
+func TestTrueKNN(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 40
+	s := MustNew(g, sensor, cfg, 5)
+	s.Run(60)
+	q := geom.Pt(35, 12)
+	got := s.TrueKNN(q, 5)
+	if len(got) != 5 {
+		t.Fatalf("kNN size = %d", len(got))
+	}
+	// Verify ordering: every returned object must be at most as far as any
+	// non-returned object.
+	loc := g.NearestLocation(q)
+	nd := g.DistancesFromLocation(loc)
+	maxIn := 0.0
+	for _, o := range got {
+		if d := g.DistToLocation(loc, nd, s.TrueLocation(o)); d > maxIn {
+			maxIn = d
+		}
+	}
+	in := map[model.ObjectID]bool{}
+	for _, o := range got {
+		in[o] = true
+	}
+	for _, o := range s.Objects() {
+		if in[o] {
+			continue
+		}
+		if d := g.DistToLocation(loc, nd, s.TrueLocation(o)); d < maxIn-1e-9 {
+			t.Errorf("object %d at %v is closer than returned max %v", o, d, maxIn)
+		}
+	}
+	// k larger than the population returns everyone.
+	if got := s.TrueKNN(q, 100); len(got) != 40 {
+		t.Errorf("oversized k = %d objects", len(got))
+	}
+}
+
+func TestLateralOffsetsWithinHallwayWidth(t *testing.T) {
+	g, sensor := office(t)
+	cfg := DefaultTraceConfig()
+	cfg.NumObjects = 25
+	cfg.DwellMin, cfg.DwellMax = 1, 3
+	s := MustNew(g, sensor, cfg, 6)
+	plan := g.Plan()
+	for step := 0; step < 200; step++ {
+		s.Step()
+		for _, o := range s.Objects() {
+			if s.InRoom(o) {
+				continue
+			}
+			p := s.TruePosition(o)
+			cp := g.Point(s.TrueLocation(o))
+			if p.Dist(cp) > plan.Hallways()[0].Width/2+1e-9 {
+				t.Fatalf("lateral offset %v exceeds half width", p.Dist(cp))
+			}
+		}
+	}
+}

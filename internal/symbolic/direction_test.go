@@ -1,0 +1,151 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/anchor"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/walkgraph"
+)
+
+// pairedCorridor: a 60 m hallway with a directed partitioning pair at
+// x = 28 (entry) and x = 32 (exit) plus end readers.
+func pairedCorridor(t *testing.T) (*walkgraph.Graph, *rfid.Deployment, *anchor.Index) {
+	t.Helper()
+	b := floorplan.NewBuilder()
+	h := b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(60, 10)), 2)
+	b.AddRoom("W", geom.RectWH(8, 3, 6, 6), h)
+	b.AddRoom("E", geom.RectWH(44, 3, 6, 6), h)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(28, 10), Range: 1.5},
+		{Pos: geom.Pt(32, 10), Range: 1.5},
+	})
+	if err := dep.AddDirectedPair(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g, dep, anchor.MustBuildIndex(g, 1.0)
+}
+
+// TestCase3DirectedPairHalvesRegion verifies the paper's Case 3: after being
+// seen at the pair's entry and then its exit, the object must be east of the
+// pair; without direction knowledge the region spans both sides.
+func TestCase3DirectedPairHalvesRegion(t *testing.T) {
+	g, dep, idx := pairedCorridor(t)
+	m := MustNew(g, dep, idx, DefaultMaxSpeed)
+
+	directed := Sighting{Reader: 1, Prev: 0, Time: 100, Current: false}
+	blind := Sighting{Reader: 1, Prev: model.NoReader, Time: 100, Current: false}
+
+	regionSides := func(s Sighting) (west, east bool) {
+		reg := m.Region(s, 110)
+		for _, iv := range reg.Intervals {
+			e := g.Edge(iv.Edge)
+			if e.Kind != walkgraph.HallwayEdge {
+				continue
+			}
+			for _, off := range []float64{iv.Lo + 1e-6, iv.Hi - 1e-6} {
+				x := g.Point(walkgraph.Location{Edge: iv.Edge, Offset: off}).X
+				if x < 30 {
+					west = true
+				}
+				if x > 33.5 {
+					east = true
+				}
+			}
+		}
+		return west, east
+	}
+
+	west, east := regionSides(directed)
+	if west {
+		t.Error("directed sighting leaked west of the pair")
+	}
+	if !east {
+		t.Error("directed sighting has no mass east of the pair")
+	}
+
+	west, east = regionSides(blind)
+	if !west || !east {
+		t.Errorf("undirected sighting should span both sides: west=%v east=%v", west, east)
+	}
+}
+
+// TestCase3ReverseDirection checks the opposite crossing: exit seen first,
+// then entry, places the object west of the pair.
+func TestCase3ReverseDirection(t *testing.T) {
+	g, dep, idx := pairedCorridor(t)
+	m := MustNew(g, dep, idx, DefaultMaxSpeed)
+	s := Sighting{Reader: 0, Prev: 1, Time: 100, Current: false}
+	reg := m.Region(s, 110)
+	for _, iv := range reg.Intervals {
+		e := g.Edge(iv.Edge)
+		if e.Kind != walkgraph.HallwayEdge {
+			continue
+		}
+		for _, off := range []float64{iv.Lo + 1e-6, iv.Hi - 1e-6} {
+			x := g.Point(walkgraph.Location{Edge: iv.Edge, Offset: off}).X
+			if x > 29.5 {
+				t.Errorf("reverse crossing leaked east: x = %v", x)
+			}
+		}
+	}
+}
+
+// TestCase2PresenceDeviceKeepsObjectInCell verifies the paper's Case 2: an
+// object that left a presence device is still in the cell containing it.
+func TestCase2PresenceDeviceKeepsObjectInCell(t *testing.T) {
+	b := floorplan.NewBuilder()
+	b.AddHallway("h", geom.Seg(geom.Pt(0, 10), geom.Pt(40, 10)), 2)
+	plan, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.NewDeployment([]rfid.Reader{
+		{Pos: geom.Pt(10, 10), Range: 1.5},                      // partitioning
+		{Pos: geom.Pt(25, 10), Range: 1.5, Kind: rfid.Presence}, // presence
+	})
+	idx := anchor.MustBuildIndex(g, 1.0)
+	m := MustNew(g, dep, idx, DefaultMaxSpeed)
+	// Long after leaving the presence device, the region fills the cell east
+	// of the partitioning reader but never crosses it.
+	reg := m.Region(Sighting{Reader: 1, Prev: model.NoReader, Time: 0, Current: false}, 1000)
+	minX, maxX := 1e9, -1e9
+	for _, iv := range reg.Intervals {
+		for _, off := range []float64{iv.Lo + 1e-6, iv.Hi - 1e-6} {
+			x := g.Point(walkgraph.Location{Edge: iv.Edge, Offset: off}).X
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+		}
+	}
+	if minX < 11.4 {
+		t.Errorf("region crossed the partitioning reader: minX = %v", minX)
+	}
+	if maxX < 39 {
+		t.Errorf("region should fill the cell to the east end: maxX = %v", maxX)
+	}
+	// The presence device's own covered stretch is part of the cell and so
+	// part of the region (it senses, but does not block).
+	covered := false
+	for _, iv := range reg.Intervals {
+		mid := g.Point(walkgraph.Location{Edge: iv.Edge, Offset: (iv.Lo + iv.Hi) / 2})
+		if mid.Dist(geom.Pt(25, 10)) < 1.5 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Error("presence-covered stretch missing from the region")
+	}
+}

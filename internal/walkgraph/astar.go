@@ -1,0 +1,88 @@
+package walkgraph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// AStar returns the shortest network distance between two locations using
+// A* with the Euclidean lower bound as its heuristic. The heuristic is
+// admissible on walking graphs built by this package: every hallway and door
+// edge is at least as long as its endpoints' straight-line distance, and
+// link edges declare lengths no shorter than their geometric gap (enforced
+// by floorplan validation), so network distance can never undercut the
+// Euclidean distance.
+//
+// It returns the same values as DistBetween but typically visits far fewer
+// nodes on large graphs; see BenchmarkAStarVsDijkstra.
+func (g *Graph) AStar(a, b Location) float64 {
+	a, b = g.Clamp(a), g.Clamp(b)
+	if a.Edge == b.Edge {
+		direct := math.Abs(a.Offset - b.Offset)
+		// Going around could only win on degenerate graphs; fall through to
+		// the search and take the minimum.
+		if around := g.aStarSearch(a, b); around < direct {
+			return around
+		}
+		return direct
+	}
+	return g.aStarSearch(a, b)
+}
+
+func (g *Graph) aStarSearch(a, b Location) float64 {
+	target := g.Point(b)
+	be := g.edges[b.Edge]
+
+	// gScore per node; seeded from the two endpoints of a's edge.
+	gScore := make(map[NodeID]float64, 64)
+	h := func(n NodeID) float64 { return g.nodes[n].Pos.Dist(target) }
+
+	pqd := &pq{}
+	push := func(n NodeID, d float64) {
+		if cur, ok := gScore[n]; !ok || d < cur {
+			gScore[n] = d
+			heap.Push(pqd, pqItem{node: n, dist: d + h(n)})
+		}
+	}
+	ae := g.edges[a.Edge]
+	push(ae.A, a.Offset)
+	push(ae.B, ae.Length-a.Offset)
+
+	best := math.Inf(1)
+	for pqd.Len() > 0 {
+		it := heap.Pop(pqd).(pqItem)
+		n := it.node
+		gn, ok := gScore[n]
+		if !ok || it.dist-h(n) > gn+1e-12 {
+			continue // stale entry
+		}
+		if gn >= best {
+			continue
+		}
+		// Relax the goal if n is an endpoint of b's edge.
+		if n == be.A {
+			if d := gn + b.Offset; d < best {
+				best = d
+			}
+		}
+		if n == be.B {
+			if d := gn + be.Length - b.Offset; d < best {
+				best = d
+			}
+		}
+		// A* terminates when the best frontier f-score cannot beat the
+		// incumbent: f = g + h >= true remaining distance.
+		if it.dist >= best {
+			break
+		}
+		for _, eid := range g.nodes[n].edges {
+			e := g.edges[eid]
+			next := e.B
+			if next == n {
+				next = e.A
+			}
+			push(next, gn+e.Length)
+		}
+	}
+	return best
+}

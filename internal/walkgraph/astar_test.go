@@ -1,0 +1,66 @@
+package walkgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/rng"
+)
+
+// TestAStarMatchesDijkstra is the correctness property: A* must return
+// exactly the shortest network distance on every plan it is used with.
+func TestAStarMatchesDijkstra(t *testing.T) {
+	plans := []*floorplan.Plan{
+		floorplan.DefaultOffice(),
+		floorplan.TwoStoryOffice(),
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		plans = append(plans, floorplan.RandomOffice(rng.New(seed), 1+int(seed)%3))
+	}
+	for pi, plan := range plans {
+		g := MustBuild(plan)
+		src := rng.New(int64(100 + pi))
+		for trial := 0; trial < 60; trial++ {
+			e1 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+			e2 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+			a := Location{Edge: e1.ID, Offset: src.Uniform(0, e1.Length)}
+			b := Location{Edge: e2.ID, Offset: src.Uniform(0, e2.Length)}
+			want := g.DistBetween(a, b)
+			got := g.AStar(a, b)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("plan %d: AStar(%v, %v) = %v, Dijkstra = %v", pi, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAStarSameEdge(t *testing.T) {
+	g := MustBuild(floorplan.DefaultOffice())
+	e := g.Edge(0)
+	a := Location{Edge: e.ID, Offset: 0.5}
+	b := Location{Edge: e.ID, Offset: e.Length - 0.5}
+	want := g.DistBetween(a, b)
+	if got := g.AStar(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("same-edge AStar = %v, want %v", got, want)
+	}
+	// Identical locations.
+	if got := g.AStar(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+}
+
+func TestAStarSymmetric(t *testing.T) {
+	g := MustBuild(floorplan.TwoStoryOffice())
+	src := rng.New(7)
+	for trial := 0; trial < 40; trial++ {
+		e1 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+		e2 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+		a := Location{Edge: e1.ID, Offset: src.Uniform(0, e1.Length)}
+		b := Location{Edge: e2.ID, Offset: src.Uniform(0, e2.Length)}
+		d1, d2 := g.AStar(a, b), g.AStar(b, a)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", d1, d2)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package walkgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// Build constructs the indoor walking graph for a floor plan.
+//
+// For every hallway, the centerline is cut at its endpoints, at crossings
+// with other hallway centerlines, and at every door's projection point; the
+// cuts become Junction nodes and the pieces between consecutive cuts become
+// HallwayEdge edges. Every room contributes one RoomCenter node joined to
+// each of its doors' junctions by a DoorEdge whose length is the walking
+// distance from the hallway centerline through the door to the room center.
+func Build(plan *floorplan.Plan) (*Graph, error) {
+	g := &Graph{
+		plan:      plan,
+		roomNodes: make(map[floorplan.RoomID]NodeID),
+	}
+	b := builder{g: g, byPos: make(map[posKey]NodeID)}
+
+	// Cut parameters per hallway, as distances along the centerline.
+	cuts := make([][]float64, len(plan.Hallways()))
+	for _, h := range plan.Hallways() {
+		cuts[h.ID] = []float64{0, h.Length()}
+	}
+	// Crossings between hallway centerlines.
+	halls := plan.Hallways()
+	for i := range halls {
+		for j := i + 1; j < len(halls); j++ {
+			p, ok := axisAlignedIntersection(halls[i].Center, halls[j].Center)
+			if !ok {
+				continue
+			}
+			cuts[halls[i].ID] = append(cuts[halls[i].ID], halls[i].Center.Project(p)*halls[i].Length())
+			cuts[halls[j].ID] = append(cuts[halls[j].ID], halls[j].Center.Project(p)*halls[j].Length())
+		}
+	}
+	// Door projection points.
+	for _, d := range plan.Doors() {
+		h := plan.Hallway(d.Hallway)
+		cuts[h.ID] = append(cuts[h.ID], h.Center.Project(d.HallwayPoint)*h.Length())
+	}
+	// Link endpoints.
+	for _, l := range plan.Links() {
+		ha, hb := plan.Hallway(l.HallwayA), plan.Hallway(l.HallwayB)
+		cuts[ha.ID] = append(cuts[ha.ID], ha.Center.Project(l.A)*ha.Length())
+		cuts[hb.ID] = append(cuts[hb.ID], hb.Center.Project(l.B)*hb.Length())
+	}
+
+	// Create hallway nodes and edges.
+	for _, h := range plan.Hallways() {
+		cs := dedupeSorted(cuts[h.ID])
+		prev := NoNode
+		var prevAt float64
+		for _, c := range cs {
+			pos := h.Center.At(c / h.Length())
+			n := b.junction(pos)
+			if prev != NoNode && n != prev {
+				b.edge(Edge{
+					A:       prev,
+					B:       n,
+					Length:  c - prevAt,
+					Kind:    HallwayEdge,
+					Hallway: h.ID,
+					Room:    floorplan.NoRoom,
+				})
+			}
+			prev, prevAt = n, c
+		}
+	}
+
+	// Create room nodes and door edges.
+	for _, d := range plan.Doors() {
+		room := plan.Room(d.Room)
+		roomNode, ok := g.roomNodes[room.ID]
+		if !ok {
+			roomNode = b.node(Node{
+				Pos:  room.Center(),
+				Kind: RoomCenter,
+				Room: room.ID,
+			})
+			g.roomNodes[room.ID] = roomNode
+		}
+		hallNode, ok := b.byPos[keyOf(d.HallwayPoint)]
+		if !ok {
+			return nil, fmt.Errorf("walkgraph: door %d hallway point %v has no junction node", d.ID, d.HallwayPoint)
+		}
+		// Walking length through the door: centerline to door plus door to
+		// room center.
+		toDoor := d.HallwayPoint.Dist(d.Pos)
+		length := toDoor + d.Pos.Dist(room.Center())
+		b.edge(Edge{
+			A:       hallNode,
+			B:       roomNode,
+			Length:  length,
+			Kind:    DoorEdge,
+			Hallway: floorplan.NoHallway,
+			Room:    room.ID,
+			DoorAt:  toDoor,
+		})
+	}
+
+	// Create link edges (stairs, elevators) between their hallway junctions.
+	for _, l := range plan.Links() {
+		na, okA := b.byPos[keyOf(l.A)]
+		nb, okB := b.byPos[keyOf(l.B)]
+		if !okA || !okB {
+			return nil, fmt.Errorf("walkgraph: link %d endpoints have no junction nodes", l.ID)
+		}
+		if na == nb {
+			return nil, fmt.Errorf("walkgraph: link %d connects a point to itself", l.ID)
+		}
+		b.edge(Edge{
+			A:       na,
+			B:       nb,
+			Length:  l.Length,
+			Kind:    LinkEdge,
+			Hallway: floorplan.NoHallway,
+			Room:    floorplan.NoRoom,
+		})
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for plans known to be valid; it panics on error.
+func MustBuild(plan *floorplan.Plan) *Graph {
+	g, err := Build(plan)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type posKey struct{ x, y int64 }
+
+func keyOf(p geom.Point) posKey {
+	const q = 1e6 // micrometers: far below any meaningful plan feature size
+	return posKey{int64(math.Round(p.X * q)), int64(math.Round(p.Y * q))}
+}
+
+type builder struct {
+	g     *Graph
+	byPos map[posKey]NodeID
+}
+
+// junction returns the Junction node at pos, creating it if needed. Nodes
+// are deduplicated by position so crossing hallways share their junction.
+func (b *builder) junction(pos geom.Point) NodeID {
+	if id, ok := b.byPos[keyOf(pos)]; ok {
+		return id
+	}
+	id := b.node(Node{Pos: pos, Kind: Junction, Room: floorplan.NoRoom})
+	b.byPos[keyOf(pos)] = id
+	return id
+}
+
+func (b *builder) node(n Node) NodeID {
+	n.ID = NodeID(len(b.g.nodes))
+	b.g.nodes = append(b.g.nodes, n)
+	return n.ID
+}
+
+func (b *builder) edge(e Edge) EdgeID {
+	e.ID = EdgeID(len(b.g.edges))
+	b.g.edges = append(b.g.edges, e)
+	b.g.nodes[e.A].edges = append(b.g.nodes[e.A].edges, e.ID)
+	b.g.nodes[e.B].edges = append(b.g.nodes[e.B].edges, e.ID)
+	return e.ID
+}
+
+// axisAlignedIntersection returns the intersection point of two axis-aligned
+// segments, if they touch or cross.
+func axisAlignedIntersection(a, b geom.Segment) (geom.Point, bool) {
+	ah := a.A.Y == a.B.Y
+	bh := b.A.Y == b.B.Y
+	switch {
+	case ah && !bh:
+		x, y := b.A.X, a.A.Y
+		if between(x, a.A.X, a.B.X) && between(y, b.A.Y, b.B.Y) {
+			return geom.Pt(x, y), true
+		}
+	case !ah && bh:
+		x, y := a.A.X, b.A.Y
+		if between(x, b.A.X, b.B.X) && between(y, a.A.Y, a.B.Y) {
+			return geom.Pt(x, y), true
+		}
+	case ah && bh:
+		// Collinear horizontal segments: report a shared endpoint if any.
+		if a.A.Y == b.A.Y {
+			return sharedEndpoint(a, b)
+		}
+	default:
+		if a.A.X == b.A.X {
+			return sharedEndpoint(a, b)
+		}
+	}
+	return geom.Point{}, false
+}
+
+func sharedEndpoint(a, b geom.Segment) (geom.Point, bool) {
+	for _, p := range []geom.Point{a.A, a.B} {
+		for _, q := range []geom.Point{b.A, b.B} {
+			if p.Equal(q) {
+				return p, true
+			}
+		}
+	}
+	return geom.Point{}, false
+}
+
+func between(v, a, b float64) bool {
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	return v >= lo-geom.Eps && v <= hi+geom.Eps
+}
+
+// dedupeSorted sorts vs and removes near-duplicate values (within 1e-6 m).
+func dedupeSorted(vs []float64) []float64 {
+	sort.Float64s(vs)
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) == 0 || v-out[len(out)-1] > 1e-6 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

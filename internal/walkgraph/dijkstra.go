@@ -1,0 +1,193 @@
+package walkgraph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Unreachable is the distance reported for nodes that cannot be reached.
+// A valid walking graph is connected, so it only appears for corrupt graphs.
+var Unreachable = math.Inf(1)
+
+// pqItem is an entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra runs Dijkstra's algorithm from the given seed distances.
+// seeds maps node IDs to their initial distances (a virtual source).
+func (g *Graph) dijkstra(seeds map[NodeID]float64) (dist []float64, prev []NodeID) {
+	dist = make([]float64, len(g.nodes))
+	prev = make([]NodeID, len(g.nodes))
+	for i := range dist {
+		dist[i] = Unreachable
+		prev[i] = NoNode
+	}
+	q := make(pq, 0, len(seeds))
+	for n, d := range seeds {
+		dist[n] = d
+		q = append(q, pqItem{node: n, dist: d})
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, eid := range g.nodes[it.node].edges {
+			e := g.edges[eid]
+			next := e.B
+			if next == it.node {
+				next = e.A
+			}
+			nd := it.dist + e.Length
+			if nd < dist[next] {
+				dist[next] = nd
+				prev[next] = it.node
+				heap.Push(&q, pqItem{node: next, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestFromNode returns, for every node, the shortest network distance
+// from src and the predecessor on one shortest path.
+func (g *Graph) ShortestFromNode(src NodeID) (dist []float64, prev []NodeID) {
+	return g.dijkstra(map[NodeID]float64{src: 0})
+}
+
+// DistancesFromLocation returns, for every node, the shortest network
+// distance from the given location (which may be mid-edge).
+func (g *Graph) DistancesFromLocation(l Location) []float64 {
+	l = g.Clamp(l)
+	e := g.edges[l.Edge]
+	seeds := map[NodeID]float64{
+		e.A: l.Offset,
+		e.B: e.Length - l.Offset,
+	}
+	// A and B can coincide in degenerate graphs; keep the smaller seed.
+	if e.A == e.B && e.Length-l.Offset < l.Offset {
+		seeds[e.A] = e.Length - l.Offset
+	}
+	dist, _ := g.dijkstra(seeds)
+	return dist
+}
+
+// DistToLocation returns the shortest network distance from a location to a
+// target location, given the node distances previously computed with
+// DistancesFromLocation (or ShortestFromNode) for the source. It accounts
+// for the case of both locations sharing an edge.
+func (g *Graph) DistToLocation(src Location, nodeDist []float64, dst Location) float64 {
+	src, dst = g.Clamp(src), g.Clamp(dst)
+	e := g.edges[dst.Edge]
+	d := math.Min(nodeDist[e.A]+dst.Offset, nodeDist[e.B]+e.Length-dst.Offset)
+	if src.Edge == dst.Edge {
+		d = math.Min(d, math.Abs(src.Offset-dst.Offset))
+	}
+	return d
+}
+
+// DistBetween returns the shortest network distance between two locations.
+// For repeated queries from the same source, compute DistancesFromLocation
+// once and use DistToLocation instead.
+func (g *Graph) DistBetween(a, b Location) float64 {
+	if a.Edge == b.Edge {
+		direct := math.Abs(a.Offset - b.Offset)
+		// The around-the-loop path can theoretically be shorter only when
+		// the edge is longer than the loop, which Build never produces; but
+		// compute it anyway for correctness on arbitrary graphs.
+		nd := g.DistancesFromLocation(a)
+		return math.Min(direct, g.DistToLocation(a, nd, b))
+	}
+	nd := g.DistancesFromLocation(a)
+	return g.DistToLocation(a, nd, b)
+}
+
+// PathBetweenNodes returns a shortest node path from a to b (inclusive) and
+// its length.
+func (g *Graph) PathBetweenNodes(a, b NodeID) ([]NodeID, float64) {
+	dist, prev := g.ShortestFromNode(a)
+	if math.IsInf(dist[b], 1) {
+		return nil, Unreachable
+	}
+	var rev []NodeID
+	for n := b; n != NoNode; n = prev[n] {
+		rev = append(rev, n)
+		if n == a {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[b]
+}
+
+// PathFromLocation returns a shortest node path from the given mid-edge
+// location to the destination node. The first element of the path is the
+// endpoint of l.Edge the walker should head to first; the total length
+// includes the initial on-edge stretch.
+func (g *Graph) PathFromLocation(l Location, dest NodeID) ([]NodeID, float64) {
+	l = g.Clamp(l)
+	e := g.edges[l.Edge]
+	if ln := g.NodeAt(l, 1e-9); ln != NoNode {
+		return g.PathBetweenNodes(ln, dest)
+	}
+	distA, prevA := g.ShortestFromNode(e.A)
+	distB, prevB := g.ShortestFromNode(e.B)
+	viaA := l.Offset + distA[dest]
+	viaB := (e.Length - l.Offset) + distB[dest]
+	var prev []NodeID
+	var start NodeID
+	var total float64
+	if viaA <= viaB {
+		prev, start, total = prevA, e.A, viaA
+	} else {
+		prev, start, total = prevB, e.B, viaB
+	}
+	if math.IsInf(total, 1) {
+		return nil, Unreachable
+	}
+	var rev []NodeID
+	for n := dest; n != NoNode; n = prev[n] {
+		rev = append(rev, n)
+		if n == start {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, total
+}
+
+// EdgeBetween returns the shortest edge directly connecting nodes a and b.
+func (g *Graph) EdgeBetween(a, b NodeID) (EdgeID, bool) {
+	best := NoEdge
+	bestLen := math.Inf(1)
+	for _, eid := range g.nodes[a].edges {
+		e := g.edges[eid]
+		if (e.A == a && e.B == b) || (e.B == a && e.A == b) {
+			if e.Length < bestLen {
+				best, bestLen = eid, e.Length
+			}
+		}
+	}
+	return best, best != NoEdge
+}

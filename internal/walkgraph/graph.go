@@ -1,0 +1,219 @@
+// Package walkgraph implements the paper's indoor walking graph model: a
+// graph G(N, E) abstracted from the regular walking patterns of people in an
+// indoor space. Hallway centerlines contribute chains of edges; each room
+// contributes a room node joined to the hallway by a door edge. All object
+// and particle movement in the system is constrained to the edges of this
+// graph, and the distance metric for queries is the shortest network
+// distance on it.
+package walkgraph
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node of the walking graph.
+type NodeID int
+
+// NoNode marks the absence of a node.
+const NoNode NodeID = -1
+
+// EdgeID identifies an edge of the walking graph.
+type EdgeID int
+
+// NoEdge marks the absence of an edge.
+const NoEdge EdgeID = -1
+
+// NodeKind classifies graph nodes.
+type NodeKind int
+
+const (
+	// Junction is a node on a hallway centerline: an endpoint, a crossing
+	// with another hallway, or a door's projection point.
+	Junction NodeKind = iota
+	// RoomCenter is the single node representing a room's interior.
+	RoomCenter
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case Junction:
+		return "junction"
+	case RoomCenter:
+		return "room"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a vertex of the walking graph.
+type Node struct {
+	ID   NodeID
+	Pos  geom.Point
+	Kind NodeKind
+	// Room is the room this node represents (RoomCenter nodes only);
+	// floorplan.NoRoom otherwise.
+	Room floorplan.RoomID
+	// edges lists incident edge IDs.
+	edges []EdgeID
+}
+
+// EdgeKind classifies graph edges.
+type EdgeKind int
+
+const (
+	// HallwayEdge runs along a hallway centerline between two junctions.
+	HallwayEdge EdgeKind = iota
+	// DoorEdge connects a door's hallway projection to a room's center.
+	DoorEdge
+	// LinkEdge is an abstract walkable connection (stairs, elevator)
+	// between two hallway points; its length is the link's declared walking
+	// distance, not the geometric distance, and its drawn segment is not
+	// physical space (no reader coverage, no room membership).
+	LinkEdge
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case HallwayEdge:
+		return "hallway"
+	case DoorEdge:
+		return "door"
+	case LinkEdge:
+		return "link"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge is an undirected edge of the walking graph. Locations along the edge
+// are measured as a distance offset from endpoint A.
+type Edge struct {
+	ID     EdgeID
+	A, B   NodeID
+	Length float64
+	Kind   EdgeKind
+	// Hallway is set for HallwayEdge edges, floorplan.NoHallway otherwise.
+	Hallway floorplan.HallwayID
+	// Room is set for DoorEdge edges, floorplan.NoRoom otherwise.
+	Room floorplan.RoomID
+	// DoorAt is, for DoorEdge edges, the offset from A at which the door
+	// itself (the room wall) is crossed; offsets beyond it are inside the
+	// room. It is 0 for hallway edges.
+	DoorAt float64
+}
+
+// Graph is the immutable indoor walking graph. Construct one with Build.
+type Graph struct {
+	plan      *floorplan.Plan
+	nodes     []Node
+	edges     []Edge
+	roomNodes map[floorplan.RoomID]NodeID
+}
+
+// Plan returns the floor plan the graph was built from.
+func (g *Graph) Plan() *floorplan.Plan { return g.plan }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Nodes returns all nodes indexed by NodeID. The slice must not be modified.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns all edges indexed by EdgeID. The slice must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// IncidentEdges returns the IDs of edges incident to node id. The slice must
+// not be modified.
+func (g *Graph) IncidentEdges(id NodeID) []EdgeID { return g.nodes[id].edges }
+
+// Degree returns the number of edges incident to node id.
+func (g *Graph) Degree(id NodeID) int { return len(g.nodes[id].edges) }
+
+// OtherEnd returns the endpoint of edge e opposite to node n. It panics if n
+// is not an endpoint of e.
+func (g *Graph) OtherEnd(e EdgeID, n NodeID) NodeID {
+	edge := g.edges[e]
+	switch n {
+	case edge.A:
+		return edge.B
+	case edge.B:
+		return edge.A
+	default:
+		panic(fmt.Sprintf("walkgraph: node %d is not an endpoint of edge %d", n, e))
+	}
+}
+
+// RoomNode returns the RoomCenter node for the given room, or NoNode if the
+// room has no door (which Build rejects, so only for foreign IDs).
+func (g *Graph) RoomNode(r floorplan.RoomID) NodeID {
+	if id, ok := g.roomNodes[r]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// EdgeSegment returns the geometric segment of edge e, directed A to B.
+func (g *Graph) EdgeSegment(e EdgeID) geom.Segment {
+	edge := g.edges[e]
+	return geom.Seg(g.nodes[edge.A].Pos, g.nodes[edge.B].Pos)
+}
+
+// TotalEdgeLength returns the summed length of all edges.
+func (g *Graph) TotalEdgeLength() float64 {
+	l := 0.0
+	for _, e := range g.edges {
+		l += e.Length
+	}
+	return l
+}
+
+// Validate checks the graph's structural invariants.
+func (g *Graph) Validate() error {
+	for _, e := range g.edges {
+		if e.Length <= 0 {
+			return fmt.Errorf("walkgraph: edge %d has non-positive length %v", e.ID, e.Length)
+		}
+		if int(e.A) < 0 || int(e.A) >= len(g.nodes) || int(e.B) < 0 || int(e.B) >= len(g.nodes) {
+			return fmt.Errorf("walkgraph: edge %d has dangling endpoint", e.ID)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("walkgraph: edge %d is a self-loop", e.ID)
+		}
+	}
+	for _, n := range g.nodes {
+		if len(n.edges) == 0 {
+			return fmt.Errorf("walkgraph: node %d (%s at %v) is isolated", n.ID, n.Kind, n.Pos)
+		}
+		for _, e := range n.edges {
+			edge := g.edges[e]
+			if edge.A != n.ID && edge.B != n.ID {
+				return fmt.Errorf("walkgraph: node %d lists edge %d which does not touch it", n.ID, e)
+			}
+		}
+	}
+	// The walking graph must be connected: every location must be reachable,
+	// otherwise shortest network distances are undefined for some pairs.
+	if len(g.nodes) > 0 {
+		dist, _ := g.ShortestFromNode(0)
+		for id, d := range dist {
+			if d == Unreachable {
+				return fmt.Errorf("walkgraph: node %d unreachable from node 0", id)
+			}
+		}
+	}
+	return nil
+}

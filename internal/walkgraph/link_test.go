@@ -1,0 +1,69 @@
+package walkgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+func TestTwoStoryGraphConnected(t *testing.T) {
+	p := floorplan.TwoStoryOffice()
+	g := MustBuild(p)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	links := 0
+	for _, e := range g.Edges() {
+		if e.Kind == LinkEdge {
+			links++
+			if e.Length != 8 {
+				t.Errorf("link edge length = %v, want 8", e.Length)
+			}
+		}
+	}
+	if links != 2 {
+		t.Fatalf("link edges = %d, want 2", links)
+	}
+}
+
+func TestCrossFloorDistanceUsesStairs(t *testing.T) {
+	p := floorplan.TwoStoryOffice()
+	g := MustBuild(p)
+	// From the ground-floor stair landing (68, 20) to the upper-floor stair
+	// landing (74, 20): exactly the 8 m stair walk.
+	a := g.NearestLocation(geom.Pt(68, 20))
+	b := g.NearestLocation(geom.Pt(74, 20))
+	if d := g.DistBetween(a, b); math.Abs(d-8) > 1e-9 {
+		t.Errorf("stair-to-stair distance = %v, want 8", d)
+	}
+	// A room on the ground floor to a room on the upper floor is reachable
+	// and the distance includes a stair traversal.
+	r1 := g.LocationAtNode(g.RoomNode(0))  // ground 1-S1
+	r2 := g.LocationAtNode(g.RoomNode(30)) // upper 2-S1
+	d := g.DistBetween(r1, r2)
+	if math.IsInf(d, 1) {
+		t.Fatal("floors not connected")
+	}
+	if d < 8 {
+		t.Errorf("cross-floor distance %v implausibly small", d)
+	}
+}
+
+func TestNearestLocationNeverOnLink(t *testing.T) {
+	p := floorplan.TwoStoryOffice()
+	g := MustBuild(p)
+	// A point in the gap between the buildings, nearest (geometrically) to a
+	// link's drawn segment, must still snap to a hallway edge.
+	loc := g.NearestLocation(geom.Pt(71, 18))
+	if g.Edge(loc.Edge).Kind == LinkEdge {
+		t.Error("snapped onto a link edge")
+	}
+}
+
+func TestLinkEdgeKindString(t *testing.T) {
+	if LinkEdge.String() != "link" {
+		t.Errorf("LinkEdge.String() = %q", LinkEdge)
+	}
+}

@@ -1,0 +1,124 @@
+package walkgraph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+// Location is a point on the walking graph: a distance offset from endpoint
+// A along an edge. All moving entities (objects, particles) and query points
+// are Locations.
+type Location struct {
+	Edge   EdgeID
+	Offset float64
+}
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	return fmt.Sprintf("e%d+%.2f", l.Edge, l.Offset)
+}
+
+// Point returns the plan coordinates of a location.
+func (g *Graph) Point(l Location) geom.Point {
+	e := g.edges[l.Edge]
+	if e.Length <= 0 {
+		return g.nodes[e.A].Pos
+	}
+	t := l.Offset / e.Length
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return g.nodes[e.A].Pos.Lerp(g.nodes[e.B].Pos, t)
+}
+
+// Clamp returns l with its offset clamped into [0, edge length].
+func (g *Graph) Clamp(l Location) Location {
+	e := g.edges[l.Edge]
+	if l.Offset < 0 {
+		l.Offset = 0
+	} else if l.Offset > e.Length {
+		l.Offset = e.Length
+	}
+	return l
+}
+
+// LocationAtNode returns a Location coinciding with node n, placed on one of
+// its incident edges.
+func (g *Graph) LocationAtNode(n NodeID) Location {
+	e := g.nodes[n].edges[0]
+	if g.edges[e].A == n {
+		return Location{Edge: e, Offset: 0}
+	}
+	return Location{Edge: e, Offset: g.edges[e].Length}
+}
+
+// NodeAt returns the node a location coincides with (within tol meters of an
+// edge endpoint), or NoNode.
+func (g *Graph) NodeAt(l Location, tol float64) NodeID {
+	e := g.edges[l.Edge]
+	if l.Offset <= tol {
+		return e.A
+	}
+	if l.Offset >= e.Length-tol {
+		return e.B
+	}
+	return NoNode
+}
+
+// RoomAt returns the room a location lies in: for a DoorEdge, the room once
+// the offset passes the door position; floorplan.NoRoom otherwise.
+func (g *Graph) RoomAt(l Location) floorplan.RoomID {
+	e := g.edges[l.Edge]
+	if e.Kind == DoorEdge && l.Offset >= e.DoorAt {
+		return e.Room
+	}
+	return floorplan.NoRoom
+}
+
+// NearestLocation returns the walking-graph location nearest to an arbitrary
+// plan point. Points inside a room snap onto that room's door edges only
+// (never through a wall onto a hallway); other points snap onto hallway
+// edges and the hallway-side portion of door edges.
+func (g *Graph) NearestLocation(p geom.Point) Location {
+	room := g.plan.RoomAt(p)
+	best := Location{Edge: NoEdge}
+	bestDist := math.Inf(1)
+	for _, e := range g.edges {
+		if e.Kind == LinkEdge {
+			continue // links are not physical space; never snap onto them
+		}
+		if room != floorplan.NoRoom {
+			if e.Kind != DoorEdge || e.Room != room {
+				continue
+			}
+		} else if e.Kind == DoorEdge {
+			continue
+		}
+		seg := g.EdgeSegment(e.ID)
+		t := seg.Project(p)
+		d := seg.At(t).Dist(p)
+		if d < bestDist {
+			bestDist = d
+			best = Location{Edge: e.ID, Offset: t * e.Length}
+		}
+	}
+	if best.Edge == NoEdge {
+		// No candidate edges (e.g. a room without doors cannot occur in a
+		// valid plan); fall back to a global scan.
+		for _, e := range g.edges {
+			seg := g.EdgeSegment(e.ID)
+			t := seg.Project(p)
+			d := seg.At(t).Dist(p)
+			if d < bestDist {
+				bestDist = d
+				best = Location{Edge: e.ID, Offset: t * e.Length}
+			}
+		}
+	}
+	return best
+}

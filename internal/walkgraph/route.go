@@ -1,0 +1,69 @@
+package walkgraph
+
+import "repro/internal/geom"
+
+// Route returns the shortest walking route between two locations as a
+// geometric polyline (plan coordinates) plus its walking length — the
+// indoor navigation primitive built on the same graph the inference uses.
+// The polyline starts at a's position and ends at b's; consecutive duplicate
+// points are collapsed. For unreachable pairs (impossible on validated
+// graphs) it returns nil and +Inf.
+func (g *Graph) Route(a, b Location) ([]geom.Point, float64) {
+	a, b = g.Clamp(a), g.Clamp(b)
+
+	// Same edge: straight along the edge.
+	if a.Edge == b.Edge {
+		return dedupePoints([]geom.Point{g.Point(a), g.Point(b)}),
+			absf(a.Offset - b.Offset)
+	}
+
+	// Shortest node path from a to an endpoint chain ending at b: try both
+	// endpoints of b's edge and keep the shorter total.
+	be := g.edges[b.Edge]
+	bestLen := Unreachable
+	var bestPath []NodeID
+	for _, end := range []struct {
+		node NodeID
+		tail float64
+	}{
+		{be.A, b.Offset},
+		{be.B, be.Length - b.Offset},
+	} {
+		path, d := g.PathFromLocation(a, end.node)
+		if len(path) == 0 {
+			continue
+		}
+		if total := d + end.tail; total < bestLen {
+			bestLen = total
+			bestPath = path
+		}
+	}
+	if bestPath == nil {
+		return nil, Unreachable
+	}
+
+	pts := make([]geom.Point, 0, len(bestPath)+2)
+	pts = append(pts, g.Point(a))
+	for _, n := range bestPath {
+		pts = append(pts, g.nodes[n].Pos)
+	}
+	pts = append(pts, g.Point(b))
+	return dedupePoints(pts), bestLen
+}
+
+func dedupePoints(pts []geom.Point) []geom.Point {
+	out := pts[:0]
+	for _, p := range pts {
+		if len(out) == 0 || !out[len(out)-1].Equal(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

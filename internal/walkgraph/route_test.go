@@ -1,0 +1,74 @@
+package walkgraph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestRouteSameEdge(t *testing.T) {
+	g := MustBuild(floorplan.DefaultOffice())
+	e := g.Edge(0)
+	a := Location{Edge: e.ID, Offset: 0.5}
+	b := Location{Edge: e.ID, Offset: e.Length - 0.5}
+	pts, d := g.Route(a, b)
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if math.Abs(d-(e.Length-1)) > 1e-9 {
+		t.Errorf("length = %v", d)
+	}
+}
+
+func TestRouteLengthMatchesDistBetween(t *testing.T) {
+	for _, plan := range []*floorplan.Plan{floorplan.DefaultOffice(), floorplan.TwoStoryOffice()} {
+		g := MustBuild(plan)
+		src := rng.New(5)
+		for trial := 0; trial < 60; trial++ {
+			e1 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+			e2 := g.Edge(EdgeID(src.Intn(g.NumEdges())))
+			a := Location{Edge: e1.ID, Offset: src.Uniform(0, e1.Length)}
+			b := Location{Edge: e2.ID, Offset: src.Uniform(0, e2.Length)}
+			pts, d := g.Route(a, b)
+			want := g.DistBetween(a, b)
+			if math.Abs(d-want) > 1e-9 {
+				t.Fatalf("route length %v != shortest %v", d, want)
+			}
+			if len(pts) < 1 {
+				t.Fatal("empty polyline")
+			}
+			if !pts[0].Equal(g.Point(a)) || !pts[len(pts)-1].Equal(g.Point(b)) {
+				t.Fatalf("polyline endpoints wrong: %v .. %v", pts[0], pts[len(pts)-1])
+			}
+		}
+	}
+}
+
+func TestRoutePolylineSegmentsOnGraph(t *testing.T) {
+	g := MustBuild(floorplan.DefaultOffice())
+	a := g.LocationAtNode(g.RoomNode(0))
+	b := g.LocationAtNode(g.RoomNode(25))
+	pts, d := g.Route(a, b)
+	if math.IsInf(d, 1) || len(pts) < 3 {
+		t.Fatalf("route = %v (%v)", pts, d)
+	}
+	// No consecutive duplicates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Equal(pts[i-1]) {
+			t.Fatalf("duplicate point at %d", i)
+		}
+	}
+	// Polyline geometric length is at most the walking length for hallway
+	// routes without links (door edges fold, so allow equality tolerance).
+	geomLen := 0.0
+	for i := 1; i < len(pts); i++ {
+		geomLen += pts[i].Dist(pts[i-1])
+	}
+	if geomLen > d+1e-6 {
+		t.Errorf("polyline %v m longer than walking length %v", geomLen, d)
+	}
+	_ = geom.Point{}
+}
