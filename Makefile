@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench experiments examples vet
+.PHONY: build test race bench bench-json check experiments examples vet
 
 build:
 	go build ./...
@@ -14,8 +14,18 @@ test:
 race:
 	go test -race ./...
 
+# Static analysis plus the full suite under the race detector.
+check:
+	go vet ./...
+	go test -race ./...
+
 bench:
 	go test -bench=. -benchmem ./...
+
+# Run the particle-filter hot-path benchmarks (indexed coverage index vs.
+# geometric reference) and record the parsed results plus speedups.
+bench-json:
+	go run ./cmd/benchjson -out BENCH_1.json
 
 # Regenerate every paper figure at full scale (~15 minutes).
 experiments:

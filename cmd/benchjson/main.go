@@ -1,0 +1,166 @@
+// Command benchjson runs the particle-filter hot-path micro-benchmarks
+// (indexed coverage path vs. geometric reference path) and writes the parsed
+// results as JSON, so speedups can be tracked across revisions without
+// eyeballing `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson                      # writes BENCH_1.json in the cwd
+//	benchjson -out results.json -benchtime 2s
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// benchPattern selects the hot-path benchmarks with indexed/geometric
+// sub-benchmarks.
+const benchPattern = "BenchmarkFilterStep|BenchmarkNegativeUpdate|BenchmarkInitAt|BenchmarkReweight"
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`       // e.g. "FilterStep"
+	Path        string  `json:"path"`       // "indexed" or "geometric"
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// report is the file layout: the raw results plus the indexed-over-geometric
+// speedup per benchmark.
+type report struct {
+	GoOS     string             `json:"goos,omitempty"`
+	GoArch   string             `json:"goarch,omitempty"`
+	CPU      string             `json:"cpu,omitempty"`
+	Results  []result           `json:"results"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output file")
+	benchtime := flag.String("benchtime", "1s", "value passed to -benchtime")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchPattern, "-benchmem", "-benchtime", *benchtime,
+		"./internal/particle/")
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	rep := report{Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(outPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if r, ok := parseLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench: %w", err))
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines parsed"))
+	}
+
+	// Speedup = geometric ns/op over indexed ns/op, per benchmark name.
+	byKey := map[string]map[string]float64{}
+	for _, r := range rep.Results {
+		if byKey[r.Name] == nil {
+			byKey[r.Name] = map[string]float64{}
+		}
+		byKey[r.Name][r.Path] = r.NsPerOp
+	}
+	for name, paths := range byKey {
+		if geo, ok := paths["geometric"]; ok {
+			if idx, ok := paths["indexed"]; ok && idx > 0 {
+				rep.Speedups[name] = geo / idx
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+	for name, s := range rep.Speedups {
+		fmt.Printf("  %-16s %.2fx\n", name, s)
+	}
+}
+
+// parseLine parses a `go test -bench` result line of the form
+//
+//	BenchmarkName/sub-N   iters   123.4 ns/op   56 B/op   7 allocs/op
+//
+// and keeps only the indexed/geometric sub-benchmarks.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	// Strip the trailing -N GOMAXPROCS suffix, then split name/path.
+	full := fields[0]
+	if i := strings.LastIndex(full, "-"); i > 0 {
+		full = full[:i]
+	}
+	name, path, ok := strings.Cut(strings.TrimPrefix(full, "Benchmark"), "/")
+	if !ok || (path != "indexed" && path != "geometric") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Path: path, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

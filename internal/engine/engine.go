@@ -140,7 +140,14 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 	if err != nil {
 		return nil, err
 	}
-	filter, err := particle.New(cfg.Particle, g, dep)
+	// Precompute the edge-coverage index once per System; the filter's hot
+	// loops answer all coverage predicates from it (bit-for-bit identical to
+	// the geometric path, so the Workers determinism contract holds).
+	var cov *rfid.Coverage
+	if !cfg.Particle.DisableCoverageIndex {
+		cov = rfid.BuildCoverage(g, dep)
+	}
+	filter, err := particle.NewWithCoverage(cfg.Particle, g, dep, cov)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +193,10 @@ func (s *System) AnchorIndex() *anchor.Index { return s.idx }
 
 // Deployment returns the reader deployment.
 func (s *System) Deployment() *rfid.Deployment { return s.dep }
+
+// Coverage returns the precomputed edge-coverage index, or nil when
+// Config.Particle.DisableCoverageIndex selected the geometric path.
+func (s *System) Coverage() *rfid.Coverage { return s.filter.Coverage() }
 
 // Collector returns the raw data collector.
 func (s *System) Collector() *collector.Collector { return s.col }

@@ -1,0 +1,134 @@
+package particle
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// randomSetup builds a random floorplan, walking graph, and deployment for
+// an equivalence trial.
+func randomSetup(t *testing.T, trial int) (*walkgraph.Graph, *rfid.Deployment) {
+	t.Helper()
+	src := rng.New(int64(9000 + trial))
+	plan := floorplan.RandomOffice(src, 1+trial%3)
+	g, err := walkgraph.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := rfid.DeployUniform(plan, 4+trial%16, 1.5+0.1*float64(trial%10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, dep
+}
+
+// randomEntries synthesizes an aggregated reading stream: bursts of
+// detections at randomly chosen readers separated by silent stretches, the
+// mix that drives the filter through InitAt, reweight, the kidnapped-robot
+// recovery, and negativeUpdate.
+func randomEntries(src *rng.Source, dep *rfid.Deployment, seconds int) []model.AggregatedReading {
+	var entries []model.AggregatedReading
+	reader := model.ReaderID(src.Intn(dep.NumReaders()))
+	for t := 0; t < seconds; t++ {
+		switch {
+		case t == 0 || src.Bool(0.45):
+			if src.Bool(0.15) {
+				reader = model.ReaderID(src.Intn(dep.NumReaders()))
+			}
+			entries = append(entries, model.AggregatedReading{
+				Object: 1, Reader: reader, Time: model.Time(t),
+			})
+		default:
+			// Silent second: no entry at all.
+		}
+	}
+	return entries
+}
+
+// statesEqual compares the observable filter output bit-for-bit.
+func statesEqual(a, b *State) bool {
+	if a.Object != b.Object || a.Time != b.Time || a.LastReadingTime != b.LastReadingTime ||
+		len(a.Particles) != len(b.Particles) {
+		return false
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexedFilterMatchesGeometricBitForBit is the determinism-contract
+// property test of the coverage index: on 50 random floorplans and random
+// reading streams, a full Filter.Run on the indexed path must produce
+// exactly the particle set of the geometric reference path — same
+// locations, directions, speeds, and weights, down to the last bit (both
+// paths consume the same random stream, so any divergence in a coverage
+// predicate would desynchronize them visibly).
+func TestIndexedFilterMatchesGeometricBitForBit(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		g, dep := randomSetup(t, trial)
+
+		cfgIdx := DefaultConfig()
+		cfgGeo := DefaultConfig()
+		cfgGeo.DisableCoverageIndex = true
+		fIdx := MustNew(cfgIdx, g, dep)
+		fGeo := MustNew(cfgGeo, g, dep)
+		if fIdx.Coverage() == nil || fGeo.Coverage() != nil {
+			t.Fatal("coverage knob did not select the expected paths")
+		}
+
+		src := rng.New(int64(5000 + trial))
+		entries := randomEntries(src, dep, 40+trial)
+		now := entries[len(entries)-1].Time + model.Time(trial%8)
+
+		stIdx, errIdx := fIdx.Run(rng.Derive(7, int64(trial)), 1, entries, now)
+		stGeo, errGeo := fGeo.Run(rng.Derive(7, int64(trial)), 1, entries, now)
+		if (errIdx == nil) != (errGeo == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errIdx, errGeo)
+		}
+		if !statesEqual(stIdx, stGeo) {
+			t.Fatalf("trial %d: indexed and geometric filter output diverged\nindexed:   %+v\ngeometric: %+v",
+				trial, stIdx, stGeo)
+		}
+
+		// The cache-hit path must agree too: advance both states further
+		// with a second batch of readings.
+		more := randomEntries(src, dep, 20)
+		for i := range more {
+			more[i].Time += now + 1
+		}
+		later := now + 25
+		fIdx.Advance(rng.Derive(8, int64(trial)), stIdx, more, later)
+		fGeo.Advance(rng.Derive(8, int64(trial)), stGeo, more, later)
+		if !statesEqual(stIdx, stGeo) {
+			t.Fatalf("trial %d: Advance diverged between indexed and geometric paths", trial)
+		}
+	}
+}
+
+// TestIndexedInitAtMatchesGeometric checks the initialization distribution
+// alone: for every reader of each random deployment, the sampled particle
+// sets must be identical.
+func TestIndexedInitAtMatchesGeometric(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		g, dep := randomSetup(t, trial)
+		cfgGeo := DefaultConfig()
+		cfgGeo.DisableCoverageIndex = true
+		fIdx := MustNew(DefaultConfig(), g, dep)
+		fGeo := MustNew(cfgGeo, g, dep)
+		for _, r := range dep.Readers() {
+			a := fIdx.InitAt(rng.Derive(11, int64(trial), int64(r.ID)), 1, r.ID, 0)
+			b := fGeo.InitAt(rng.Derive(11, int64(trial), int64(r.ID)), 1, r.ID, 0)
+			if !statesEqual(a, b) {
+				t.Fatalf("trial %d reader %d: InitAt diverged", trial, r.ID)
+			}
+		}
+	}
+}

@@ -16,18 +16,50 @@ import (
 // object's two retained detecting devices, step them through the motion
 // model at one-second resolution, reweight and resample at every detected
 // second, and stop MaxCoastSeconds past the last reading.
+//
+// The coverage predicates of the inner loop (is this particle inside the
+// detecting reader's range? inside any range? inside a room?) are answered
+// by the precomputed edge-coverage index (rfid.Coverage) instead of
+// per-particle 2-D geometry; the results are bit-for-bit identical (see
+// Config.DisableCoverageIndex).
 type Filter struct {
 	cfg Config
 	g   *walkgraph.Graph
 	dep *rfid.Deployment
+	// et is the graph's flat per-edge table (kind, door position) used by
+	// the hot-loop classifications.
+	et *walkgraph.EdgeTable
+	// cov is the edge-coverage index; nil selects the geometric reference
+	// path.
+	cov *rfid.Coverage
+	// spans is cov's per-edge span table, cached so the per-particle loops
+	// scan it without a method call per particle.
+	spans [][]rfid.CoverSpan
 }
 
-// New builds a Filter. The configuration is validated once here.
+// New builds a Filter. The configuration is validated once here, and the
+// coverage index is built unless cfg.DisableCoverageIndex is set.
 func New(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment) (*Filter, error) {
+	var cov *rfid.Coverage
+	if !cfg.DisableCoverageIndex {
+		cov = rfid.BuildCoverage(g, dep)
+	}
+	return NewWithCoverage(cfg, g, dep, cov)
+}
+
+// NewWithCoverage builds a Filter around an existing coverage index, so a
+// System that already built one (engine.New does) shares it instead of
+// recomputing. A nil cov selects the geometric reference path regardless of
+// cfg.DisableCoverageIndex.
+func NewWithCoverage(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment, cov *rfid.Coverage) (*Filter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Filter{cfg: cfg, g: g, dep: dep}, nil
+	f := &Filter{cfg: cfg, g: g, dep: dep, et: g.EdgeTable(), cov: cov}
+	if cov != nil {
+		f.spans = cov.SpanTable()
+	}
+	return f, nil
 }
 
 // MustNew is New for known-valid configurations.
@@ -42,42 +74,22 @@ func MustNew(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment) *Filter {
 // Config returns the filter's configuration.
 func (f *Filter) Config() Config { return f.cfg }
 
+// Coverage returns the filter's coverage index (nil on the geometric path).
+func (f *Filter) Coverage() *rfid.Coverage { return f.cov }
+
 // InitAt creates a fresh particle set for an object uniformly distributed on
 // the graph edges within the detection range of the given reader, each
-// particle with a random direction and a Gaussian walking speed.
+// particle with a random direction and a Gaussian walking speed. The
+// activation intervals come from the coverage index when available; the
+// geometric path re-intersects the activation circle with every edge.
 func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.ReaderID, t model.Time) *State {
 	r := f.dep.Reader(reader)
-	circle := r.Circle()
-
-	// Collect the edge intervals covered by the activation range.
-	type interval struct {
-		edge     walkgraph.EdgeID
-		lo, hi   float64 // offsets in meters
-		length   float64
-		cumStart float64
-	}
-	var ivs []interval
-	total := 0.0
-	for _, e := range f.g.Edges() {
-		t0, t1, ok := circle.SegmentIntersection(f.g.EdgeSegment(e.ID))
-		if !ok {
-			continue
-		}
-		lo, hi := t0*e.Length, t1*e.Length
-		// A detected object cannot be inside a room (walls block reads), so
-		// only the hallway-side portion of a door edge can hold particles.
-		// Link edges (stairwells) are not physical space at all.
-		if e.Kind == walkgraph.LinkEdge {
-			continue
-		}
-		if e.Kind == walkgraph.DoorEdge && hi > e.DoorAt {
-			hi = e.DoorAt
-		}
-		if hi-lo <= 0 {
-			continue
-		}
-		ivs = append(ivs, interval{edge: e.ID, lo: lo, hi: hi, length: hi - lo, cumStart: total})
-		total += hi - lo
+	var ivs []rfid.InitInterval
+	var total float64
+	if f.cov != nil {
+		ivs, total = f.cov.InitIntervals(reader)
+	} else {
+		ivs, total = rfid.ComputeInitIntervals(f.g, r)
 	}
 
 	st := &State{Object: obj, Time: t, LastReadingTime: t}
@@ -87,9 +99,9 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 		if total > 0 {
 			u := src.Uniform(0, total)
 			// Find the interval containing u.
-			j := sort.Search(len(ivs), func(k int) bool { return ivs[k].cumStart > u }) - 1
+			j := sort.Search(len(ivs), func(k int) bool { return ivs[k].CumStart > u }) - 1
 			iv := ivs[j]
-			loc = walkgraph.Location{Edge: iv.edge, Offset: iv.lo + (u - iv.cumStart)}
+			loc = walkgraph.Location{Edge: iv.Edge, Offset: iv.Lo + (u - iv.CumStart)}
 		} else {
 			// Degenerate deployment: the range covers no edge; collapse to
 			// the nearest graph point.
@@ -121,7 +133,7 @@ func (f *Filter) Run(src *rng.Source, obj model.ObjectID, entries []model.Aggreg
 	}
 	first := entries[0]
 	st := f.InitAt(src, obj, first.Reader, first.Time)
-	f.advance(src, st, entries[1:], now)
+	f.advance(src, st, entries[1:], now, false)
 	return st, nil
 }
 
@@ -130,21 +142,25 @@ func (f *Filter) Run(src *rng.Source, obj model.ObjectID, entries []model.Aggreg
 // MaxCoastSeconds, now). Entries at or before the state's time are skipped.
 // This is the cache-hit path of the cache management module.
 func (f *Filter) Advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time) {
-	fresh := entries[:0:0]
-	for _, e := range entries {
-		if e.Time > st.Time {
-			fresh = append(fresh, e)
-		}
-	}
-	f.advance(src, st, fresh, now)
+	f.advance(src, st, entries, now, true)
 }
 
 // advance steps st second by second to min(td + coast, now), where td is the
 // newest reading time, reweighting and resampling at every detected second.
-func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time) {
-	byTime := make(map[model.Time]model.ReaderID, len(entries))
+// With skipStale set, entries at or before st.Time are ignored (the Advance
+// contract); Run passes every entry through.
+func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time, skipStale bool) {
+	if st.byTime == nil {
+		st.byTime = make(map[model.Time]model.ReaderID, len(entries))
+	} else {
+		clear(st.byTime)
+	}
+	byTime := st.byTime
 	td := st.LastReadingTime
 	for _, e := range entries {
+		if skipStale && e.Time <= st.Time {
+			continue
+		}
 		if e.Detected() {
 			byTime[e.Time] = e.Reader
 			if e.Time > td {
@@ -166,7 +182,7 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 			// information enabled, silence is itself an observation: the
 			// object is (almost surely) not inside any reader's range.
 			if f.cfg.UseNegativeInfo {
-				st.Particles = f.negativeUpdate(src, st.Particles)
+				f.negativeUpdate(src, st)
 			}
 			continue
 		}
@@ -181,13 +197,22 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 			continue
 		}
 		NormalizeWeights(st.Particles)
-		st.Particles = f.cfg.Resample(src, st.Particles)
+		f.resample(src, st)
 		f.roughen(src, st.Particles)
 	}
 	if tmin > st.Time {
 		st.Time = tmin
 	}
 	st.LastReadingTime = td
+}
+
+// resample replaces st.Particles with a resampled set and recycles the
+// previous backing array as the next resample's output buffer, so the
+// steady-state loop allocates nothing.
+func (f *Filter) resample(src *rng.Source, st *State) {
+	out := f.cfg.Resample(src, st.scratch[:0], st.Particles)
+	st.scratch = st.Particles
+	st.Particles = out
 }
 
 // negativeUpdate applies the negative observation "no reader saw the object
@@ -198,29 +223,60 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 // effective sample size degenerates below half the particle count. This
 // preserves particle diversity across long silent stretches instead of
 // collapsing the cloud into whichever hypothesis was briefly favored.
-func (f *Filter) negativeUpdate(src *rng.Source, ps []Particle) []Particle {
+func (f *Filter) negativeUpdate(src *rng.Source, st *State) {
+	ps := st.Particles
 	inside := 0
-	for i := range ps {
-		if f.g.Edge(ps[i].Loc.Edge).Kind == walkgraph.LinkEdge {
-			continue // stairwells are shielded: always consistent with silence
+	if f.cov != nil {
+		for i := range ps {
+			loc := ps[i].Loc
+			// Stairwells (link edges) and rooms are shielded from readers and
+			// therefore always consistent with silence.
+			if f.et.Kind[loc.Edge] == walkgraph.LinkEdge || f.et.InRoom(loc) {
+				continue
+			}
+			// Mirror Graph.Point's offset clamping, then scan the edge's
+			// coverage spans: inside an inner interval is covered for
+			// certain, the guard fringe falls back to exact geometry.
+			off := loc.Offset
+			if off < 0 {
+				off = 0
+			} else if l := f.et.Length[loc.Edge]; off > l {
+				off = l
+			}
+			spans := f.spans[loc.Edge]
+			for si := range spans {
+				s := &spans[si]
+				if off < s.OuterLo || off > s.OuterHi {
+					continue
+				}
+				if (off >= s.InnerLo && off <= s.InnerHi) ||
+					f.dep.Reader(s.Reader).Covers(f.g.Point(loc)) {
+					ps[i].Weight *= f.cfg.NegativeWeight
+					inside++
+					break
+				}
+			}
 		}
-		_, covered := f.dep.CoveringReader(f.g.Point(ps[i].Loc))
-		// Particles inside rooms are shielded by walls and therefore always
-		// consistent with silence.
-		if covered && f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom {
-			ps[i].Weight *= f.cfg.NegativeWeight
-			inside++
+	} else {
+		for i := range ps {
+			if f.g.Edge(ps[i].Loc.Edge).Kind == walkgraph.LinkEdge {
+				continue
+			}
+			_, covered := f.dep.CoveringReader(f.g.Point(ps[i].Loc))
+			if covered && f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom {
+				ps[i].Weight *= f.cfg.NegativeWeight
+				inside++
+			}
 		}
 	}
 	if inside == 0 {
-		return ps
+		return
 	}
 	NormalizeWeights(ps)
 	if EffectiveSampleSize(ps) < float64(len(ps))/2 {
-		ps = f.cfg.Resample(src, ps)
-		f.roughen(src, ps)
+		f.resample(src, st)
+		f.roughen(src, st.Particles)
 	}
-	return ps
 }
 
 // roughen perturbs resampled particle speeds with small Gaussian noise so
@@ -239,12 +295,42 @@ func (f *Filter) roughen(src *rng.Source, ps []Particle) {
 // HighWeight; the rest get LowWeight. It reports whether any particle was
 // consistent with the observation.
 func (f *Filter) reweight(ps []Particle, reader model.ReaderID) bool {
-	r := f.dep.Reader(reader)
 	any := false
+	if f.cov != nil {
+		r := f.dep.Reader(reader)
+		for i := range ps {
+			// A detection places the object in the reader's range outside
+			// any room or stairwell: walls block reads, so those particles
+			// are inconsistent.
+			loc := ps[i].Loc
+			ps[i].Weight = f.cfg.LowWeight
+			if f.et.Kind[loc.Edge] == walkgraph.LinkEdge || f.et.InRoom(loc) {
+				continue
+			}
+			off := loc.Offset
+			if off < 0 {
+				off = 0
+			} else if l := f.et.Length[loc.Edge]; off > l {
+				off = l
+			}
+			spans := f.spans[loc.Edge]
+			for si := range spans {
+				s := &spans[si]
+				if s.Reader != reader {
+					continue
+				}
+				if off >= s.OuterLo && off <= s.OuterHi &&
+					((off >= s.InnerLo && off <= s.InnerHi) || r.Covers(f.g.Point(loc))) {
+					ps[i].Weight = f.cfg.HighWeight
+					any = true
+				}
+				break
+			}
+		}
+		return any
+	}
+	r := f.dep.Reader(reader)
 	for i := range ps {
-		// A detection places the object in the reader's range outside any
-		// room or stairwell: walls block reads, so those particles are
-		// inconsistent.
 		if r.Covers(f.g.Point(ps[i].Loc)) &&
 			f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom &&
 			f.g.Edge(ps[i].Loc.Edge).Kind != walkgraph.LinkEdge {

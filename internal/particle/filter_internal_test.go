@@ -152,7 +152,7 @@ func TestZeroJitterKeepsCloneSpeeds(t *testing.T) {
 	// set.
 	f.reweight(st.Particles, 3)
 	NormalizeWeights(st.Particles)
-	st.Particles = cfg.Resample(src, st.Particles)
+	st.Particles = cfg.Resample(src, nil, st.Particles)
 	f.roughen(src, st.Particles) // no-op at zero jitter
 	for _, p := range st.Particles {
 		if !speeds[p.Speed] {

@@ -77,6 +77,13 @@ type Config struct {
 	// Resample is the resampling algorithm (default: Systematic, the
 	// paper's Algorithm 1).
 	Resample ResampleFunc
+	// DisableCoverageIndex turns off the precomputed edge-coverage index and
+	// makes the filter answer every coverage predicate with the original
+	// per-particle geometry. The two paths produce bit-for-bit identical
+	// filter output (enforced by the equivalence property tests); the
+	// geometric path exists as the reference implementation and for
+	// benchmark comparison. Leave it off outside benchmarks.
+	DisableCoverageIndex bool
 }
 
 // DefaultConfig returns the paper's parameters (Table 2 and Section 4.4).
@@ -139,13 +146,26 @@ type State struct {
 	Time model.Time
 	// LastReadingTime is the time of the newest reading incorporated.
 	LastReadingTime model.Time
+
+	// scratch is the recycled resampling output buffer: after each resample
+	// the previous particle slice becomes the next call's destination, so
+	// the steady-state filter loop allocates nothing. Its contents are
+	// meaningless between calls.
+	scratch []Particle
+	// byTime is advance's recycled detection schedule (time -> detecting
+	// reader), cleared and refilled on every advance call.
+	byTime map[model.Time]model.ReaderID
 }
 
-// Clone returns a deep copy of the state.
+// Clone returns a deep copy of the state. Scratch buffers are not carried
+// over: clones start with fresh ones, so a state and its clone can be
+// advanced independently (the cache clones on both Put and Get).
 func (s *State) Clone() *State {
 	c := *s
 	c.Particles = make([]Particle, len(s.Particles))
 	copy(c.Particles, s.Particles)
+	c.scratch = nil
+	c.byTime = nil
 	return &c
 }
 

@@ -82,7 +82,7 @@ func TestSystematicResamplePreservesCountAndWeights(t *testing.T) {
 		ps[i].Weight = float64(i)
 	}
 	NormalizeWeights(ps)
-	out := Systematic(src, ps)
+	out := Systematic(src, nil, ps)
 	if len(out) != 100 {
 		t.Fatalf("count = %d", len(out))
 	}
@@ -102,7 +102,7 @@ func TestSystematicEliminatesZeroWeight(t *testing.T) {
 		{Loc: walkgraph.Location{Edge: 2}, Weight: 0.5},
 	}
 	for trial := 0; trial < 100; trial++ {
-		out := Systematic(src, ps)
+		out := Systematic(src, nil, ps)
 		for _, p := range out {
 			if p.Loc.Edge == 0 {
 				t.Fatal("zero-weight particle survived systematic resampling")
@@ -130,7 +130,7 @@ func TestSystematicReplicationProportional(t *testing.T) {
 		}
 	}
 	NormalizeWeights(big)
-	out := Systematic(src, big)
+	out := Systematic(src, nil, big)
 	heavy := 0
 	for _, p := range out {
 		if p.Loc.Edge == 0 {
@@ -148,7 +148,7 @@ func TestMultinomialResample(t *testing.T) {
 		{Loc: walkgraph.Location{Edge: 0}, Weight: 0},
 		{Loc: walkgraph.Location{Edge: 1}, Weight: 1},
 	}
-	out := Multinomial(src, ps)
+	out := Multinomial(src, nil, ps)
 	if len(out) != 2 {
 		t.Fatalf("count = %d", len(out))
 	}
@@ -160,7 +160,7 @@ func TestMultinomialResample(t *testing.T) {
 			t.Fatalf("weight = %v", p.Weight)
 		}
 	}
-	if Systematic(src, nil) != nil || Multinomial(src, nil) != nil {
+	if Systematic(src, nil, nil) != nil || Multinomial(src, nil, nil) != nil {
 		t.Error("empty input should return nil")
 	}
 }

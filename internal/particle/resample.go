@@ -7,34 +7,40 @@ import (
 // ResampleFunc replaces a weighted particle set with an equally weighted one
 // drawn (approximately) proportionally to the weights. Implementations must
 // preserve the particle count. Input weights must be normalized.
-type ResampleFunc func(src *rng.Source, ps []Particle) []Particle
+//
+// dst is an optional output buffer: when its capacity suffices the result is
+// written into it instead of a fresh allocation, which is what lets the
+// filter's steady-state loop run allocation-free (the filter recycles the
+// previous particle slice as the next call's dst). dst may be nil and must
+// not alias ps. Implementations must not read dst's contents.
+type ResampleFunc func(src *rng.Source, dst, ps []Particle) []Particle
 
-// Systematic is the paper's Algorithm 1: construct the weight CDF, draw one
-// uniform starting point u1 in [0, 1/Ns], and take Ns equally spaced probes
-// u_j = u1 + (j-1)/Ns through the CDF. Low-weight particles are eliminated,
-// high-weight particles replicated, and all output weights are 1/Ns.
-func Systematic(src *rng.Source, ps []Particle) []Particle {
+// Systematic is the paper's Algorithm 1: draw one uniform starting point u1
+// in [0, 1/Ns] and take Ns equally spaced probes u_j = u1 + (j-1)/Ns through
+// the weight CDF. Low-weight particles are eliminated, high-weight particles
+// replicated, and all output weights are 1/Ns. The CDF is accumulated on the
+// fly (the probes visit it in order), so no CDF array is materialized.
+func Systematic(src *rng.Source, dst, ps []Particle) []Particle {
 	ns := len(ps)
 	if ns == 0 {
 		return nil
 	}
-	// Construct the CDF.
-	cdf := make([]float64, ns)
-	acc := 0.0
-	for i := range ps {
-		acc += ps[i].Weight
-		cdf[i] = acc
+	out := dst
+	if cap(out) >= ns {
+		out = out[:ns]
+	} else {
+		out = make([]Particle, ns)
 	}
-	// Guard against rounding: the last CDF entry must cover u_Ns.
-	cdf[ns-1] = acc + 1
-
-	out := make([]Particle, ns)
 	u1 := src.Uniform(0, 1.0/float64(ns))
 	i := 0
+	cum := ps[0].Weight
 	for j := 0; j < ns; j++ {
 		u := u1 + float64(j)/float64(ns)
-		for u > cdf[i] {
+		// Advance to the CDF bucket containing u. The last bucket acts as a
+		// sentinel absorbing any rounding shortfall in the weight sum.
+		for i < ns-1 && u > cum {
 			i++
+			cum += ps[i].Weight
 		}
 		out[j] = ps[i]
 		out[j].Weight = 1.0 / float64(ns)
@@ -45,7 +51,7 @@ func Systematic(src *rng.Source, ps []Particle) []Particle {
 // Multinomial draws each output particle independently proportionally to the
 // weights. It has higher variance than Systematic and exists as the ablation
 // baseline for the resampling design choice.
-func Multinomial(src *rng.Source, ps []Particle) []Particle {
+func Multinomial(src *rng.Source, dst, ps []Particle) []Particle {
 	ns := len(ps)
 	if ns == 0 {
 		return nil
@@ -54,7 +60,12 @@ func Multinomial(src *rng.Source, ps []Particle) []Particle {
 	for i := range ps {
 		weights[i] = ps[i].Weight
 	}
-	out := make([]Particle, ns)
+	out := dst
+	if cap(out) >= ns {
+		out = out[:ns]
+	} else {
+		out = make([]Particle, ns)
+	}
 	for j := 0; j < ns; j++ {
 		out[j] = ps[src.Categorical(weights)]
 		out[j].Weight = 1.0 / float64(ns)

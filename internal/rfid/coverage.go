@@ -1,0 +1,303 @@
+package rfid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/walkgraph"
+)
+
+// This file implements the edge-coverage index: a deployment-build-time
+// precomputation that turns the particle filter's per-particle 2-D geometry
+// (circle-covers-point, covering-reader scans, circle-edge intersections)
+// into 1-D interval lookups on walking-graph edges.
+//
+// Particles live on graph edges with scalar offsets, so for every
+// (edge, reader) pair the set of covered offsets is a single interval — the
+// distance from a fixed point to a point moving along a segment is convex in
+// the offset. The index stores that interval twice, conservatively:
+//
+//   - an *outer* interval guaranteed to contain every covered offset, and
+//   - an *inner* interval guaranteed to contain only covered offsets.
+//
+// The two differ by CoverageGuard at each end. Offsets inside the inner
+// interval are covered for certain; offsets outside the outer interval are
+// uncovered for certain; offsets in the fringe between them (a few
+// millimeters per boundary, hit with probability ~1e-5 per test) fall back
+// to the exact geometric predicate. The indexed answers are therefore
+// bit-for-bit identical to the geometric ones — the determinism contract the
+// engine's Config.Workers documentation promises — while the common case
+// costs two float compares instead of a hypot.
+//
+// For Filter.InitAt the index stores, per reader, the exact activation
+// intervals the geometric code computes (same expressions, same edge order,
+// same floats) together with their cumulative lengths, so initialization
+// sampling is a binary search instead of re-intersecting the activation
+// circle with every edge of the graph.
+
+// CoverageGuard is the half-width, in meters, of the fringe around computed
+// interval endpoints inside which coverage queries fall back to the exact
+// geometric test. It is chosen orders of magnitude above the worst-case
+// float error of the quadratic root computation (~1e-5 m near tangency) and
+// orders of magnitude below any anchor spacing, so fallbacks are both safe
+// and rare.
+const CoverageGuard = 1e-3
+
+// InitInterval is one edge interval of a reader's activation range, as used
+// by particle initialization: offsets [Lo, Hi] on Edge are inside the range
+// (door edges already clipped to their hallway side), and CumStart is the
+// summed length of all preceding intervals, so a uniform draw u over the
+// total length maps to the interval with the greatest CumStart <= u.
+type InitInterval struct {
+	Edge     walkgraph.EdgeID
+	Lo, Hi   float64
+	CumStart float64
+}
+
+// ComputeInitIntervals returns the activation intervals of one reader in
+// graph-edge order, exactly as Filter.InitAt's geometric path computes them
+// (same intersection routine, same clipping, same accumulation order — the
+// floats are identical), plus their total length. The coverage index calls
+// this once per reader at build time; the filter's geometric reference path
+// calls it per initialization.
+func ComputeInitIntervals(g *walkgraph.Graph, r Reader) ([]InitInterval, float64) {
+	circle := r.Circle()
+	var ivs []InitInterval
+	total := 0.0
+	for _, e := range g.Edges() {
+		t0, t1, ok := circle.SegmentIntersection(g.EdgeSegment(e.ID))
+		if !ok {
+			continue
+		}
+		lo, hi := t0*e.Length, t1*e.Length
+		// A detected object cannot be inside a room (walls block reads), so
+		// only the hallway-side portion of a door edge can hold particles.
+		// Link edges (stairwells) are not physical space at all.
+		if e.Kind == walkgraph.LinkEdge {
+			continue
+		}
+		if e.Kind == walkgraph.DoorEdge && hi > e.DoorAt {
+			hi = e.DoorAt
+		}
+		if hi-lo <= 0 {
+			continue
+		}
+		ivs = append(ivs, InitInterval{Edge: e.ID, Lo: lo, Hi: hi, CumStart: total})
+		total += hi - lo
+	}
+	return ivs, total
+}
+
+// CoverSpan is the coverage interval of one reader on one edge, in offset
+// meters from endpoint A. Inner is the certain subset, outer the certain
+// superset; InnerLo > InnerHi encodes an empty inner interval (the whole
+// span is fringe). Offsets in [OuterLo, InnerLo) or (InnerHi, OuterHi] must
+// fall back to the exact geometric predicate
+// Deployment.Reader(Reader).Covers(point).
+type CoverSpan struct {
+	Reader           model.ReaderID
+	OuterLo, OuterHi float64
+	InnerLo, InnerHi float64
+}
+
+// readerCoverage is the reverse map for one reader.
+type readerCoverage struct {
+	init      []InitInterval
+	initTotal float64
+}
+
+// Coverage is the precomputed edge-coverage index over one (graph,
+// deployment) pair. It is immutable after BuildCoverage and safe for
+// concurrent readers. Memory cost is O(E + S + I) where S is the number of
+// (edge, reader) pairs whose circle touches the edge and I the number of
+// activation intervals — for the paper's deployment (19 readers, ~300
+// edges) a few kilobytes.
+type Coverage struct {
+	g   *walkgraph.Graph
+	dep *Deployment
+	et  *walkgraph.EdgeTable
+	// edges[e] lists the readers whose activation circles touch edge e,
+	// ascending by reader ID (the deployment's scan order, preserved so
+	// nearest-reader tie-breaking stays identical).
+	edges [][]CoverSpan
+	rds   []readerCoverage
+}
+
+// BuildCoverage precomputes the coverage index for a deployment on a
+// walking graph. Call it once at system-construction time.
+func BuildCoverage(g *walkgraph.Graph, d *Deployment) *Coverage {
+	c := &Coverage{
+		g:     g,
+		dep:   d,
+		et:    g.EdgeTable(),
+		edges: make([][]CoverSpan, g.NumEdges()),
+		rds:   make([]readerCoverage, d.NumReaders()),
+	}
+	for _, r := range d.Readers() {
+		for _, e := range g.Edges() {
+			if sp, ok := spanOf(g.EdgeSegment(e.ID), r.Circle(), e.Length); ok {
+				sp.Reader = r.ID
+				c.edges[e.ID] = append(c.edges[e.ID], sp)
+			}
+		}
+		ivs, total := ComputeInitIntervals(g, r)
+		c.rds[r.ID] = readerCoverage{init: ivs, initTotal: total}
+	}
+	return c
+}
+
+// Graph returns the walking graph the index was built on.
+func (c *Coverage) Graph() *walkgraph.Graph { return c.g }
+
+// Deployment returns the reader deployment the index was built on.
+func (c *Coverage) Deployment() *Deployment { return c.dep }
+
+// spanOf computes the conservative coverage span of a circle on an edge of
+// the given length, solving the circle/line quadratic with unclamped roots
+// (unlike geom.Circle.SegmentIntersection, whose clamping would hide
+// coverage that starts before the edge). ok is false when no offset on the
+// edge can possibly be covered.
+func spanOf(seg geom.Segment, circle geom.Circle, length float64) (CoverSpan, bool) {
+	d := seg.B.Sub(seg.A)
+	a := d.Dot(d)
+	if a <= geom.Eps*geom.Eps {
+		// Degenerate segment (cannot occur for validated graphs); treat the
+		// whole edge as fringe so queries fall back to geometry.
+		if seg.A.Dist(circle.C) <= circle.R+CoverageGuard {
+			return CoverSpan{OuterLo: 0, OuterHi: length, InnerLo: 1, InnerHi: 0}, true
+		}
+		return CoverSpan{}, false
+	}
+	f := seg.A.Sub(circle.C)
+	b := 2 * f.Dot(d)
+	cc := f.Dot(f) - circle.R*circle.R
+	disc := b*b - 4*a*cc
+	if disc < 0 {
+		// No crossing in float arithmetic. The circle may still graze the
+		// edge within float error: check the closest approach and, when it
+		// is within the guard of the radius, record a fringe-only span.
+		tc := -b / (2 * a)
+		if tc < 0 {
+			tc = 0
+		} else if tc > 1 {
+			tc = 1
+		}
+		if circle.C.Dist(seg.At(tc)) > circle.R+CoverageGuard {
+			return CoverSpan{}, false
+		}
+		oc := tc * length
+		return CoverSpan{
+			OuterLo: math.Max(0, oc-CoverageGuard),
+			OuterHi: math.Min(length, oc+CoverageGuard),
+			InnerLo: 1, InnerHi: 0, // empty inner: always fall back
+		}, true
+	}
+	sq := math.Sqrt(disc)
+	lo := (-b - sq) / (2 * a) * length
+	hi := (-b + sq) / (2 * a) * length
+	if hi < -CoverageGuard || lo > length+CoverageGuard {
+		return CoverSpan{}, false
+	}
+	return CoverSpan{
+		OuterLo: math.Max(0, lo-CoverageGuard),
+		OuterHi: math.Min(length, hi+CoverageGuard),
+		InnerLo: math.Max(0, lo+CoverageGuard),
+		InnerHi: math.Min(length, hi-CoverageGuard),
+	}, true
+}
+
+// clampOffset mirrors Graph.Point's parameter clamping: offsets outside
+// [0, length] behave like the corresponding endpoint.
+func (c *Coverage) clampOffset(loc walkgraph.Location) float64 {
+	off := loc.Offset
+	if off < 0 {
+		return 0
+	}
+	if l := c.et.Length[loc.Edge]; off > l {
+		return l
+	}
+	return off
+}
+
+// SpanTable returns the per-edge coverage spans, indexed by EdgeID and
+// ascending by reader ID within each edge. The filter hot loops iterate it
+// inline (span scans are too hot to hide behind a call per particle); the
+// table and its rows must not be modified.
+func (c *Coverage) SpanTable() [][]CoverSpan { return c.edges }
+
+// ReaderCovers reports whether the given reader's activation range covers
+// the location, bit-for-bit identical to
+// d.Reader(id).Covers(g.Point(loc)).
+func (c *Coverage) ReaderCovers(id model.ReaderID, loc walkgraph.Location) bool {
+	off := c.clampOffset(loc)
+	for _, s := range c.edges[loc.Edge] {
+		if s.Reader != id {
+			continue
+		}
+		if off < s.OuterLo || off > s.OuterHi {
+			return false
+		}
+		if off >= s.InnerLo && off <= s.InnerHi {
+			return true
+		}
+		return c.dep.readers[id].Covers(c.g.Point(loc))
+	}
+	return false
+}
+
+// AnyReaderCovers reports whether any reader's activation range covers the
+// location, bit-for-bit identical to the boolean result of
+// d.CoveringReader(g.Point(loc)).
+func (c *Coverage) AnyReaderCovers(loc walkgraph.Location) bool {
+	off := c.clampOffset(loc)
+	spans := c.edges[loc.Edge]
+	for i := range spans {
+		s := &spans[i]
+		if off < s.OuterLo || off > s.OuterHi {
+			continue
+		}
+		if off >= s.InnerLo && off <= s.InnerHi {
+			return true
+		}
+		if c.dep.readers[s.Reader].Covers(c.g.Point(loc)) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoveringReader returns the reader covering the location (nearest wins on
+// overlap), bit-for-bit identical to d.CoveringReader(g.Point(loc)). Only
+// the readers whose spans reach the offset are distance-tested.
+func (c *Coverage) CoveringReader(loc walkgraph.Location) (model.ReaderID, bool) {
+	off := c.clampOffset(loc)
+	spans := c.edges[loc.Edge]
+	best := model.NoReader
+	bestDist := 0.0
+	var p geom.Point
+	havePoint := false
+	for i := range spans {
+		s := &spans[i]
+		if off < s.OuterLo || off > s.OuterHi {
+			continue
+		}
+		if !havePoint {
+			p, havePoint = c.g.Point(loc), true
+		}
+		r := &c.dep.readers[s.Reader]
+		dist := r.Pos.Dist(p)
+		if dist <= r.Range && (best == model.NoReader || dist < bestDist) {
+			best, bestDist = r.ID, dist
+		}
+	}
+	return best, best != model.NoReader
+}
+
+// InitIntervals returns the precomputed activation intervals of a reader
+// (identical to ComputeInitIntervals's result) and their total length. The
+// slice must not be modified.
+func (c *Coverage) InitIntervals(id model.ReaderID) ([]InitInterval, float64) {
+	rc := &c.rds[id]
+	return rc.init, rc.initTotal
+}

@@ -1,0 +1,189 @@
+package rfid
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// coveringReaderBrute is the pre-index linear scan, kept verbatim as the
+// reference the grid and interval answers must match bit-for-bit.
+func coveringReaderBrute(d *Deployment, p geom.Point) (model.ReaderID, bool) {
+	best := model.NoReader
+	bestDist := 0.0
+	for _, r := range d.readers {
+		dist := r.Pos.Dist(p)
+		if dist <= r.Range && (best == model.NoReader || dist < bestDist) {
+			best, bestDist = r.ID, dist
+		}
+	}
+	return best, best != model.NoReader
+}
+
+// randomDeployment builds a random floorplan, its walking graph, and a
+// uniform deployment whose size and range vary with the trial index.
+func randomDeployment(t *testing.T, src *rng.Source, trial int) (*walkgraph.Graph, *Deployment) {
+	t.Helper()
+	plan := floorplan.RandomOffice(src, 1+trial%3)
+	g, err := walkgraph.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := 3 + trial%17
+	actRange := 1.0 + 0.1*float64(trial%20)
+	dep, err := DeployUniform(plan, readers, actRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, dep
+}
+
+// TestCoverageMatchesGeometry is the equivalence property test of the edge-
+// coverage index: on 50 random floorplans, indexed coverage answers
+// (covered by reader r? covered by any? which reader wins?) must equal the
+// geometric implementation exactly, for uniformly random offsets and for
+// offsets engineered to sit right at interval boundaries.
+func TestCoverageMatchesGeometry(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		src := rng.New(int64(1000 + trial))
+		g, dep := randomDeployment(t, src, trial)
+		cov := BuildCoverage(g, dep)
+
+		check := func(loc walkgraph.Location) {
+			t.Helper()
+			p := g.Point(loc)
+			for _, r := range dep.Readers() {
+				want := r.Covers(p)
+				if got := cov.ReaderCovers(r.ID, loc); got != want {
+					t.Fatalf("trial %d: ReaderCovers(%d, %v) = %v, geometric = %v",
+						trial, r.ID, loc, got, want)
+				}
+			}
+			wantID, wantOK := coveringReaderBrute(dep, p)
+			if gotOK := cov.AnyReaderCovers(loc); gotOK != wantOK {
+				t.Fatalf("trial %d: AnyReaderCovers(%v) = %v, geometric = %v",
+					trial, loc, gotOK, wantOK)
+			}
+			gotID, gotOK := cov.CoveringReader(loc)
+			if gotID != wantID || gotOK != wantOK {
+				t.Fatalf("trial %d: CoveringReader(%v) = (%d, %v), geometric = (%d, %v)",
+					trial, loc, gotID, gotOK, wantID, wantOK)
+			}
+		}
+
+		// Uniformly random locations, including offsets slightly out of
+		// range to exercise the endpoint clamping.
+		for i := 0; i < 200; i++ {
+			e := g.Edges()[src.Intn(g.NumEdges())]
+			check(walkgraph.Location{Edge: e.ID, Offset: src.Uniform(-0.5, e.Length+0.5)})
+		}
+
+		// Boundary-targeted locations: offsets at and within a few float
+		// steps of every reader's activation interval endpoints, where the
+		// index must fall back to the exact geometric test.
+		for _, r := range dep.Readers() {
+			circle := r.Circle()
+			for _, e := range g.Edges() {
+				t0, t1, ok := circle.SegmentIntersection(g.EdgeSegment(e.ID))
+				if !ok {
+					continue
+				}
+				for _, tt := range []float64{t0, t1} {
+					base := tt * e.Length
+					for _, d := range []float64{0, 1e-12, -1e-12, 1e-9, -1e-9, 1e-4, -1e-4} {
+						check(walkgraph.Location{Edge: e.ID, Offset: base + d})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoveringReaderGridMatchesBrute checks the reader grid against the
+// linear scan on arbitrary 2-D points (the sensor path's queries are true
+// positions off the hallway centerline, not graph locations).
+func TestCoveringReaderGridMatchesBrute(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		src := rng.New(int64(2000 + trial))
+		_, dep := randomDeployment(t, src, trial)
+		if dep.grid == nil {
+			t.Fatalf("trial %d: constructor did not build the reader grid", trial)
+		}
+		bounds := dep.grid.bounds
+		for i := 0; i < 500; i++ {
+			// Sample beyond the grid bounds too: outside points must come
+			// back uncovered.
+			p := geom.Pt(
+				src.Uniform(bounds.Min.X-5, bounds.Max.X+5),
+				src.Uniform(bounds.Min.Y-5, bounds.Max.Y+5),
+			)
+			wantID, wantOK := coveringReaderBrute(dep, p)
+			gotID, gotOK := dep.CoveringReader(p)
+			if gotID != wantID || gotOK != wantOK {
+				t.Fatalf("trial %d: CoveringReader(%v) = (%d, %v), brute = (%d, %v)",
+					trial, p, gotID, gotOK, wantID, wantOK)
+			}
+		}
+		// Points right on activation circle boundaries.
+		for _, r := range dep.Readers() {
+			for _, d := range []float64{r.Range, r.Range - 1e-12, r.Range + 1e-12} {
+				p := geom.Pt(r.Pos.X+d, r.Pos.Y)
+				wantID, wantOK := coveringReaderBrute(dep, p)
+				gotID, gotOK := dep.CoveringReader(p)
+				if gotID != wantID || gotOK != wantOK {
+					t.Fatalf("trial %d: boundary CoveringReader(%v) = (%d, %v), brute = (%d, %v)",
+						trial, p, gotID, gotOK, wantID, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestInitIntervalsMatchSeedSemantics pins ComputeInitIntervals (and the
+// cached copies served by the index) to the original InitAt interval
+// computation, re-implemented here verbatim.
+func TestInitIntervalsMatchSeedSemantics(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		src := rng.New(int64(3000 + trial))
+		g, dep := randomDeployment(t, src, trial)
+		cov := BuildCoverage(g, dep)
+		for _, r := range dep.Readers() {
+			circle := r.Circle()
+			var wantIvs []InitInterval
+			wantTotal := 0.0
+			for _, e := range g.Edges() {
+				t0, t1, ok := circle.SegmentIntersection(g.EdgeSegment(e.ID))
+				if !ok {
+					continue
+				}
+				lo, hi := t0*e.Length, t1*e.Length
+				if e.Kind == walkgraph.LinkEdge {
+					continue
+				}
+				if e.Kind == walkgraph.DoorEdge && hi > e.DoorAt {
+					hi = e.DoorAt
+				}
+				if hi-lo <= 0 {
+					continue
+				}
+				wantIvs = append(wantIvs, InitInterval{Edge: e.ID, Lo: lo, Hi: hi, CumStart: wantTotal})
+				wantTotal += hi - lo
+			}
+			gotIvs, gotTotal := cov.InitIntervals(r.ID)
+			if gotTotal != wantTotal || len(gotIvs) != len(wantIvs) {
+				t.Fatalf("trial %d reader %d: intervals (%d, total %v), want (%d, total %v)",
+					trial, r.ID, len(gotIvs), gotTotal, len(wantIvs), wantTotal)
+			}
+			for i := range wantIvs {
+				if gotIvs[i] != wantIvs[i] {
+					t.Fatalf("trial %d reader %d: interval %d = %+v, want %+v",
+						trial, r.ID, i, gotIvs[i], wantIvs[i])
+				}
+			}
+		}
+	}
+}

@@ -78,6 +78,100 @@ type DirectedPair struct {
 type Deployment struct {
 	readers []Reader
 	pairs   []DirectedPair
+	// grid accelerates CoveringReader: readers bucketed by the cells their
+	// activation disks overlap. Built once by the constructors; nil for
+	// zero-value Deployments, which fall back to the linear scan.
+	grid *readerGrid
+}
+
+// readerGrid is a uniform grid over the union of all activation disks. Each
+// cell lists, ascending by ID, every reader whose disk touches the cell, so
+// a point query tests only the handful of readers near it instead of the
+// whole deployment — while selecting the winner with the exact comparison
+// logic of the linear scan, keeping results bit-for-bit identical.
+type readerGrid struct {
+	bounds geom.Rect
+	cell   float64
+	nx, ny int
+	cells  [][]model.ReaderID
+}
+
+// buildGrid indexes the deployment's readers. Cell size is twice the
+// largest activation range (at least one meter), so disks overlap only a
+// few cells each.
+func (d *Deployment) buildGrid() {
+	d.grid = nil
+	if len(d.readers) == 0 {
+		return
+	}
+	maxR := 0.0
+	bounds := geom.Rect{Min: d.readers[0].Pos, Max: d.readers[0].Pos}
+	for _, r := range d.readers {
+		if r.Range > maxR {
+			maxR = r.Range
+		}
+		bounds = bounds.Union(geom.RectFromCorners(
+			geom.Pt(r.Pos.X-r.Range, r.Pos.Y-r.Range),
+			geom.Pt(r.Pos.X+r.Range, r.Pos.Y+r.Range),
+		))
+	}
+	cell := 2 * maxR
+	if cell < 1 {
+		cell = 1
+	}
+	g := &readerGrid{
+		bounds: bounds,
+		cell:   cell,
+		nx:     int(bounds.Width()/cell) + 1,
+		ny:     int(bounds.Height()/cell) + 1,
+	}
+	g.cells = make([][]model.ReaderID, g.nx*g.ny)
+	for _, r := range d.readers {
+		// Insert the reader into every cell its disk could reach; iterating
+		// readers in ID order keeps each cell's candidate list ascending.
+		ix0, iy0 := g.cellIndex(geom.Pt(r.Pos.X-r.Range, r.Pos.Y-r.Range))
+		ix1, iy1 := g.cellIndex(geom.Pt(r.Pos.X+r.Range, r.Pos.Y+r.Range))
+		for ix := ix0; ix <= ix1; ix++ {
+			for iy := iy0; iy <= iy1; iy++ {
+				rect := geom.RectWH(g.bounds.Min.X+float64(ix)*cell,
+					g.bounds.Min.Y+float64(iy)*cell, cell, cell)
+				// The small slack absorbs the Eps tolerance of Rect.Contains
+				// so boundary points still find every candidate.
+				if rect.DistToPoint(r.Pos) <= r.Range+1e-6 {
+					i := ix*g.ny + iy
+					g.cells[i] = append(g.cells[i], r.ID)
+				}
+			}
+		}
+	}
+	d.grid = g
+}
+
+// cellIndex maps a point to grid coordinates, clamped into range.
+func (g *readerGrid) cellIndex(p geom.Point) (ix, iy int) {
+	ix = int((p.X - g.bounds.Min.X) / g.cell)
+	iy = int((p.Y - g.bounds.Min.Y) / g.cell)
+	if ix < 0 {
+		ix = 0
+	} else if ix >= g.nx {
+		ix = g.nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	} else if iy >= g.ny {
+		iy = g.ny - 1
+	}
+	return ix, iy
+}
+
+// candidates returns the readers that could cover p, or nil when p is
+// certainly uncovered (outside every activation disk's bounding box).
+func (g *readerGrid) candidates(p geom.Point) []model.ReaderID {
+	if !g.bounds.Contains(p) {
+		return nil
+	}
+	ix, iy := g.cellIndex(p)
+	return g.cells[ix*g.ny+iy]
 }
 
 // DefaultReaders is the paper's reader count: 19 readers deployed on
@@ -109,6 +203,7 @@ func DeployUniform(plan *floorplan.Plan, n int, activationRange float64) (*Deplo
 			Range:   activationRange,
 		})
 	}
+	d.buildGrid()
 	return d, nil
 }
 
@@ -129,6 +224,7 @@ func NewDeployment(readers []Reader) *Deployment {
 	for i := range d.readers {
 		d.readers[i].ID = model.ReaderID(i)
 	}
+	d.buildGrid()
 	return d
 }
 
@@ -176,9 +272,21 @@ func (d *Deployment) Reader(id model.ReaderID) Reader { return d.readers[id] }
 
 // CoveringReader returns the reader whose activation range covers p. When
 // ranges overlap, the nearest reader wins. ok is false if no reader covers p.
+// Constructor-built deployments answer from the reader grid, testing only
+// the readers near p; the result is identical to the full scan.
 func (d *Deployment) CoveringReader(p geom.Point) (model.ReaderID, bool) {
 	best := model.NoReader
 	bestDist := 0.0
+	if d.grid != nil {
+		for _, id := range d.grid.candidates(p) {
+			r := &d.readers[id]
+			dist := r.Pos.Dist(p)
+			if dist <= r.Range && (best == model.NoReader || dist < bestDist) {
+				best, bestDist = r.ID, dist
+			}
+		}
+		return best, best != model.NoReader
+	}
 	for _, r := range d.readers {
 		dist := r.Pos.Dist(p)
 		if dist <= r.Range && (best == model.NoReader || dist < bestDist) {

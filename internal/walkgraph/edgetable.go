@@ -1,0 +1,69 @@
+package walkgraph
+
+import (
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// EdgeTable is a struct-of-arrays snapshot of the per-edge fields the
+// particle filter's inner loop touches every second for every particle.
+// Reading Kind[e] or DoorAt[e] out of a flat array avoids copying the full
+// 80-byte Edge struct per predicate, which is what Graph.Edge does; on the
+// 1 Hz × Ns-particles hot path that copy dominates the classification cost.
+// The table is immutable once built and safe for concurrent readers.
+type EdgeTable struct {
+	// Kind mirrors Edge.Kind.
+	Kind []EdgeKind
+	// Length mirrors Edge.Length.
+	Length []float64
+	// DoorAt is the room-interval start: offsets at or beyond DoorAt[e] are
+	// inside Room[e]. For non-door edges it is +Inf so the comparison
+	// `off >= DoorAt[e]` is false for every finite offset, making RoomAt a
+	// single branch-free compare on the hot path.
+	DoorAt []float64
+	// Room mirrors Edge.Room (floorplan.NoRoom for non-door edges).
+	Room []floorplan.RoomID
+}
+
+// EdgeTable returns the graph's per-edge hot-loop table, building it on
+// first use. The result is shared and must not be modified.
+func (g *Graph) EdgeTable() *EdgeTable {
+	g.tableOnce.Do(func() {
+		t := &EdgeTable{
+			Kind:   make([]EdgeKind, len(g.edges)),
+			Length: make([]float64, len(g.edges)),
+			DoorAt: make([]float64, len(g.edges)),
+			Room:   make([]floorplan.RoomID, len(g.edges)),
+		}
+		for i, e := range g.edges {
+			t.Kind[i] = e.Kind
+			t.Length[i] = e.Length
+			t.Room[i] = e.Room
+			if e.Kind == DoorEdge {
+				t.DoorAt[i] = e.DoorAt
+			} else {
+				t.DoorAt[i] = math.Inf(1)
+			}
+		}
+		g.table = t
+	})
+	return g.table
+}
+
+// RoomAt is the EdgeTable equivalent of Graph.RoomAt: the room a location
+// lies in (a DoorEdge offset at or past the door position), or
+// floorplan.NoRoom. The two are exactly interchangeable; this one avoids the
+// Edge struct copy.
+func (t *EdgeTable) RoomAt(l Location) floorplan.RoomID {
+	if l.Offset >= t.DoorAt[l.Edge] {
+		return t.Room[l.Edge]
+	}
+	return floorplan.NoRoom
+}
+
+// InRoom reports whether a location lies inside a room (equivalent to
+// RoomAt(l) != floorplan.NoRoom).
+func (t *EdgeTable) InRoom(l Location) bool {
+	return l.Offset >= t.DoorAt[l.Edge]
+}

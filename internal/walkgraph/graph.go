@@ -9,6 +9,7 @@ package walkgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -113,6 +114,9 @@ type Graph struct {
 	nodes     []Node
 	edges     []Edge
 	roomNodes map[floorplan.RoomID]NodeID
+	// table is the lazily built per-edge hot-loop table (see EdgeTable).
+	tableOnce sync.Once
+	table     *EdgeTable
 }
 
 // Plan returns the floor plan the graph was built from.
