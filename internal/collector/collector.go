@@ -9,6 +9,7 @@ package collector
 import (
 	"sort"
 
+	"repro/internal/ingest"
 	"repro/internal/model"
 )
 
@@ -36,6 +37,9 @@ type Collector struct {
 	now      model.Time
 	started  bool
 	historic bool
+	// drops accounts for every reading or batch the collector refused, so
+	// degraded input is visible instead of silently vanishing.
+	drops ingest.Drops
 }
 
 // New returns an empty Collector with the paper's default retention: only
@@ -60,16 +64,27 @@ func (c *Collector) Historic() bool { return c.historic }
 // Now returns the time of the most recently ingested second.
 func (c *Collector) Now() model.Time { return c.now }
 
+// Drops returns the cumulative accounting of batches and readings the
+// collector refused (non-increasing seconds, mis-stamped or reader-less
+// readings).
+func (c *Collector) Drops() ingest.Drops { return c.drops }
+
 // IngestSecond processes every raw reading produced during second t. Calls
-// must be made with strictly increasing t. Readings with a different time
-// stamp are ignored.
+// must be made with strictly increasing t; a batch for a second at or
+// before the current one is refused whole with a typed *ingest.Error.
+// Readings whose time stamp differs from t, or with no reader attached,
+// are discarded, counted in Drops, and reported through the returned
+// *ingest.Error (the rest of the batch is still processed). A nil return
+// means every reading was accepted.
 //
 // Aggregation: an object detected by at least one sample of a reader during
 // the second gets a single aggregated entry for that second (when several
 // readers saw it, the one with the most samples wins, ties to the lower ID).
-func (c *Collector) IngestSecond(t model.Time, raws []model.RawReading) {
+func (c *Collector) IngestSecond(t model.Time, raws []model.RawReading) error {
 	if c.started && t <= c.now {
-		return
+		c.drops.LateBatches++
+		c.drops.LateReadings += len(raws)
+		return &ingest.Error{Kind: ingest.KindLate, Time: t, Watermark: c.now, Dropped: len(raws), Rejected: true}
 	}
 	c.now = t
 	c.started = true
@@ -79,13 +94,21 @@ func (c *Collector) IngestSecond(t model.Time, raws []model.RawReading) {
 		obj model.ObjectID
 		rd  model.ReaderID
 	}
+	var misstamped, invalid int
 	counts := make(map[key]int)
 	for _, r := range raws {
-		if r.Time != t || r.Reader == model.NoReader {
+		if r.Reader == model.NoReader {
+			invalid++
+			continue
+		}
+		if r.Time != t {
+			misstamped++
 			continue
 		}
 		counts[key{r.Object, r.Reader}]++
 	}
+	c.drops.MisstampedReadings += misstamped
+	c.drops.InvalidReadings += invalid
 	// Pick the winning reader per object.
 	winners := make(map[model.ObjectID]model.ReaderID)
 	best := make(map[model.ObjectID]int)
@@ -144,6 +167,15 @@ func (c *Collector) IngestSecond(t model.Time, raws []model.RawReading) {
 		}
 		return a.Object < b.Object
 	})
+
+	if misstamped+invalid > 0 {
+		kind := ingest.KindMisstamped
+		if misstamped == 0 {
+			kind = ingest.KindInvalid
+		}
+		return &ingest.Error{Kind: kind, Time: t, Watermark: c.now, Dropped: misstamped + invalid}
+	}
+	return nil
 }
 
 // DrainEvents returns the ENTER/LEAVE events recorded since the previous

@@ -1,8 +1,10 @@
 package collector
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/ingest"
 	"repro/internal/model"
 )
 
@@ -245,5 +247,40 @@ func TestEventOrderingDeterministic(t *testing.T) {
 		if ev[i].Object < ev[i-1].Object {
 			t.Fatal("events not sorted by object")
 		}
+	}
+}
+
+func TestDropsAreTypedAndCounted(t *testing.T) {
+	c := New()
+	// Wrong-time readings: still ignored, now counted and reported.
+	err := c.IngestSecond(5, raw(1, 2, 9, 3))
+	var ie *ingest.Error
+	if !errors.As(err, &ie) || ie.Kind != ingest.KindMisstamped || ie.Rejected {
+		t.Fatalf("wrong-time error = %v", err)
+	}
+	if ie.Dropped != 3 {
+		t.Errorf("wrong-time dropped %d, want 3", ie.Dropped)
+	}
+	// Duplicate second: refused whole.
+	c.IngestSecond(6, raw(1, 2, 6, 5))
+	err = c.IngestSecond(6, raw(1, 3, 6, 5))
+	if !errors.As(err, &ie) || ie.Kind != ingest.KindLate || !ie.Rejected {
+		t.Fatalf("duplicate-second error = %v", err)
+	}
+	// Reader-less readings: counted as invalid.
+	err = c.IngestSecond(7, []model.RawReading{{Object: 1, Reader: model.NoReader, Time: 7}})
+	if !errors.As(err, &ie) || ie.Kind != ingest.KindInvalid || ie.Dropped != 1 {
+		t.Fatalf("invalid error = %v", err)
+	}
+	// A clean second returns nil.
+	if err := c.IngestSecond(8, raw(1, 2, 8, 2)); err != nil {
+		t.Fatalf("clean second: %v", err)
+	}
+	d := c.Drops()
+	if d.MisstampedReadings != 3 || d.LateBatches != 1 || d.LateReadings != 5 || d.InvalidReadings != 1 {
+		t.Errorf("drops = %+v", d)
+	}
+	if d.Readings() != 9 {
+		t.Errorf("total dropped readings = %d, want 9", d.Readings())
 	}
 }

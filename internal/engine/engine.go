@@ -21,6 +21,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/particle"
 	"repro/internal/query"
@@ -59,6 +60,11 @@ type Config struct {
 	// worker count: every object's filtering stream derives from
 	// (Seed, object, query time), not from execution order.
 	Workers int
+	// Ingest parameterizes the hardened ingestion front end: the reorder
+	// buffer's lateness horizon, skew tolerance, and buffer bound. The zero
+	// value keeps the historical strict in-order contract (every batch
+	// flushes immediately; older batches are late).
+	Ingest ingest.Config
 	// Seed drives all of the engine's randomness.
 	Seed int64
 }
@@ -103,29 +109,48 @@ type Stats struct {
 	RangeQueries, KNNQueries int
 	// ReadingsIngested counts raw readings accepted by the collector.
 	ReadingsIngested int
+	// ReadingsDropped counts every raw reading discarded on the ingestion
+	// path (late, duplicate, mis-stamped, invalid); Ingest has the
+	// per-reason breakdown. offered = ingested + dropped + pending always.
+	ReadingsDropped int
+	// ReadingsPending counts readings buffered in the reorder buffer,
+	// waiting for the watermark to close their second.
+	ReadingsPending int
+	// Ingest breaks the drop accounting down by the ingest.Kind taxonomy,
+	// merging the reorder buffer's and the collector's counters.
+	Ingest ingest.Drops
 }
 
 // System is the assembled query evaluation system.
 type System struct {
-	cfg    Config
-	g      *walkgraph.Graph
-	dep    *rfid.Deployment
-	idx    *anchor.Index
-	col    *collector.Collector
-	filter *particle.Filter
-	cache  *cache.Cache
-	pruner *query.Pruner
-	eval   *query.Evaluator
-	sm     *symbolic.Model
-	src    *rng.Source
-	stats  Stats
+	cfg     Config
+	g       *walkgraph.Graph
+	dep     *rfid.Deployment
+	idx     *anchor.Index
+	col     *collector.Collector
+	filter  *particle.Filter
+	cache   *cache.Cache
+	pruner  *query.Pruner
+	eval    *query.Evaluator
+	sm      *symbolic.Model
+	src     *rng.Source
+	reorder *ingest.Reorder
+	stats   Stats
 	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
 	eventLog []model.Event
 	eventOff int
 }
 
-// Stats returns the system's cumulative work counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns the system's cumulative work counters, with the drop
+// accounting of the reorder buffer and the collector merged in.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.Ingest = s.reorder.Drops()
+	st.Ingest.Merge(s.col.Drops())
+	st.ReadingsDropped = st.Ingest.Readings()
+	st.ReadingsPending = s.reorder.PendingReadings()
+	return st
+}
 
 // New assembles a System over a floor plan and reader deployment.
 func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error) {
@@ -159,7 +184,7 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 	if cfg.KeepHistory {
 		col = collector.NewWithHistory()
 	}
-	return &System{
+	s := &System{
 		cfg:    cfg,
 		g:      g,
 		dep:    dep,
@@ -171,7 +196,9 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 		eval:   query.NewEvaluator(g, idx),
 		sm:     sm,
 		src:    rng.New(cfg.Seed),
-	}, nil
+	}
+	s.reorder = ingest.NewReorder(cfg.Ingest, s.ingestSecond)
+	return s, nil
 }
 
 // MustNew is New for known-valid inputs.
@@ -207,11 +234,32 @@ func (s *System) CacheStats() (hits, misses int) { return s.cache.Stats() }
 // Now returns the most recently ingested second.
 func (s *System) Now() model.Time { return s.col.Now() }
 
-// Ingest feeds one second of raw readings into the collector and applies the
-// cache invalidation rule to every ENTER event.
-func (s *System) Ingest(t model.Time, raws []model.RawReading) {
-	s.stats.ReadingsIngested += len(raws)
+// Ingest feeds one delivery of raw readings through the hardened ingestion
+// front end: the reorder buffer routes each reading to its own second,
+// deduplicates retransmissions, and flushes whole seconds into the
+// collector in order once the watermark (Config.Ingest.Horizon) closes
+// them. With the zero-value ingest configuration every batch flushes
+// immediately, matching the historical strict in-order contract.
+//
+// Whenever input is refused or discarded, Ingest returns a typed
+// *ingest.Error and counts the loss in Stats — nothing is dropped
+// silently. Unless the error's Rejected flag is set, the rest of the
+// delivery was still accepted.
+func (s *System) Ingest(t model.Time, raws []model.RawReading) error {
+	return s.reorder.Offer(t, raws)
+}
+
+// FlushIngest drains every second still buffered in the reorder buffer,
+// regardless of the lateness horizon. Call it at end of stream or before
+// final queries when a non-zero horizon is configured.
+func (s *System) FlushIngest() { s.reorder.FlushAll() }
+
+// ingestSecond is the reorder buffer's sink: one flushed second into the
+// collector, applying the cache invalidation rule to every ENTER event.
+func (s *System) ingestSecond(t model.Time, raws []model.RawReading) {
+	dropped := s.col.Drops().Readings()
 	s.col.IngestSecond(t, raws)
+	s.stats.ReadingsIngested += len(raws) - (s.col.Drops().Readings() - dropped)
 	for _, ev := range s.col.DrainEvents() {
 		if ev.Kind == model.Enter {
 			s.cache.Invalidate(ev.Object, ev.Reader)

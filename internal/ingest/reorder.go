@@ -1,0 +1,277 @@
+package ingest
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// DefaultMaxSkew is the default tolerance for readings stamped ahead of
+// their delivery's batch second.
+const DefaultMaxSkew model.Time = 60
+
+// Config parameterizes the reorder buffer. The zero value keeps the
+// historical strict in-order contract: every delivery flushes immediately
+// and anything older than the newest flushed second is a late drop.
+type Config struct {
+	// Horizon is the lateness horizon in seconds: a delivery for second t
+	// is accepted as long as no batch newer than t+Horizon has been seen.
+	// Seconds flush, in order, once the watermark (newest batch second
+	// minus Horizon) passes them. 0 means in-order only.
+	Horizon model.Time
+	// MaxSkew caps how far ahead of its delivery's batch second a reading
+	// may be stamped before it is discarded as mis-stamped. 0 means
+	// DefaultMaxSkew.
+	MaxSkew model.Time
+	// MaxPending bounds the buffered span in seconds; when a newly seen
+	// batch would leave more than MaxPending seconds open, the oldest are
+	// force-flushed early. 0 derives max(4*Horizon, 64).
+	MaxPending int
+}
+
+// withDefaults fills in the derived defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxSkew == 0 {
+		c.MaxSkew = DefaultMaxSkew
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = int(4 * c.Horizon)
+		if c.MaxPending < 64 {
+			c.MaxPending = 64
+		}
+	}
+	return c
+}
+
+// Sink receives one flushed second of raw readings, in strictly increasing
+// second order. Seconds with no delivery at all are counted as gaps and
+// skipped, so the sink sees exactly the seconds that were delivered.
+type Sink func(t model.Time, raws []model.RawReading)
+
+// pendingSecond is the buffered state of one not-yet-flushed second.
+type pendingSecond struct {
+	raws []model.RawReading
+	// prints are the fingerprints of the sub-batches merged into this
+	// second, used to drop retransmissions.
+	prints []uint64
+}
+
+// Reorder is the bounded reorder buffer: it accepts out-of-order and
+// multi-second deliveries, deduplicates retransmitted sub-batches, and
+// flushes whole seconds to the sink in order once the watermark closes
+// them. It is not safe for concurrent use.
+type Reorder struct {
+	cfg  Config
+	sink Sink
+
+	pending map[model.Time]*pendingSecond
+	// maxSeen is the newest batch second delivered; watermark the newest
+	// second closed (flushed or passed). Both are meaningful only once
+	// started is set.
+	maxSeen   model.Time
+	watermark model.Time
+	started   bool
+	drops     Drops
+	forced    int
+}
+
+// NewReorder builds a reorder buffer flushing into sink.
+func NewReorder(cfg Config, sink Sink) *Reorder {
+	return &Reorder{cfg: cfg.withDefaults(), sink: sink, pending: make(map[model.Time]*pendingSecond)}
+}
+
+// Drops returns the cumulative drop accounting.
+func (b *Reorder) Drops() Drops { return b.drops }
+
+// ForcedFlushes returns how many seconds were flushed early because the
+// buffered span hit the MaxPending bound.
+func (b *Reorder) ForcedFlushes() int { return b.forced }
+
+// PendingSeconds returns the number of buffered, not-yet-flushed seconds.
+func (b *Reorder) PendingSeconds() int { return len(b.pending) }
+
+// PendingReadings returns the number of buffered raw readings.
+func (b *Reorder) PendingReadings() int {
+	n := 0
+	for _, ps := range b.pending {
+		n += len(ps.raws)
+	}
+	return n
+}
+
+// Watermark returns the newest closed second; ok is false before the first
+// delivery.
+func (b *Reorder) Watermark() (model.Time, bool) { return b.watermark, b.started }
+
+// fingerprint hashes the multiset of readings of one sub-batch (FNV-1a over
+// the sorted readings), so an identical retransmission hashes equal
+// regardless of reading order.
+func fingerprint(raws []model.RawReading) uint64 {
+	sorted := append([]model.RawReading(nil), raws...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, c := sorted[i], sorted[j]
+		if a.Time != c.Time {
+			return a.Time < c.Time
+		}
+		if a.Object != c.Object {
+			return a.Object < c.Object
+		}
+		return a.Reader < c.Reader
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, r := range sorted {
+		word(uint64(r.Object))
+		word(uint64(r.Reader))
+		word(uint64(r.Time))
+	}
+	return h.Sum64()
+}
+
+// Offer delivers one batch: the readings produced (or retransmitted) for
+// batch second t. Readings are routed to the buffer bucket of their own
+// time stamp, so a single delivery may cover several seconds. Whenever
+// input is refused or discarded, Offer returns a typed *Error describing
+// it; a nil return means every reading was accepted. Unless Error.Rejected
+// is set, the remaining readings of the delivery were still accepted.
+func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
+	if b.started && t <= b.watermark {
+		b.drops.LateBatches++
+		b.drops.LateReadings += len(raws)
+		return &Error{Kind: KindLate, Time: t, Watermark: b.watermark, Dropped: len(raws), Rejected: true}
+	}
+	if !b.started {
+		// Open the stream at the earliest second this delivery mentions, so
+		// the first flush starts there instead of counting phantom gaps.
+		lo := t
+		for _, r := range raws {
+			if r.Reader != model.NoReader && r.Time < lo {
+				lo = r.Time
+			}
+		}
+		b.started = true
+		b.maxSeen = t
+		b.watermark = lo - 1
+	} else if t > b.maxSeen {
+		b.maxSeen = t
+	}
+
+	// Route readings to their own second, validating as we go.
+	var late, misstamped, invalid, duplicate, dupDeliveries int
+	buckets := make(map[model.Time][]model.RawReading)
+	for _, r := range raws {
+		switch {
+		case r.Reader == model.NoReader:
+			invalid++
+		case r.Time <= b.watermark:
+			late++
+		case r.Time > t+b.cfg.MaxSkew:
+			misstamped++
+		default:
+			buckets[r.Time] = append(buckets[r.Time], r)
+		}
+	}
+	// Merge each sub-batch into its pending second unless its fingerprint
+	// marks it as a retransmission of one already buffered. Seconds are
+	// visited in ascending order so the accounting is deterministic.
+	secs := make([]model.Time, 0, len(buckets))
+	for sec := range buckets {
+		secs = append(secs, sec)
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+	for _, sec := range secs {
+		sub := buckets[sec]
+		ps := b.pending[sec]
+		if ps == nil {
+			ps = &pendingSecond{}
+			b.pending[sec] = ps
+		}
+		fp := fingerprint(sub)
+		seen := false
+		for _, p := range ps.prints {
+			if p == fp {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			dupDeliveries++
+			duplicate += len(sub)
+			continue
+		}
+		ps.prints = append(ps.prints, fp)
+		ps.raws = append(ps.raws, sub...)
+	}
+	// The batch second itself was delivered, even when empty: make sure it
+	// exists so the flush ticks it instead of counting a gap.
+	if _, ok := b.pending[t]; !ok {
+		b.pending[t] = &pendingSecond{}
+	}
+
+	b.drops.LateReadings += late
+	b.drops.MisstampedReadings += misstamped
+	b.drops.InvalidReadings += invalid
+	b.drops.DuplicateReadings += duplicate
+	b.drops.DuplicateDeliveries += dupDeliveries
+
+	b.flushUpTo(b.maxSeen - b.cfg.Horizon)
+	if span := int(b.maxSeen - b.watermark); span > b.cfg.MaxPending {
+		b.forced += span - b.cfg.MaxPending
+		b.flushUpTo(b.maxSeen - model.Time(b.cfg.MaxPending))
+	}
+
+	if n := late + misstamped + invalid + duplicate; n > 0 {
+		kind := KindLate
+		switch {
+		case duplicate > 0:
+			kind = KindDuplicate
+		case misstamped > 0:
+			kind = KindMisstamped
+		case late > 0:
+			kind = KindLate
+		default:
+			kind = KindInvalid
+		}
+		return &Error{Kind: kind, Time: t, Watermark: b.watermark, Dropped: n}
+	}
+	return nil
+}
+
+// flushUpTo closes every second up to and including target, delivering
+// buffered seconds to the sink in order and counting the rest as gaps.
+func (b *Reorder) flushUpTo(target model.Time) {
+	for sec := b.watermark + 1; sec <= target; sec++ {
+		ps := b.pending[sec]
+		if ps == nil {
+			b.drops.GapSeconds++
+			continue
+		}
+		delete(b.pending, sec)
+		b.sink(sec, ps.raws)
+	}
+	if target > b.watermark {
+		b.watermark = target
+	}
+}
+
+// FlushAll drains every buffered second regardless of the horizon, in
+// order. Use it at end of stream, before final queries, or on shutdown.
+func (b *Reorder) FlushAll() {
+	if !b.started {
+		return
+	}
+	hi := b.maxSeen
+	for sec := range b.pending {
+		if sec > hi {
+			hi = sec
+		}
+	}
+	b.flushUpTo(hi)
+}

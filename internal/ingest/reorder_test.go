@@ -1,0 +1,282 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// recorder collects flushed seconds for assertions.
+type recorder struct {
+	secs []model.Time
+	raws map[model.Time][]model.RawReading
+}
+
+func newRecorder() *recorder {
+	return &recorder{raws: make(map[model.Time][]model.RawReading)}
+}
+
+func (r *recorder) sink(t model.Time, raws []model.RawReading) {
+	r.secs = append(r.secs, t)
+	r.raws[t] = raws
+}
+
+func rd(obj, reader int, t model.Time) model.RawReading {
+	return model.RawReading{Object: model.ObjectID(obj), Reader: model.ReaderID(reader), Time: t}
+}
+
+func TestInOrderFlushesImmediately(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	for sec := model.Time(10); sec <= 13; sec++ {
+		if err := b.Offer(sec, []model.RawReading{rd(1, 2, sec)}); err != nil {
+			t.Fatalf("t=%d: %v", sec, err)
+		}
+		if got := rec.secs[len(rec.secs)-1]; got != sec {
+			t.Fatalf("t=%d flushed %d", sec, got)
+		}
+	}
+	if b.PendingSeconds() != 0 || b.PendingReadings() != 0 {
+		t.Errorf("pending %d seconds / %d readings after in-order stream",
+			b.PendingSeconds(), b.PendingReadings())
+	}
+	if d := b.Drops(); d.Readings() != 0 || d.GapSeconds != 0 {
+		t.Errorf("clean stream recorded drops: %+v", d)
+	}
+}
+
+func TestLateBatchRejectedTyped(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	err := b.Offer(9, []model.RawReading{rd(1, 2, 9), rd(2, 2, 9)})
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("late batch error = %v, want *Error", err)
+	}
+	if ie.Kind != KindLate || !ie.Rejected || ie.Dropped != 2 || ie.Time != 9 {
+		t.Errorf("late error = %+v", ie)
+	}
+	d := b.Drops()
+	if d.LateBatches != 1 || d.LateReadings != 2 {
+		t.Errorf("drops = %+v", d)
+	}
+	if len(rec.raws[9]) != 0 {
+		t.Error("late batch leaked into the sink")
+	}
+}
+
+func TestOutOfOrderWithinHorizon(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 3}, rec.sink)
+	// Deliver 10, 12, 11, 13, 14: nothing may flush before the watermark
+	// (maxSeen-3) passes it, and flushes must come out in order.
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	b.Offer(12, []model.RawReading{rd(1, 2, 12)})
+	if err := b.Offer(11, []model.RawReading{rd(1, 2, 11)}); err != nil {
+		t.Fatalf("in-horizon delivery refused: %v", err)
+	}
+	b.Offer(13, []model.RawReading{rd(1, 2, 13)})
+	b.Offer(14, []model.RawReading{rd(1, 2, 14)})
+	// maxSeen=14 -> watermark 11: seconds 10 and 11 flushed, in order.
+	if len(rec.secs) != 2 || rec.secs[0] != 10 || rec.secs[1] != 11 {
+		t.Fatalf("flushed %v, want [10 11]", rec.secs)
+	}
+	b.FlushAll()
+	if len(rec.secs) != 5 {
+		t.Fatalf("after FlushAll flushed %v", rec.secs)
+	}
+	for i, sec := range rec.secs {
+		if want := model.Time(10 + i); sec != want {
+			t.Errorf("flush %d = %d, want %d", i, sec, want)
+		}
+		if len(rec.raws[sec]) != 1 {
+			t.Errorf("second %d flushed %d readings", sec, len(rec.raws[sec]))
+		}
+	}
+	if d := b.Drops(); d.Readings() != 0 {
+		t.Errorf("drops = %+v", d)
+	}
+}
+
+func TestDuplicateDeliveryDeduped(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 5}, rec.sink)
+	batch := []model.RawReading{rd(1, 2, 10), rd(1, 2, 10), rd(2, 3, 10)}
+	if err := b.Offer(10, batch); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Offer(10, batch) // retransmission while still pending
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindDuplicate || ie.Rejected {
+		t.Fatalf("duplicate error = %v", err)
+	}
+	if ie.Dropped != 3 {
+		t.Errorf("duplicate dropped %d, want 3", ie.Dropped)
+	}
+	d := b.Drops()
+	if d.DuplicateDeliveries != 1 || d.DuplicateReadings != 3 {
+		t.Errorf("drops = %+v", d)
+	}
+	b.FlushAll()
+	// The flushed second holds the original multiset once: both samples of
+	// object 1 survive (they are samples, not retransmissions).
+	if got := len(rec.raws[10]); got != 3 {
+		t.Errorf("flushed %d readings, want 3", got)
+	}
+}
+
+func TestDistinctDeliveriesSameSecondMerge(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 5}, rec.sink)
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	if err := b.Offer(10, []model.RawReading{rd(2, 3, 10)}); err != nil {
+		t.Fatalf("distinct sub-batch refused: %v", err)
+	}
+	b.FlushAll()
+	if got := len(rec.raws[10]); got != 2 {
+		t.Errorf("merged second has %d readings, want 2", got)
+	}
+}
+
+func TestMultiSecondBatchRouted(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 4}, rec.sink)
+	// One delivery carrying readings for three neighboring seconds.
+	if err := b.Offer(11, []model.RawReading{rd(1, 2, 10), rd(1, 2, 11), rd(1, 2, 12)}); err != nil {
+		t.Fatal(err)
+	}
+	b.FlushAll()
+	for _, sec := range []model.Time{10, 11, 12} {
+		if len(rec.raws[sec]) != 1 {
+			t.Errorf("second %d got %d readings", sec, len(rec.raws[sec]))
+		}
+	}
+}
+
+func TestMisstampedBeyondSkewDropped(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 2, MaxSkew: 5}, rec.sink)
+	err := b.Offer(10, []model.RawReading{rd(1, 2, 10), rd(1, 2, 99)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindMisstamped || ie.Dropped != 1 {
+		t.Fatalf("misstamped error = %v", err)
+	}
+	if d := b.Drops(); d.MisstampedReadings != 1 {
+		t.Errorf("drops = %+v", d)
+	}
+}
+
+func TestInvalidReaderDropped(t *testing.T) {
+	b := NewReorder(Config{}, newRecorder().sink)
+	err := b.Offer(10, []model.RawReading{{Object: 1, Reader: model.NoReader, Time: 10}})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindInvalid || ie.Dropped != 1 {
+		t.Fatalf("invalid error = %v", err)
+	}
+}
+
+func TestGapSecondsCounted(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	b.Offer(14, []model.RawReading{rd(1, 2, 14)}) // 11..13 lost upstream
+	if d := b.Drops(); d.GapSeconds != 3 {
+		t.Errorf("gaps = %d, want 3", d.GapSeconds)
+	}
+	// Gap seconds are skipped, not delivered as empty ticks.
+	if len(rec.secs) != 2 || rec.secs[0] != 10 || rec.secs[1] != 14 {
+		t.Errorf("flushed %v", rec.secs)
+	}
+	if d := b.Drops(); d.Of(KindGap) != 3 {
+		t.Errorf("Of(KindGap) = %d", d.Of(KindGap))
+	}
+}
+
+func TestMaxPendingForcesFlush(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 100, MaxPending: 4}, rec.sink)
+	for sec := model.Time(1); sec <= 10; sec++ {
+		b.Offer(sec, []model.RawReading{rd(1, 2, sec)})
+	}
+	// Horizon would hold all ten seconds; the bound must cap the span at 4.
+	if span := 10 - len(rec.secs); span > 4 {
+		t.Errorf("%d seconds still open, bound is 4 (flushed %v)", span, rec.secs)
+	}
+	if b.ForcedFlushes() == 0 {
+		t.Error("forced flushes not counted")
+	}
+	// A second that was force-flushed is now late.
+	err := b.Offer(2, []model.RawReading{rd(1, 2, 2)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindLate {
+		t.Errorf("post-force delivery error = %v", err)
+	}
+}
+
+func TestLateReadingInsideAcceptableBatch(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	// Batch 11 is fine, but it carries one reading for the closed second 9.
+	err := b.Offer(11, []model.RawReading{rd(1, 2, 11), rd(1, 2, 9)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindLate || ie.Rejected {
+		t.Fatalf("err = %v", err)
+	}
+	if len(rec.raws[11]) != 1 {
+		t.Errorf("second 11 flushed %d readings, want 1", len(rec.raws[11]))
+	}
+	if d := b.Drops(); d.LateReadings != 1 || d.LateBatches != 0 {
+		t.Errorf("drops = %+v", d)
+	}
+}
+
+func TestWatermarkAndAccounting(t *testing.T) {
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 2}, rec.sink)
+	if _, ok := b.Watermark(); ok {
+		t.Error("watermark defined before first delivery")
+	}
+	offered := 0
+	for sec := model.Time(1); sec <= 9; sec++ {
+		b.Offer(sec, []model.RawReading{rd(1, 2, sec), rd(2, 3, sec)})
+		offered += 2
+	}
+	w, ok := b.Watermark()
+	if !ok || w != 7 {
+		t.Errorf("watermark = %d/%v, want 7", w, ok)
+	}
+	flushed := 0
+	for _, raws := range rec.raws {
+		flushed += len(raws)
+	}
+	if flushed+b.PendingReadings()+b.Drops().Readings() != offered {
+		t.Errorf("accounting broken: flushed %d + pending %d + dropped %d != offered %d",
+			flushed, b.PendingReadings(), b.Drops().Readings(), offered)
+	}
+}
+
+func TestErrorStringAndKinds(t *testing.T) {
+	e := &Error{Kind: KindDuplicate, Time: 12, Watermark: 10, Dropped: 3}
+	if s := e.Error(); s == "" {
+		t.Error("empty error string")
+	}
+	for k := KindLate; k <= KindGap; k++ {
+		if k.String() == "" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+	var d Drops
+	d.LateReadings, d.DuplicateReadings, d.MisstampedReadings, d.InvalidReadings = 1, 2, 3, 4
+	if d.Readings() != 10 {
+		t.Errorf("Readings() = %d", d.Readings())
+	}
+	var m Drops
+	m.Merge(d)
+	m.Merge(d)
+	if m.Readings() != 20 {
+		t.Errorf("merged Readings() = %d", m.Readings())
+	}
+}

@@ -117,6 +117,23 @@ func TopKSuccess(dist map[anchor.ID]float64, trueAnchor anchor.ID, k int) bool {
 	return false
 }
 
+// SilentLoss returns the number of readings a pipeline lost without
+// accounting for them: the readings offered minus those accepted, dropped
+// with a counted reason, or still pending in a reorder buffer. A hardened
+// ingestion path keeps this at exactly zero under any fault pattern.
+func SilentLoss(offered, accepted, dropped, pending int) int {
+	return offered - accepted - dropped - pending
+}
+
+// DropRate returns the fraction of non-pending input that was dropped,
+// dropped/(accepted+dropped), or 0 when there was no input.
+func DropRate(accepted, dropped int) float64 {
+	if accepted+dropped == 0 {
+		return 0
+	}
+	return float64(dropped) / float64(accepted+dropped)
+}
+
 // Mean returns the arithmetic mean of the values, or NaN when empty.
 func Mean(vs []float64) float64 {
 	if len(vs) == 0 {

@@ -137,3 +137,27 @@ func TestMeanAndStddev(t *testing.T) {
 		t.Error("Stddev of singleton should be 0")
 	}
 }
+
+func TestSilentLoss(t *testing.T) {
+	if got := SilentLoss(100, 90, 6, 4); got != 0 {
+		t.Errorf("balanced pipeline: silent loss %d", got)
+	}
+	if got := SilentLoss(100, 90, 6, 0); got != 4 {
+		t.Errorf("leaky pipeline: silent loss %d, want 4", got)
+	}
+	if got := SilentLoss(0, 0, 0, 0); got != 0 {
+		t.Errorf("empty pipeline: silent loss %d", got)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	if got := DropRate(0, 0); got != 0 {
+		t.Errorf("no input: drop rate %v", got)
+	}
+	if got := DropRate(90, 10); got != 0.1 {
+		t.Errorf("drop rate %v, want 0.1", got)
+	}
+	if got := DropRate(0, 5); got != 1 {
+		t.Errorf("all dropped: drop rate %v, want 1", got)
+	}
+}

@@ -34,6 +34,15 @@ func (r RawReading) String() string {
 	return fmt.Sprintf("o%d@d%d t=%d", r.Object, r.Reader, r.Time)
 }
 
+// Batch is one delivery of raw readings from a gateway: the readings
+// produced (or retransmitted) for batch second Time. Gateways batch at one
+// second granularity, but a delivery's readings may carry neighboring time
+// stamps — the ingestion path routes each reading by its own Time.
+type Batch struct {
+	Time     Time         `json:"time"`
+	Readings []RawReading `json:"readings"`
+}
+
 // AggregatedReading is a one-second aggregated entry for one object: during
 // second Time the object was detected by Reader (NoReader when undetected).
 type AggregatedReading struct {

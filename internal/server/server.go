@@ -20,7 +20,9 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/rfid"
 	"repro/internal/viz"
@@ -40,6 +43,9 @@ type Server struct {
 	sys  *engine.System
 	plan *floorplan.Plan
 	dep  *rfid.Deployment
+	// rejected counts whole deliveries refused as late, whether they came
+	// in over HTTP (409) or through IngestDirect — same semantics for both.
+	rejected int
 }
 
 // New builds a Server around an assembled system.
@@ -47,14 +53,21 @@ func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server
 	return &Server{sys: sys, plan: plan, dep: dep}
 }
 
-// IngestDirect feeds one second of readings bypassing HTTP (used by the
-// demo simulator); it takes the same lock as the handlers.
-func (s *Server) IngestDirect(t model.Time, raws []model.RawReading) {
+// IngestDirect feeds one delivery of readings bypassing HTTP (used by the
+// demo simulator); it takes the same lock as the handlers. Rejections are
+// reported exactly as handleIngest reports them: the typed error is
+// returned, logged, and counted in the same rejection counter that backs
+// the HTTP 409 path.
+func (s *Server) IngestDirect(t model.Time, raws []model.RawReading) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t > s.sys.Now() {
-		s.sys.Ingest(t, raws)
+	err := s.sys.Ingest(t, raws)
+	var ie *ingest.Error
+	if errors.As(err, &ie) && ie.Rejected {
+		s.rejected++
+		log.Printf("ingest: direct delivery rejected: %v", ie)
 	}
+	return err
 }
 
 // Handler returns the HTTP handler with all routes registered.
@@ -99,13 +112,14 @@ td, th { border: 1px solid #ddd; padding: 2px 8px; font-size: 13px; text-align: 
 async function tick() {
   document.getElementById('snap').src = '/snapshot.svg?ts=' + Date.now();
   const occ = await (await fetch('/occupancy')).json();
-  const rows = (occ || []).slice(0, 15).map(function(e) {
+  const rows = occ.slice(0, 15).map(function(e) {
     return '<tr><td>' + e.room + '</td><td>' + e.p.toFixed(2) + '</td></tr>';
   }).join('');
   document.getElementById('occ').innerHTML = '<tr><th>room</th><th>expected</th></tr>' + rows;
   const st = await (await fetch('/stats')).json();
   document.getElementById('stats').textContent =
-    't=' + st.now + ', readings=' + st.work.ReadingsIngested;
+    't=' + st.now + ', readings=' + st.work.ReadingsIngested +
+    ', dropped=' + st.work.ReadingsDropped + ', rejected=' + st.ingestRejected;
 }
 tick();
 setInterval(tick, 2000);
@@ -118,22 +132,13 @@ func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, uiPage)
 }
 
-// ingestRequest is the body of POST /ingest.
-type ingestRequest struct {
-	Time     model.Time         `json:"time"`
-	Readings []model.RawReading `json:"readings"`
-}
+// ingestRequest is the body of POST /ingest: one gateway delivery.
+type ingestRequest = model.Batch
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.Time <= s.sys.Now() {
-		httpError(w, http.StatusConflict, "time %d not after current %d", req.Time, s.sys.Now())
 		return
 	}
 	// Stamp readings with the batch time when omitted.
@@ -142,8 +147,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			req.Readings[i].Time = req.Time
 		}
 	}
-	s.sys.Ingest(req.Time, req.Readings)
-	writeJSON(w, map[string]any{"now": s.sys.Now(), "accepted": len(req.Readings)})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.sys.Ingest(req.Time, req.Readings)
+	var ie *ingest.Error
+	if errors.As(err, &ie) && ie.Rejected {
+		s.rejected++
+		httpError(w, http.StatusConflict, "%v", ie)
+		return
+	}
+	resp := map[string]any{
+		"now":      s.sys.Now(),
+		"received": len(req.Readings),
+		"accepted": len(req.Readings),
+		"dropped":  0,
+	}
+	if ie != nil {
+		resp["accepted"] = len(req.Readings) - ie.Dropped
+		resp["dropped"] = ie.Dropped
+		resp["reason"] = ie.Kind.String()
+	}
+	writeJSON(w, resp)
 }
 
 // objProb is one entry of a probabilistic answer, sorted by probability.
@@ -267,7 +291,8 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 		Room string  `json:"room"`
 		P    float64 `json:"p"`
 	}
-	var out []entry
+	// Non-nil so an empty answer encodes as [] rather than null.
+	out := []entry{}
 	for _, ro := range s.sys.Occupancy() {
 		name := "(hallways)"
 		if ro.Room != floorplan.NoRoom {
@@ -281,7 +306,11 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	writeJSON(w, s.sys.Collector().KnownObjects())
+	objs := s.sys.Collector().KnownObjects()
+	if objs == nil {
+		objs = []model.ObjectID{}
+	}
+	writeJSON(w, objs)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -289,10 +318,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	hits, misses := s.sys.CacheStats()
 	writeJSON(w, map[string]any{
-		"now":         s.sys.Now(),
-		"work":        s.sys.Stats(),
-		"cacheHits":   hits,
-		"cacheMisses": misses,
+		"now":            s.sys.Now(),
+		"work":           s.sys.Stats(),
+		"cacheHits":      hits,
+		"cacheMisses":    misses,
+		"ingestRejected": s.rejected,
 	})
 }
 

@@ -3,7 +3,9 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +13,8 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/floorplan"
+	"repro/internal/ingest"
+	"repro/internal/model"
 	"repro/internal/rfid"
 	"repro/internal/sim"
 )
@@ -250,5 +254,182 @@ func TestRouteEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad params status %d", resp.StatusCode)
+	}
+}
+
+// freshServer builds a server with no warmup traffic and a configurable
+// ingestion front end.
+func freshServer(t *testing.T, icfg ingest.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	cfg := engine.DefaultConfig()
+	cfg.Ingest = icfg
+	srv := New(engine.MustNew(plan, dep, cfg), plan, dep)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, b model.Batch) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func batchAt(tm model.Time, objs ...int) model.Batch {
+	b := model.Batch{Time: tm}
+	for i, o := range objs {
+		b.Readings = append(b.Readings, model.RawReading{
+			Object: model.ObjectID(o), Reader: model.ReaderID(i), Time: tm,
+		})
+	}
+	return b
+}
+
+// workStats decodes the drop accounting out of /stats.
+type workStats struct {
+	Work struct {
+		ReadingsIngested int
+		ReadingsDropped  int
+		ReadingsPending  int
+		Ingest           struct {
+			DuplicateReadings  int
+			MisstampedReadings int
+			LateReadings       int
+		}
+	} `json:"work"`
+	IngestRejected int `json:"ingestRejected"`
+}
+
+func TestEmptyResultJSONShapes(t *testing.T) {
+	// A fresh system knows nothing; empty answers must encode as [], not null.
+	_, ts := freshServer(t, ingest.Config{})
+	for _, path := range []string{"/occupancy", "/objects"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(string(body)); got != "[]" {
+			t.Errorf("%s empty body = %q, want []", path, got)
+		}
+	}
+}
+
+func TestIngestOutOfOrderWithinHorizon(t *testing.T) {
+	_, ts := freshServer(t, ingest.Config{Horizon: 5})
+	for _, tm := range []model.Time{10, 12, 11, 13} {
+		code, resp := postBatch(t, ts, batchAt(tm, 1))
+		if code != http.StatusOK {
+			t.Fatalf("t=%d: status %d (%v)", tm, code, resp)
+		}
+		if d, _ := resp["dropped"].(float64); d != 0 {
+			t.Errorf("t=%d: dropped %v readings", tm, d)
+		}
+	}
+	var st workStats
+	if code := getJSON(t, ts, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.IngestRejected != 0 || st.Work.ReadingsDropped != 0 {
+		t.Errorf("clean out-of-order stream counted drops: %+v", st)
+	}
+	if st.Work.ReadingsIngested+st.Work.ReadingsPending != 4 {
+		t.Errorf("ingested %d + pending %d != 4 offered",
+			st.Work.ReadingsIngested, st.Work.ReadingsPending)
+	}
+}
+
+func TestIngestDuplicateBatch(t *testing.T) {
+	// With a lateness horizon the retransmission meets its pending copy and
+	// is dropped as a counted duplicate, not an error.
+	_, ts := freshServer(t, ingest.Config{Horizon: 5})
+	if code, _ := postBatch(t, ts, batchAt(10, 1, 2)); code != http.StatusOK {
+		t.Fatalf("first delivery status %d", code)
+	}
+	code, resp := postBatch(t, ts, batchAt(10, 1, 2))
+	if code != http.StatusOK {
+		t.Fatalf("retransmission status %d", code)
+	}
+	if d, _ := resp["dropped"].(float64); d != 2 {
+		t.Errorf("retransmission dropped %v, want 2", d)
+	}
+	if reason, _ := resp["reason"].(string); reason != "duplicate" {
+		t.Errorf("reason = %q", reason)
+	}
+	var st workStats
+	getJSON(t, ts, "/stats", &st)
+	if st.Work.Ingest.DuplicateReadings != 2 {
+		t.Errorf("stats duplicates = %d, want 2", st.Work.Ingest.DuplicateReadings)
+	}
+
+	// Without a horizon the second was already flushed: the retransmission
+	// is late, refused whole with 409, and counted as rejected.
+	_, strict := freshServer(t, ingest.Config{})
+	postBatch(t, strict, batchAt(10, 1, 2))
+	if code, _ := postBatch(t, strict, batchAt(10, 1, 2)); code != http.StatusConflict {
+		t.Fatalf("strict retransmission status %d, want 409", code)
+	}
+	var st2 workStats
+	getJSON(t, strict, "/stats", &st2)
+	if st2.IngestRejected != 1 || st2.Work.Ingest.LateReadings != 2 {
+		t.Errorf("strict rejection accounting: %+v", st2)
+	}
+}
+
+func TestIngestMisstampedReadings(t *testing.T) {
+	_, ts := freshServer(t, ingest.Config{})
+	b := batchAt(10, 1, 2)
+	b.Readings[1].Time = 10 + ingest.DefaultMaxSkew + 1 // beyond skew tolerance
+	code, resp := postBatch(t, ts, b)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (partial drops are not a rejection)", code)
+	}
+	if d, _ := resp["dropped"].(float64); d != 1 {
+		t.Errorf("dropped %v, want 1", d)
+	}
+	if a, _ := resp["accepted"].(float64); a != 1 {
+		t.Errorf("accepted %v, want 1", a)
+	}
+	if reason, _ := resp["reason"].(string); reason != "misstamped" {
+		t.Errorf("reason = %q", reason)
+	}
+	var st workStats
+	getJSON(t, ts, "/stats", &st)
+	if st.Work.Ingest.MisstampedReadings != 1 || st.Work.ReadingsDropped != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestIngestDirectReportsRejection(t *testing.T) {
+	srv, ts := freshServer(t, ingest.Config{})
+	if err := srv.IngestDirect(10, batchAt(10, 1).Readings); err != nil {
+		t.Fatalf("clean direct ingest: %v", err)
+	}
+	err := srv.IngestDirect(5, batchAt(5, 1).Readings)
+	var ie *ingest.Error
+	if !errors.As(err, &ie) || !ie.Rejected || ie.Kind != ingest.KindLate {
+		t.Fatalf("stale direct ingest error = %v", err)
+	}
+	// The same counter backs the HTTP 409 path: both surfaces agree.
+	var st workStats
+	getJSON(t, ts, "/stats", &st)
+	if st.IngestRejected != 1 {
+		t.Errorf("ingestRejected = %d, want 1", st.IngestRejected)
 	}
 }

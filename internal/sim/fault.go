@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// FaultConfig parameterizes the fault-injection layer between the sensor
+// model and the ingestion path. It reproduces the delivery-level failure
+// modes of real RFID deployments — readers dropping out, gateways losing,
+// delaying, and retransmitting batches, and skewed reader clocks — so the
+// hardened ingestion front end can be exercised end to end. All
+// probabilities are evaluated once per second from the injector's own
+// seeded stream, keeping fault patterns reproducible.
+type FaultConfig struct {
+	// DropoutProb is the per-reader per-second probability that an online
+	// reader goes dark (its readings vanish before delivery).
+	DropoutProb float64
+	// RecoverProb is the per-reader per-second probability that a dark
+	// reader comes back.
+	RecoverProb float64
+	// BurstLossProb is the per-second probability that the whole second's
+	// delivery is lost in transit — the ingestion path sees a gap.
+	BurstLossProb float64
+	// SkewProb is the per-reader per-second probability that the reader's
+	// readings this second carry a skewed clock.
+	SkewProb float64
+	// SkewMax bounds the skew offset: nonzero, uniform in [-SkewMax, SkewMax].
+	SkewMax model.Time
+	// DelayProb is the per-batch probability that delivery is deferred by
+	// 1..DelayMax seconds (arriving out of order).
+	DelayProb float64
+	// DelayMax bounds the delivery delay in seconds.
+	DelayMax model.Time
+	// DuplicateProb is the per-batch probability that a gateway retransmits
+	// the delivery 1..DelayMax (or 1) seconds later.
+	DuplicateProb float64
+}
+
+// Validate checks the configuration.
+func (c FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropoutProb", c.DropoutProb}, {"RecoverProb", c.RecoverProb},
+		{"BurstLossProb", c.BurstLossProb}, {"SkewProb", c.SkewProb},
+		{"DelayProb", c.DelayProb}, {"DuplicateProb", c.DuplicateProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sim: %s %v out of [0, 1]", p.name, p.v)
+		}
+	}
+	if c.SkewProb > 0 && c.SkewMax <= 0 {
+		return fmt.Errorf("sim: SkewProb needs positive SkewMax, got %d", c.SkewMax)
+	}
+	if (c.DelayProb > 0 || c.DuplicateProb > 0) && c.DelayMax <= 0 {
+		return fmt.Errorf("sim: DelayProb/DuplicateProb need positive DelayMax, got %d", c.DelayMax)
+	}
+	return nil
+}
+
+// FaultStats accounts for everything the injector did to the stream, so a
+// robustness run can prove no reading went missing unaccounted: every
+// produced reading is either lost here (counted) or delivered at least
+// once, and every extra delivery is counted as duplication.
+type FaultStats struct {
+	// ReadingsProduced counts readings entering the injector.
+	ReadingsProduced int
+	// ReadingsDelivered counts readings leaving the injector across all
+	// deliveries, retransmissions included.
+	ReadingsDelivered int
+	// ReadingsLost counts readings suppressed by dropout or burst loss.
+	ReadingsLost int
+	// ReadingsDuplicated counts the extra copies injected by retransmission.
+	ReadingsDuplicated int
+	// ReadingsSkewed counts delivered readings carrying a skewed stamp.
+	ReadingsSkewed int
+	// BatchesLost, BatchesDelayed, BatchesDuplicated count whole-delivery
+	// fault events.
+	BatchesLost, BatchesDelayed, BatchesDuplicated int
+}
+
+// Injector applies configured faults to the per-second batches of a
+// simulation before they reach the ingestion path. It owns an internal
+// delivery queue for delayed and retransmitted batches. Not safe for
+// concurrent use.
+type Injector struct {
+	cfg        FaultConfig
+	src        *rng.Source
+	numReaders int
+	offline    map[model.ReaderID]bool
+	queue      map[model.Time][]model.Batch
+	stats      FaultStats
+}
+
+// NewInjector builds a fault injector over numReaders readers with its own
+// seeded randomness (independent of the simulator's stream, so enabling
+// faults does not perturb the true traces).
+func NewInjector(cfg FaultConfig, numReaders int, seed int64) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numReaders <= 0 {
+		return nil, fmt.Errorf("sim: injector needs a positive reader count, got %d", numReaders)
+	}
+	return &Injector{
+		cfg:        cfg,
+		src:        rng.New(seed),
+		numReaders: numReaders,
+		offline:    make(map[model.ReaderID]bool),
+		queue:      make(map[model.Time][]model.Batch),
+	}, nil
+}
+
+// MustNewInjector is NewInjector for known-valid parameters.
+func MustNewInjector(cfg FaultConfig, numReaders int, seed int64) *Injector {
+	f, err := NewInjector(cfg, numReaders, seed)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Stats returns the cumulative fault accounting.
+func (f *Injector) Stats() FaultStats { return f.stats }
+
+// Offline reports whether the injector currently suppresses a reader.
+func (f *Injector) Offline(id model.ReaderID) bool { return f.offline[id] }
+
+// Apply feeds the true batch for second t through the fault model and
+// returns the deliveries due now: the (possibly degraded) current batch
+// unless it was lost or delayed, plus any previously deferred deliveries
+// whose time has come. Deliveries are ordered by ascending batch second
+// for determinism.
+func (f *Injector) Apply(t model.Time, raws []model.RawReading) []model.Batch {
+	f.stats.ReadingsProduced += len(raws)
+
+	// Flip per-reader dropout and skew states, scanning readers in ID order
+	// so the random stream is deterministic.
+	skew := make(map[model.ReaderID]model.Time)
+	for id := model.ReaderID(0); int(id) < f.numReaders; id++ {
+		if f.offline[id] {
+			if f.cfg.RecoverProb > 0 && f.src.Bool(f.cfg.RecoverProb) {
+				delete(f.offline, id)
+			}
+		} else if f.cfg.DropoutProb > 0 && f.src.Bool(f.cfg.DropoutProb) {
+			f.offline[id] = true
+		}
+		if f.cfg.SkewProb > 0 && f.src.Bool(f.cfg.SkewProb) {
+			off := model.Time(f.src.Intn(int(2*f.cfg.SkewMax))) - f.cfg.SkewMax
+			if off >= 0 {
+				off++ // skip zero: a skewed clock is off by at least a second
+			}
+			skew[id] = off
+		}
+	}
+
+	// Degrade the batch: offline readers lose their readings, skewed
+	// readers mis-stamp theirs.
+	kept := make([]model.RawReading, 0, len(raws))
+	for _, r := range raws {
+		if f.offline[r.Reader] {
+			f.stats.ReadingsLost++
+			continue
+		}
+		if off, ok := skew[r.Reader]; ok {
+			r.Time += off
+			f.stats.ReadingsSkewed++
+		}
+		kept = append(kept, r)
+	}
+
+	// Whole-delivery faults: burst loss, delay, retransmission.
+	if f.cfg.BurstLossProb > 0 && f.src.Bool(f.cfg.BurstLossProb) {
+		f.stats.BatchesLost++
+		f.stats.ReadingsLost += len(kept)
+	} else {
+		batch := model.Batch{Time: t, Readings: kept}
+		due := t
+		if f.cfg.DelayProb > 0 && f.src.Bool(f.cfg.DelayProb) {
+			due = t + 1 + model.Time(f.src.Intn(int(f.cfg.DelayMax)))
+			f.stats.BatchesDelayed++
+		}
+		f.enqueue(due, batch)
+		f.stats.ReadingsDelivered += len(kept)
+		if f.cfg.DuplicateProb > 0 && f.src.Bool(f.cfg.DuplicateProb) {
+			redue := t + 1 + model.Time(f.src.Intn(int(f.cfg.DelayMax)))
+			f.enqueue(redue, batch)
+			f.stats.BatchesDuplicated++
+			f.stats.ReadingsDuplicated += len(kept)
+			f.stats.ReadingsDelivered += len(kept)
+		}
+	}
+
+	return f.takeDue(t)
+}
+
+// Drain returns every still-queued delivery in due order (end of stream).
+func (f *Injector) Drain() []model.Batch {
+	dues := make([]model.Time, 0, len(f.queue))
+	for due := range f.queue {
+		dues = append(dues, due)
+	}
+	sort.Slice(dues, func(i, j int) bool { return dues[i] < dues[j] })
+	var out []model.Batch
+	for _, due := range dues {
+		out = append(out, f.sorted(f.queue[due])...)
+		delete(f.queue, due)
+	}
+	return out
+}
+
+func (f *Injector) enqueue(due model.Time, b model.Batch) {
+	f.queue[due] = append(f.queue[due], b)
+}
+
+// takeDue pops the deliveries due at or before t, ordered by due second
+// then ascending batch second (so an old batch tied with a newer one never
+// sees the newer one advance the watermark first).
+func (f *Injector) takeDue(t model.Time) []model.Batch {
+	dues := make([]model.Time, 0, len(f.queue))
+	for due := range f.queue {
+		if due <= t {
+			dues = append(dues, due)
+		}
+	}
+	sort.Slice(dues, func(i, j int) bool { return dues[i] < dues[j] })
+	var out []model.Batch
+	for _, due := range dues {
+		out = append(out, f.sorted(f.queue[due])...)
+		delete(f.queue, due)
+	}
+	return out
+}
+
+// sorted orders one due-second's deliveries by ascending batch second.
+func (f *Injector) sorted(bs []model.Batch) []model.Batch {
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Time < bs[j].Time })
+	return bs
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/particle"
@@ -160,6 +161,9 @@ type Time = model.Time
 // RawReading is one raw RFID read.
 type RawReading = model.RawReading
 
+// Batch is one gateway delivery: the readings for batch second Time.
+type Batch = model.Batch
+
 // ResultSet is a probabilistic query answer: object -> probability.
 type ResultSet = model.ResultSet
 
@@ -209,6 +213,21 @@ type TrajectoryPoint = engine.TrajectoryPoint
 // Stats are the system's cumulative work counters.
 type Stats = engine.Stats
 
+// Hardened ingestion front end.
+
+// IngestConfig parameterizes the reorder buffer in front of the collector:
+// lateness horizon, skew tolerance, and buffer bound (Config.Ingest). The
+// zero value keeps the strict in-order contract.
+type IngestConfig = ingest.Config
+
+// IngestError is the typed error returned by the Ingest family whenever
+// input is refused or discarded: late, duplicate, mis-stamped, or invalid.
+type IngestError = ingest.Error
+
+// IngestDrops is the explicit drop accounting of the ingestion path,
+// exposed through Stats.Ingest.
+type IngestDrops = ingest.Drops
+
 // Registered continuous queries.
 
 // Registry tracks registered continuous queries and emits result-set change
@@ -253,6 +272,20 @@ func NewSimulator(g *WalkGraph, sensor *Sensor, cfg TraceConfig, seed int64) (*S
 // MustNewSimulator is NewSimulator for known-valid parameters.
 func MustNewSimulator(g *WalkGraph, sensor *Sensor, cfg TraceConfig, seed int64) *Simulator {
 	return sim.MustNew(g, sensor, cfg, seed)
+}
+
+// FaultConfig parameterizes the fault-injection layer between the sensor
+// model and the ingestion path (dropout, burst loss, clock skew, delays,
+// duplicate deliveries).
+type FaultConfig = sim.FaultConfig
+
+// FaultInjector degrades a simulated reading stream with configured faults
+// while accounting for every reading it touches.
+type FaultInjector = sim.Injector
+
+// NewFaultInjector builds a fault injector over numReaders readers.
+func NewFaultInjector(cfg FaultConfig, numReaders int, seed int64) (*FaultInjector, error) {
+	return sim.NewInjector(cfg, numReaders, seed)
 }
 
 // Query extensions (the paper's future-work query types).
