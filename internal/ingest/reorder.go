@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"hash/fnv"
+	"math"
 	"sort"
 
 	"repro/internal/model"
@@ -12,21 +13,29 @@ import (
 const DefaultMaxSkew model.Time = 60
 
 // Config parameterizes the reorder buffer. The zero value keeps the
-// historical strict in-order contract: every delivery flushes immediately
-// and anything older than the newest flushed second is a late drop.
+// historical strict in-order contract: every delivery flushes immediately,
+// anything older than the newest flushed second is a late drop, and
+// readings stamped ahead of their batch second are dropped as mis-stamped
+// (with no horizon there is no later flush that could ever release them).
 type Config struct {
 	// Horizon is the lateness horizon in seconds: a delivery for second t
 	// is accepted as long as no batch newer than t+Horizon has been seen.
 	// Seconds flush, in order, once the watermark (newest batch second
-	// minus Horizon) passes them. 0 means in-order only.
+	// minus Horizon) passes them. 0 means in-order only: nothing is held
+	// across deliveries, and ahead-stamped readings are mis-stamped drops
+	// instead of being buffered. With a non-zero horizon the newest Horizon
+	// seconds stay buffered until a later batch closes them, so callers
+	// must drain via FlushAll (engine.System.FlushIngest) at end of stream.
 	Horizon model.Time
-	// MaxSkew caps how far ahead of its delivery's batch second a reading
-	// may be stamped before it is discarded as mis-stamped. 0 means
-	// DefaultMaxSkew.
+	// MaxSkew caps how far a reading's stamp may disagree with its
+	// delivery's batch second: more than MaxSkew ahead is discarded as
+	// mis-stamped, and the stream cannot open more than MaxSkew behind the
+	// first batch second. 0 means DefaultMaxSkew.
 	MaxSkew model.Time
-	// MaxPending bounds the buffered span in seconds; when a newly seen
-	// batch would leave more than MaxPending seconds open, the oldest are
-	// force-flushed early. 0 derives max(4*Horizon, 64).
+	// MaxPending bounds the number of buffered, not-yet-flushed seconds,
+	// ahead-stamped buckets included; when a delivery leaves more than
+	// MaxPending seconds pending, the oldest are force-flushed early.
+	// 0 derives max(4*Horizon, 64).
 	MaxPending int
 }
 
@@ -85,7 +94,7 @@ func NewReorder(cfg Config, sink Sink) *Reorder {
 func (b *Reorder) Drops() Drops { return b.drops }
 
 // ForcedFlushes returns how many seconds were flushed early because the
-// buffered span hit the MaxPending bound.
+// number of buffered seconds hit the MaxPending bound.
 func (b *Reorder) ForcedFlushes() int { return b.forced }
 
 // PendingSeconds returns the number of buffered, not-yet-flushed seconds.
@@ -149,12 +158,18 @@ func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
 	}
 	if !b.started {
 		// Open the stream at the earliest second this delivery mentions, so
-		// the first flush starts there instead of counting phantom gaps.
+		// the first flush starts there instead of counting phantom gaps. The
+		// backward tolerance mirrors MaxSkew: one corrupt tiny stamp must not
+		// open the stream absurdly early (everything up to the first honest
+		// second would then count as gaps); such readings drop as late below.
 		lo := t
 		for _, r := range raws {
 			if r.Reader != model.NoReader && r.Time < lo {
 				lo = r.Time
 			}
+		}
+		if lo < t-b.cfg.MaxSkew {
+			lo = t - b.cfg.MaxSkew
 		}
 		b.started = true
 		b.maxSeen = t
@@ -172,7 +187,10 @@ func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
 			invalid++
 		case r.Time <= b.watermark:
 			late++
-		case r.Time > t+b.cfg.MaxSkew:
+		case r.Time > t+b.cfg.MaxSkew || (b.cfg.Horizon == 0 && r.Time > t):
+			// Beyond the skew tolerance, or ahead-stamped with no horizon:
+			// at horizon 0 every second closes immediately, so a reading
+			// parked in a future bucket would never be released.
 			misstamped++
 		default:
 			buckets[r.Time] = append(buckets[r.Time], r)
@@ -222,9 +240,17 @@ func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
 	b.drops.DuplicateDeliveries += dupDeliveries
 
 	b.flushUpTo(b.maxSeen - b.cfg.Horizon)
-	if span := int(b.maxSeen - b.watermark); span > b.cfg.MaxPending {
-		b.forced += span - b.cfg.MaxPending
-		b.flushUpTo(b.maxSeen - model.Time(b.cfg.MaxPending))
+	if over := len(b.pending) - b.cfg.MaxPending; over > 0 {
+		// The horizon left more seconds buffered than MaxPending allows
+		// (ahead-stamped buckets included): force-flush the oldest so the
+		// bound holds on actual buffered state, not on the watermark span.
+		secs := make([]model.Time, 0, len(b.pending))
+		for sec := range b.pending {
+			secs = append(secs, sec)
+		}
+		sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+		b.forced += over
+		b.flushUpTo(secs[over-1])
 	}
 
 	if n := late + misstamped + invalid + duplicate; n > 0 {
@@ -244,21 +270,41 @@ func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
 	return nil
 }
 
-// flushUpTo closes every second up to and including target, delivering
-// buffered seconds to the sink in order and counting the rest as gaps.
+// flushUpTo closes every second up to and including target: buffered
+// seconds in (watermark, target] are delivered to the sink in order, and
+// the rest of the span is counted as gaps arithmetically. The cost is
+// O(buffered), never O(span): batch times come from untrusted input, and
+// walking an attacker-chosen span second by second would stall the whole
+// server inside one delivery.
 func (b *Reorder) flushUpTo(target model.Time) {
-	for sec := b.watermark + 1; sec <= target; sec++ {
-		ps := b.pending[sec]
-		if ps == nil {
-			b.drops.GapSeconds++
-			continue
+	if target <= b.watermark {
+		return
+	}
+	secs := make([]model.Time, 0, len(b.pending))
+	for sec := range b.pending {
+		if sec <= target {
+			secs = append(secs, sec)
 		}
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+	for _, sec := range secs {
+		ps := b.pending[sec]
 		delete(b.pending, sec)
 		b.sink(sec, ps.raws)
 	}
-	if target > b.watermark {
-		b.watermark = target
+	// The uint64 subtraction yields the exact span even when the int64
+	// difference overflows; the gap counter saturates instead of wrapping.
+	span := uint64(target) - uint64(b.watermark)
+	b.drops.GapSeconds = satAdd(b.drops.GapSeconds, span-uint64(len(secs)))
+	b.watermark = target
+}
+
+// satAdd adds d to the non-negative counter a, saturating at MaxInt.
+func satAdd(a int, d uint64) int {
+	if d > uint64(math.MaxInt-a) {
+		return math.MaxInt
 	}
+	return a + int(d)
 }
 
 // FlushAll drains every buffered second regardless of the horizon, in

@@ -215,6 +215,103 @@ func TestMaxPendingForcesFlush(t *testing.T) {
 	}
 }
 
+func TestHugeTimeJumpFlushesArithmetically(t *testing.T) {
+	// Batch times are untrusted input: a jump of 2^40 seconds must cost
+	// O(buffered), not one loop iteration per skipped second. If the flush
+	// walked the span, this test would not finish in a lifetime.
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	b.Offer(10, []model.RawReading{rd(1, 2, 10)})
+	const far = model.Time(1) << 40
+	if err := b.Offer(far, []model.RawReading{rd(1, 2, far)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.secs) != 2 || rec.secs[0] != 10 || rec.secs[1] != far {
+		t.Fatalf("flushed %v, want [10 %d]", rec.secs, far)
+	}
+	if d := b.Drops(); model.Time(d.GapSeconds) != far-11 {
+		t.Errorf("gap seconds = %d, want %d", d.GapSeconds, far-11)
+	}
+	// The jump closed everything behind it: older batches are late now.
+	err := b.Offer(20, []model.RawReading{rd(1, 2, 20)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindLate || !ie.Rejected {
+		t.Errorf("post-jump delivery error = %v", err)
+	}
+}
+
+func TestCorruptFirstStampDoesNotPoisonWatermark(t *testing.T) {
+	// A corrupt tiny time stamp inside the first delivery must not open the
+	// stream eons before the first honest second: the backward tolerance is
+	// MaxSkew, and anything earlier is a counted late drop.
+	rec := newRecorder()
+	b := NewReorder(Config{MaxSkew: 5}, rec.sink)
+	err := b.Offer(1000, []model.RawReading{rd(1, 2, 3), rd(1, 2, 1000)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindLate || ie.Rejected || ie.Dropped != 1 {
+		t.Fatalf("corrupt-stamp error = %v", err)
+	}
+	if d := b.Drops(); d.LateReadings != 1 || d.GapSeconds != 5 {
+		t.Errorf("drops = %+v, want 1 late reading and 5 gap seconds", d)
+	}
+	if len(rec.raws[1000]) != 1 {
+		t.Errorf("second 1000 flushed %d readings, want 1", len(rec.raws[1000]))
+	}
+}
+
+func TestMaxPendingBoundsBufferedSeconds(t *testing.T) {
+	// MaxPending must bound the actual number of buffered seconds, including
+	// buckets stamped ahead of the newest batch second — a single delivery
+	// fanning readings over many future seconds may not evade the bound.
+	rec := newRecorder()
+	b := NewReorder(Config{Horizon: 50, MaxPending: 4}, rec.sink)
+	var raws []model.RawReading
+	for i := model.Time(0); i < 10; i++ {
+		raws = append(raws, rd(1, 2, 100+i))
+	}
+	if err := b.Offer(100, raws); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PendingSeconds(); got > 4 {
+		t.Errorf("%d seconds buffered, bound is 4", got)
+	}
+	if b.ForcedFlushes() != 6 {
+		t.Errorf("forced flushes = %d, want 6", b.ForcedFlushes())
+	}
+	for i, sec := range rec.secs {
+		if want := model.Time(100 + i); sec != want {
+			t.Errorf("flush %d = %d, want %d", i, sec, want)
+		}
+	}
+	if d := b.Drops(); d.Readings() != 0 || d.GapSeconds != 0 {
+		t.Errorf("force-flushing a dense stream counted drops: %+v", d)
+	}
+}
+
+func TestZeroHorizonDropsAheadStampedAsMisstamped(t *testing.T) {
+	// With no horizon every second closes immediately, so a reading stamped
+	// ahead of its batch second has no later flush to release it; it must be
+	// a counted mis-stamped drop, not buffered forever.
+	rec := newRecorder()
+	b := NewReorder(Config{}, rec.sink)
+	err := b.Offer(10, []model.RawReading{rd(1, 2, 10), rd(1, 2, 11)})
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Kind != KindMisstamped || ie.Dropped != 1 {
+		t.Fatalf("ahead-stamped error = %v", err)
+	}
+	if b.PendingReadings() != 0 {
+		t.Errorf("%d readings still pending under zero horizon", b.PendingReadings())
+	}
+	// The next second's own delivery is not polluted by the dropped reading.
+	b.Offer(11, []model.RawReading{rd(3, 4, 11)})
+	if got := len(rec.raws[11]); got != 1 {
+		t.Errorf("second 11 flushed %d readings, want 1", got)
+	}
+	if d := b.Drops(); d.MisstampedReadings != 1 {
+		t.Errorf("drops = %+v", d)
+	}
+}
+
 func TestLateReadingInsideAcceptableBatch(t *testing.T) {
 	rec := newRecorder()
 	b := NewReorder(Config{}, rec.sink)

@@ -141,6 +141,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
+	// Batch seconds are positive by contract (the stream clock starts at
+	// second 1); anything else is garbage input, not a late delivery.
+	if req.Time <= 0 {
+		httpError(w, http.StatusBadRequest, "bad time %d: batch seconds are positive", req.Time)
+		return
+	}
 	// Stamp readings with the batch time when omitted.
 	for i := range req.Readings {
 		if req.Readings[i].Time == 0 {

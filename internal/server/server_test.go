@@ -190,6 +190,24 @@ func TestIngestRejectsStaleTime(t *testing.T) {
 	}
 }
 
+func TestIngestRejectsNonpositiveTime(t *testing.T) {
+	// Batch seconds are positive by contract; zero and negative times (and
+	// with them absurd watermark openings) are refused at the HTTP boundary
+	// before they reach the reorder buffer.
+	_, ts := freshServer(t, ingest.Config{})
+	for _, tm := range []model.Time{0, -1, -1 << 50} {
+		code, _ := postBatch(t, ts, batchAt(tm, 1))
+		if code != http.StatusBadRequest {
+			t.Errorf("time %d: status %d, want 400", tm, code)
+		}
+	}
+	var st workStats
+	getJSON(t, ts, "/stats", &st)
+	if st.IngestRejected != 0 || st.Work.ReadingsDropped != 0 {
+		t.Errorf("refused garbage counted against the stream: %+v", st)
+	}
+}
+
 func TestBadParams(t *testing.T) {
 	ts, _ := testServer(t)
 	for _, path := range []string{

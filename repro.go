@@ -217,7 +217,9 @@ type Stats = engine.Stats
 
 // IngestConfig parameterizes the reorder buffer in front of the collector:
 // lateness horizon, skew tolerance, and buffer bound (Config.Ingest). The
-// zero value keeps the strict in-order contract.
+// zero value keeps the strict in-order contract. With a non-zero Horizon
+// the newest Horizon seconds stay buffered until a later batch closes
+// them, so call System.FlushIngest at end of stream before final queries.
 type IngestConfig = ingest.Config
 
 // IngestError is the typed error returned by the Ingest family whenever
