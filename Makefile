@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-json check experiments examples vet
+.PHONY: build test race bench bench-smoke bench-json check experiments examples vet profile
 
 build:
 	go build ./...
@@ -14,13 +14,21 @@ test:
 race:
 	go test -race ./...
 
-# Static analysis plus the full suite under the race detector.
+# Static analysis, the full suite under the race detector, and one iteration
+# of every hot-path benchmark so a compile- or panic-level regression in the
+# benchmarked paths cannot land silently.
 check:
 	go vet ./...
 	go test -race ./...
+	$(MAKE) bench-smoke
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of each internal hot-path benchmark: catches breakage, does
+# not measure (the root-package paper benchmarks are too slow for smoke).
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=1x ./internal/...
 
 # Run the particle-filter hot-path benchmarks (indexed coverage index vs.
 # geometric reference) and record the parsed results plus speedups.
@@ -30,6 +38,11 @@ bench-json:
 # Regenerate every paper figure at full scale (~15 minutes).
 experiments:
 	go run ./cmd/experiments -fig all
+
+# Run the demo server with profiling on: pprof at :8080/debug/pprof/,
+# metrics at :8080/metrics.
+profile:
+	go run ./cmd/server -demo -pprof
 
 examples:
 	go run ./examples/quickstart

@@ -33,6 +33,8 @@ func main() {
 		demo     = flag.Bool("demo", false, "run a built-in simulator that feeds readings")
 		objects  = flag.Int("objects", 30, "simulated objects in -demo mode")
 		seed     = flag.Int64("seed", 1, "random seed")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		slowQ    = flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 disables the log)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 	cfg := engine.DefaultConfig()
 	cfg.KeepHistory = *history
 	cfg.Seed = *seed
+	cfg.SlowQueryThreshold = *slowQ
 	sys, err := engine.New(plan, dep, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "server: %v\n", err)
@@ -87,7 +90,13 @@ func main() {
 
 	fmt.Printf("indoor query server on %s (%d rooms, %d readers)\n",
 		*addr, len(plan.Rooms()), dep.NumReaders())
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	fmt.Printf("telemetry: /metrics and /debug/filtertrace")
+	if *pprofOn {
+		fmt.Printf(", pprof on /debug/pprof/")
+	}
+	fmt.Println()
+	handler := srv.HandlerWith(server.HandlerConfig{EnablePProf: *pprofOn})
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "server: %v\n", err)
 		os.Exit(1)
 	}

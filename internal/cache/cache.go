@@ -10,6 +10,7 @@ package cache
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/particle"
 )
 
@@ -24,6 +25,37 @@ type Cache struct {
 	entries  map[model.ObjectID]entry
 	hits     int
 	misses   int
+	// Optional live telemetry mirrors of the counters above plus an
+	// eviction count; nil until Instrument attaches them.
+	mHits, mMisses, mEvictions *obs.Counter
+}
+
+// Instrument attaches telemetry counters incremented alongside the cache's
+// own accounting: hits and misses mirror Stats, and evictions counts every
+// entry removed other than by a Put overwrite (staleness on Get, the ENTER
+// invalidation rule, lifetime expiry, and explicit Remove).
+func (c *Cache) Instrument(hits, misses, evictions *obs.Counter) {
+	c.mHits, c.mMisses, c.mEvictions = hits, misses, evictions
+}
+
+func (c *Cache) countHit() {
+	c.hits++
+	if c.mHits != nil {
+		c.mHits.Inc()
+	}
+}
+
+func (c *Cache) countMiss() {
+	c.misses++
+	if c.mMisses != nil {
+		c.mMisses.Inc()
+	}
+}
+
+func (c *Cache) countEviction() {
+	if c.mEvictions != nil {
+		c.mEvictions.Inc()
+	}
 }
 
 type entry struct {
@@ -54,15 +86,16 @@ func (c *Cache) Put(st *particle.State, device model.ReaderID) {
 func (c *Cache) Get(obj model.ObjectID, currentDevice model.ReaderID, now model.Time) (*particle.State, bool) {
 	e, ok := c.entries[obj]
 	if !ok {
-		c.misses++
+		c.countMiss()
 		return nil, false
 	}
 	if e.device != currentDevice || now-e.state.Time > c.lifetime {
 		delete(c.entries, obj)
-		c.misses++
+		c.countEviction()
+		c.countMiss()
 		return nil, false
 	}
-	c.hits++
+	c.countHit()
 	return e.state.Clone(), true
 }
 
@@ -71,17 +104,24 @@ func (c *Cache) Get(obj model.ObjectID, currentDevice model.ReaderID, now model.
 func (c *Cache) Invalidate(obj model.ObjectID, newDevice model.ReaderID) {
 	if e, ok := c.entries[obj]; ok && e.device != newDevice {
 		delete(c.entries, obj)
+		c.countEviction()
 	}
 }
 
 // Remove unconditionally drops the object's entry.
-func (c *Cache) Remove(obj model.ObjectID) { delete(c.entries, obj) }
+func (c *Cache) Remove(obj model.ObjectID) {
+	if _, ok := c.entries[obj]; ok {
+		delete(c.entries, obj)
+		c.countEviction()
+	}
+}
 
 // EvictExpired drops every entry older than the lifetime.
 func (c *Cache) EvictExpired(now model.Time) {
 	for obj, e := range c.entries {
 		if now-e.state.Time > c.lifetime {
 			delete(c.entries, obj)
+			c.countEviction()
 		}
 	}
 }

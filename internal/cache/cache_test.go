@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/particle"
 	"repro/internal/walkgraph"
 )
@@ -148,5 +149,52 @@ func TestDefaultLifetime(t *testing.T) {
 	}
 	if _, ok := c.Get(1, 5, 100+DefaultLifetime+1); ok {
 		t.Error("entry outlived default lifetime")
+	}
+}
+
+// TestInstrumentCounters drives every eviction path and checks the attached
+// telemetry counters track the cache's own accounting.
+func TestInstrumentCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	events := reg.CounterVec("cache_events_total", "test", "event")
+	hit, miss, evict := events.With("hit"), events.With("miss"), events.With("evict")
+	c := New(60)
+	c.Instrument(hit, miss, evict)
+
+	c.Get(1, 5, 100) // miss: unknown
+	c.Put(state(1, 100), 5)
+	c.Get(1, 5, 110) // hit
+	c.Get(1, 7, 110) // device changed: eviction + miss
+	c.Put(state(2, 100), 5)
+	c.Get(2, 5, 500) // expired: eviction + miss
+	c.Put(state(3, 100), 5)
+	c.Invalidate(3, 9) // eviction
+	c.Put(state(4, 100), 5)
+	c.Remove(4) // eviction
+	c.Remove(4) // no entry: no eviction
+	c.Put(state(5, 100), 5)
+	c.EvictExpired(1000) // eviction
+
+	hits, misses := c.Stats()
+	if got := hit.Value(); got != uint64(hits) || got != 1 {
+		t.Errorf("hit counter %d, stats %d, want 1", got, hits)
+	}
+	if got := miss.Value(); got != uint64(misses) || got != 3 {
+		t.Errorf("miss counter %d, stats %d, want 3", got, misses)
+	}
+	if got := evict.Value(); got != 5 {
+		t.Errorf("eviction counter %d, want 5", got)
+	}
+}
+
+// TestUninstrumentedCacheSafe checks the nil-counter path stays silent.
+func TestUninstrumentedCacheSafe(t *testing.T) {
+	c := New(60)
+	c.Put(state(1, 100), 5)
+	c.Get(1, 5, 110)
+	c.Get(1, 7, 110)
+	c.Remove(1)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d, %d", hits, misses)
 	}
 }

@@ -64,6 +64,10 @@ func (c *Collector) Historic() bool { return c.historic }
 // Now returns the time of the most recently ingested second.
 func (c *Collector) Now() model.Time { return c.now }
 
+// NumObjects returns the number of objects with retained state, without the
+// allocation KnownObjects pays — the telemetry layer reads it every scrape.
+func (c *Collector) NumObjects() int { return len(c.objects) }
+
 // Drops returns the cumulative accounting of batches and readings the
 // collector refused (non-increasing seconds, mis-stamped or reader-less
 // readings).

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/anchor"
 	"repro/internal/cache"
@@ -65,6 +66,14 @@ type Config struct {
 	// value keeps the historical strict in-order contract (every batch
 	// flushes immediately; older batches are late).
 	Ingest ingest.Config
+	// SlowQueryThreshold is the wall-clock latency above which a snapshot
+	// range/kNN query is counted, logged, and retained in the slow-query
+	// ring (Telemetry.Slow). Zero or negative disables the slow-query log;
+	// latency histograms record regardless.
+	SlowQueryThreshold time.Duration
+	// TraceRing is the capacity of the filter-trace ring buffer
+	// (Telemetry.Trace, served at /debug/filtertrace). 0 means 256.
+	TraceRing int
 	// Seed drives all of the engine's randomness.
 	Seed int64
 }
@@ -72,14 +81,15 @@ type Config struct {
 // DefaultConfig returns the paper's defaults (Table 2).
 func DefaultConfig() Config {
 	return Config{
-		Particle:      particle.DefaultConfig(),
-		AnchorSpacing: anchor.DefaultSpacing,
-		MaxSpeed:      symbolic.DefaultMaxSpeed,
-		UseCache:      true,
-		CacheLifetime: cache.DefaultLifetime,
-		UsePruning:    true,
-		SMTrials:      200,
-		Seed:          1,
+		Particle:           particle.DefaultConfig(),
+		AnchorSpacing:      anchor.DefaultSpacing,
+		MaxSpeed:           symbolic.DefaultMaxSpeed,
+		UseCache:           true,
+		CacheLifetime:      cache.DefaultLifetime,
+		UsePruning:         true,
+		SMTrials:           200,
+		SlowQueryThreshold: 100 * time.Millisecond,
+		Seed:               1,
 	}
 }
 
@@ -136,6 +146,7 @@ type System struct {
 	src     *rng.Source
 	reorder *ingest.Reorder
 	stats   Stats
+	tel     *Telemetry
 	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
 	eventLog []model.Event
 	eventOff int
@@ -198,6 +209,11 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 		src:    rng.New(cfg.Seed),
 	}
 	s.reorder = ingest.NewReorder(cfg.Ingest, s.ingestSecond)
+	// Telemetry is always on: the record path is atomic and allocation-free,
+	// and the stage timings are what every perf PR measures itself against.
+	s.tel = newTelemetry(cfg)
+	s.filter.Instrument(s.tel.filterMetrics())
+	s.cache.Instrument(s.tel.cacheHits, s.tel.cacheMisses, s.tel.cacheEvictions)
 	return s, nil
 }
 
@@ -334,6 +350,7 @@ func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
 		cached  *particle.State
 		st      *particle.State
 		dist    map[anchor.ID]float64
+		snap    time.Duration
 	}
 	// Phase 1 (serial): gather readings and consult the cache — collector
 	// and cache are not safe for concurrent use.
@@ -384,7 +401,12 @@ func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
 				}
 				t.st = st
 			}
+			// The anchor-snap discretization is the fourth filter stage;
+			// histograms are atomic, so observing from workers is safe.
+			snapStart := time.Now()
 			t.dist = t.st.AnchorDistribution(s.idx)
+			t.snap = time.Since(snapStart)
+			s.tel.stageSnap.Observe(t.snap.Seconds())
 		}
 	}
 	wg.Add(workers)
@@ -405,9 +427,12 @@ func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
 		}
 		if t.cached != nil {
 			s.stats.FiltersResumed++
+			s.tel.runsResumed.Inc()
 		} else {
 			s.stats.FiltersRun++
+			s.tel.runsFull.Inc()
 		}
+		s.tel.recordTrace(t.st, t.snap, t.cached != nil)
 		if s.cfg.UseCache {
 			s.cache.Put(t.st, t.dj)
 		}
@@ -447,8 +472,13 @@ func infosToIDs(infos []query.ObjectInfo) []model.ObjectID {
 // RangeQuery answers a snapshot indoor range query with the particle
 // filter-based method: candidate pruning, preprocessing, then Algorithm 3.
 func (s *System) RangeQuery(window geom.Rect) model.ResultSet {
-	tab := s.Preprocess(s.RangeCandidates([]geom.Rect{window}))
-	return s.RangeQueryOn(tab, window)
+	start := time.Now()
+	cands := s.RangeCandidates([]geom.Rect{window})
+	tab := s.Preprocess(cands)
+	rs := s.RangeQueryOn(tab, window)
+	s.observeQuery("range", rangeDetail(window.Min.X, window.Min.Y,
+		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start)
+	return rs
 }
 
 // RangeQueryOn evaluates Algorithm 3 against an existing table (for batched
@@ -461,8 +491,12 @@ func (s *System) RangeQueryOn(tab *anchor.Table, window geom.Rect) model.ResultS
 // KNNQuery answers a snapshot indoor kNN query with the particle
 // filter-based method: distance pruning, preprocessing, then Algorithm 4.
 func (s *System) KNNQuery(q geom.Point, k int) model.ResultSet {
-	tab := s.Preprocess(s.KNNCandidates(q, k))
-	return s.KNNQueryOn(tab, q, k)
+	start := time.Now()
+	cands := s.KNNCandidates(q, k)
+	tab := s.Preprocess(cands)
+	rs := s.KNNQueryOn(tab, q, k)
+	s.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start)
+	return rs
 }
 
 // KNNQueryOn evaluates Algorithm 4 against an existing table.

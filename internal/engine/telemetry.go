@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/particle"
+)
+
+// Telemetry is the engine's observability surface: one obs.Registry holding
+// every metric of the system plus the bounded debug rings. The hot-path
+// metrics (filter stages, cache events, particle steps) are recorded inline
+// by the instrumented components; everything derived from engine state
+// (ingest lag, pending depth, cumulative drop accounting) is a scrape-time
+// mirror refreshed by SyncMetrics, so the authoritative counters in Stats
+// and the exported ones can never drift apart.
+type Telemetry struct {
+	reg *obs.Registry
+
+	// Trace retains the last runs of the particle filter with per-stage
+	// timings (served at /debug/filtertrace).
+	Trace *obs.Ring[obs.FilterTrace]
+	// Slow retains the queries that crossed Config.SlowQueryThreshold
+	// (served at /debug/slowqueries).
+	Slow *obs.Ring[SlowQuery]
+
+	// Inline-recorded metrics.
+	stagePredict, stageReweight, stageResample, stageSnap *obs.Histogram
+	particleSteps                                         *obs.Counter
+	runsFull, runsResumed                                 *obs.Counter
+	queryRange, queryKNN                                  *obs.Histogram
+	slowQueries                                           *obs.Counter
+	cacheHits, cacheMisses, cacheEvictions                *obs.Counter
+
+	// Scrape-time mirrors, refreshed by SyncMetrics.
+	ingested        *obs.Counter
+	dropped         map[ingest.Kind]*obs.Counter
+	rejectedBatches *obs.Counter
+	gapSeconds      *obs.Counter
+	pendingSeconds  *obs.Gauge
+	pendingReadings *obs.Gauge
+	watermarkLag    *obs.Gauge
+	streamNow       *obs.Gauge
+	objectsKnown    *obs.Gauge
+	cacheEntries    *obs.Gauge
+}
+
+// SlowQuery is one slow-query log record.
+type SlowQuery struct {
+	// Kind is "range" or "knn"; Detail renders the query parameters.
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	// SimTime is the stream second the query ran against.
+	SimTime int64 `json:"simTime"`
+	// Candidates is the candidate-set size after pruning.
+	Candidates int `json:"candidates"`
+	// Micros is the query's wall time in microseconds.
+	Micros int64 `json:"micros"`
+}
+
+// newTelemetry builds the registry and registers the full metric inventory
+// (DESIGN.md §10 documents naming and semantics).
+func newTelemetry(cfg Config) *Telemetry {
+	r := obs.NewRegistry()
+	stage := r.HistogramVec("repro_filter_stage_seconds",
+		"Wall time of one particle-filter stage per Run/Advance call.", nil, "stage")
+	runs := r.CounterVec("repro_filter_runs_total",
+		"Particle-filter executions by mode: full runs vs cache-resumed advances.", "mode")
+	queries := r.HistogramVec("repro_query_seconds",
+		"End-to-end snapshot query latency (pruning + preprocessing + evaluation).", nil, "kind")
+	cacheEvents := r.CounterVec("repro_cache_events_total",
+		"Particle-state cache events.", "event")
+	droppedVec := r.CounterVec("repro_ingest_readings_dropped_total",
+		"Raw readings discarded on the ingestion path, by taxonomy kind.", "kind")
+	dropped := make(map[ingest.Kind]*obs.Counter, len(ingest.ReadingKinds))
+	for _, k := range ingest.ReadingKinds {
+		dropped[k] = droppedVec.With(k.String())
+	}
+	t := &Telemetry{
+		reg:           r,
+		Trace:         obs.NewRing[obs.FilterTrace](cfg.TraceRing),
+		Slow:          obs.NewRing[SlowQuery](0),
+		stagePredict:  stage.With("predict"),
+		stageReweight: stage.With("reweight"),
+		stageResample: stage.With("resample"),
+		stageSnap:     stage.With("snap"),
+		particleSteps: r.Counter("repro_filter_particle_steps_total",
+			"Particle × second motion steps executed by the filter."),
+		runsFull:    runs.With("full"),
+		runsResumed: runs.With("resumed"),
+		queryRange:  queries.With("range"),
+		queryKNN:    queries.With("knn"),
+		slowQueries: r.Counter("repro_slow_queries_total",
+			"Queries slower than the configured slow-query threshold."),
+		cacheHits:      cacheEvents.With("hit"),
+		cacheMisses:    cacheEvents.With("miss"),
+		cacheEvictions: cacheEvents.With("eviction"),
+		ingested: r.Counter("repro_ingest_readings_ingested_total",
+			"Raw readings accepted by the collector."),
+		dropped: dropped,
+		rejectedBatches: r.Counter("repro_ingest_batches_rejected_total",
+			"Whole deliveries refused as late (the HTTP 409 path)."),
+		gapSeconds: r.Counter("repro_ingest_gap_seconds_total",
+			"Stream seconds the watermark passed with no delivery at all."),
+		pendingSeconds: r.Gauge("repro_ingest_pending_seconds",
+			"Seconds buffered in the reorder buffer, not yet flushed."),
+		pendingReadings: r.Gauge("repro_ingest_pending_readings",
+			"Raw readings buffered in the reorder buffer."),
+		watermarkLag: r.Gauge("repro_ingest_watermark_lag_seconds",
+			"Newest delivered batch second minus the newest closed second."),
+		streamNow: r.Gauge("repro_stream_now_seconds",
+			"The most recently ingested stream second (simulation clock)."),
+		objectsKnown: r.Gauge("repro_objects_known",
+			"Objects with retained collector state."),
+		cacheEntries: r.Gauge("repro_cache_entries",
+			"Particle states currently held by the cache."),
+	}
+	return t
+}
+
+// Registry returns the registry for exposition and for other layers (the
+// HTTP server) to register their own metrics into.
+func (t *Telemetry) Registry() *obs.Registry { return t.reg }
+
+// filterMetrics returns the sinks the particle filter records into.
+func (t *Telemetry) filterMetrics() particle.Metrics {
+	return particle.Metrics{
+		Predict:       t.stagePredict,
+		Reweight:      t.stageReweight,
+		Resample:      t.stageResample,
+		ParticleSteps: t.particleSteps,
+	}
+}
+
+// Telemetry returns the system's observability surface.
+func (s *System) Telemetry() *Telemetry { return s.tel }
+
+// SyncMetrics refreshes the scrape-time mirrors (ingest accounting, lag,
+// pending depth, population and cache sizes) from the authoritative engine
+// state. Callers must hold the same exclusion the query API requires; the
+// /metrics handler calls it under the server lock and renders after
+// releasing it.
+func (s *System) SyncMetrics() {
+	st := s.Stats()
+	t := s.tel
+	t.ingested.Set(uint64(st.ReadingsIngested))
+	for kind, c := range t.dropped {
+		c.Set(uint64(st.Ingest.Of(kind)))
+	}
+	t.rejectedBatches.Set(uint64(st.Ingest.LateBatches))
+	t.gapSeconds.Set(uint64(st.Ingest.GapSeconds))
+	t.pendingSeconds.Set(float64(s.reorder.PendingSeconds()))
+	t.pendingReadings.Set(float64(st.ReadingsPending))
+	t.watermarkLag.Set(float64(s.reorder.Lag()))
+	t.streamNow.Set(float64(s.col.Now()))
+	t.objectsKnown.Set(float64(s.col.NumObjects()))
+	t.cacheEntries.Set(float64(s.cache.Len()))
+}
+
+// recordTrace appends one filter run to the trace ring, combining the
+// filter's own stage breakdown with the engine-side snap timing.
+func (t *Telemetry) recordTrace(st *particle.State, snap time.Duration, resumed bool) {
+	rs := st.LastRun
+	t.Trace.Add(obs.FilterTrace{
+		Object:         int64(st.Object),
+		SimFrom:        int64(rs.From),
+		SimTo:          int64(rs.To),
+		Steps:          rs.Steps,
+		Detections:     rs.Detections,
+		Resamples:      rs.Resamples,
+		Particles:      len(st.Particles),
+		ESS:            rs.ESS,
+		Resumed:        resumed,
+		PredictMicros:  rs.Predict.Microseconds(),
+		ReweightMicros: rs.Reweight.Microseconds(),
+		ResampleMicros: rs.Resample.Microseconds(),
+		SnapMicros:     snap.Microseconds(),
+	})
+}
+
+// observeQuery records one snapshot query: latency into the per-kind
+// histogram and, past the slow threshold, a slow-query log entry.
+func (s *System) observeQuery(kind, detail string, candidates int, start time.Time) {
+	elapsed := time.Since(start)
+	t := s.tel
+	h := t.queryRange
+	if kind == "knn" {
+		h = t.queryKNN
+	}
+	h.Observe(elapsed.Seconds())
+	if thr := s.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
+		t.slowQueries.Inc()
+		t.Slow.Add(SlowQuery{
+			Kind:       kind,
+			Detail:     detail,
+			SimTime:    int64(s.col.Now()),
+			Candidates: candidates,
+			Micros:     elapsed.Microseconds(),
+		})
+		log.Printf("engine: slow %s query (%s, %d candidates): %v", kind, detail, candidates, elapsed)
+	}
+}
+
+func rangeDetail(x, y, w, h float64) string {
+	return fmt.Sprintf("window=(%.1f,%.1f,%.1f,%.1f)", x, y, w, h)
+}
+
+func knnDetail(x, y float64, k int) string {
+	return fmt.Sprintf("q=(%.1f,%.1f) k=%d", x, y, k)
+}

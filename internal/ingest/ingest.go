@@ -36,6 +36,11 @@ const (
 	KindGap
 )
 
+// ReadingKinds lists the kinds that classify dropped readings (KindGap is
+// excluded: gaps count missing seconds, not readings). The telemetry layer
+// iterates it to export one drop counter per kind.
+var ReadingKinds = []Kind{KindLate, KindDuplicate, KindMisstamped, KindInvalid}
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {

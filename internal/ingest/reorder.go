@@ -113,6 +113,18 @@ func (b *Reorder) PendingReadings() int {
 // delivery.
 func (b *Reorder) Watermark() (model.Time, bool) { return b.watermark, b.started }
 
+// Lag returns the width of the open window in seconds: the newest delivered
+// batch second minus the newest closed second. It is 0 before the first
+// delivery and at horizon 0 (every second closes immediately); with a
+// lateness horizon it measures how far ingestion currently runs behind the
+// stream head — the watermark lag exported at /metrics.
+func (b *Reorder) Lag() model.Time {
+	if !b.started {
+		return 0
+	}
+	return b.maxSeen - b.watermark
+}
+
 // fingerprint hashes the multiset of readings of one sub-batch (FNV-1a over
 // the sorted readings), so an identical retransmission hashes equal
 // regardless of reading order.

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict reader for the Prometheus text exposition format
+// (version 0.0.4), used to verify the registry's own output and any
+// /metrics endpoint built on it. It deliberately accepts only what this
+// repository emits — HELP then TYPE then samples, no timestamps, no
+// duplicate series — so a formatting regression fails loudly in tests
+// instead of being silently tolerated by a lenient scraper.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name (for histograms: base_bucket/_sum/_count).
+	Name string
+	// Labels holds the parsed, unescaped label pairs.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Family is one parsed metric family with its samples in file order.
+type Family struct {
+	Name, Help, Type string
+	Samples          []Sample
+}
+
+// ParseText reads an exposition document and returns its families keyed by
+// name, enforcing the strict grammar and the histogram invariants
+// (monotone cumulative buckets, +Inf == _count, _sum present). Any
+// violation returns an error naming the offending line.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	seen := make(map[string]bool) // duplicate-series guard: name + sorted labels
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		fail := func(format string, args ...any) (map[string]*Family, error) {
+			return nil, fmt.Errorf("line %d %q: %s", lineno, line, fmt.Sprintf(format, args...))
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return fail("invalid metric name in HELP")
+			}
+			if fams[name] != nil {
+				return fail("second HELP for %s", name)
+			}
+			cur = &Family{Name: name, Help: unescapeHelp(help)}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fail("TYPE missing type")
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fail("unknown type %q", typ)
+			}
+			if cur == nil || cur.Name != name {
+				return fail("TYPE for %s not directly after its HELP", name)
+			}
+			if cur.Type != "" {
+				return fail("second TYPE for %s", name)
+			}
+			if len(cur.Samples) > 0 {
+				return fail("TYPE for %s after its samples", name)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fail("comment is neither HELP nor TYPE")
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fam := familyFor(fams, s.Name)
+		if fam == nil {
+			return fail("sample before its family's HELP/TYPE")
+		}
+		if fam != cur {
+			return fail("sample for %s interleaved into family %s", fam.Name, cur.Name)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return fail("duplicate series")
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s: HELP without TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s: no samples", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves a sample name to its declared family: exact for
+// counters and gauges, base name for histogram _bucket/_sum/_count series.
+func familyFor(fams map[string]*Family, name string) *Family {
+	if f := fams[name]; f != nil && f.Type != "histogram" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f := fams[base]; f != nil && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func seriesKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteByte('\xff')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses `name{label="value",...} value` (no timestamps).
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			lname := line[i:j]
+			if !validName(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("label %q: value not quoted", lname)
+			}
+			val, rest, err := parseQuoted(line[j+1:])
+			if err != nil {
+				return s, fmt.Errorf("label %q: %v", lname, err)
+			}
+			s.Labels[lname] = val
+			i = len(line) - len(rest)
+			if i < len(line) && line[i] == ',' {
+				i++
+			} else if i >= len(line) || line[i] != '}' {
+				return s, fmt.Errorf("expected ',' or '}' after label %q", lname)
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value separator")
+	}
+	valstr := line[i+1:]
+	if strings.ContainsRune(valstr, ' ') {
+		return s, fmt.Errorf("trailing tokens after value (timestamps are not emitted)")
+	}
+	v, err := parseValue(valstr)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseQuoted consumes a double-quoted, escaped label value and returns it
+// with the remainder of the line.
+func parseQuoted(in string) (val, rest string, err error) {
+	if in == "" || in[0] != '"' {
+		return "", "", fmt.Errorf("expected opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch in[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", in[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// checkHistogram enforces the per-series histogram invariants: for every
+// label combination, le values strictly increase in listed order, the
+// cumulative counts never decrease, the +Inf bucket exists and equals
+// _count, _sum exists, and an empty histogram has zero sum.
+func checkHistogram(f *Family) error {
+	type series struct {
+		lastLe     float64
+		lastCount  float64
+		infCount   float64
+		hasInf     bool
+		sum, count float64
+		hasSum     bool
+		hasCount   bool
+	}
+	groups := make(map[string]*series)
+	groupKey := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte('\xff')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := groupKey(labels)
+		g := groups[k]
+		if g == nil {
+			g = &series{lastLe: math.Inf(-1)}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch {
+		case s.Name == f.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			g := get(s.Labels)
+			if !(bound > g.lastLe) {
+				return fmt.Errorf("%s: le %q out of order", f.Name, le)
+			}
+			if s.Value < g.lastCount {
+				return fmt.Errorf("%s: cumulative bucket count decreased at le=%q", f.Name, le)
+			}
+			g.lastLe, g.lastCount = bound, s.Value
+			if math.IsInf(bound, 1) {
+				g.hasInf, g.infCount = true, s.Value
+			}
+		case s.Name == f.Name+"_sum":
+			g := get(s.Labels)
+			if g.hasSum {
+				return fmt.Errorf("%s: duplicate _sum", f.Name)
+			}
+			g.hasSum, g.sum = true, s.Value
+		case s.Name == f.Name+"_count":
+			g := get(s.Labels)
+			if g.hasCount {
+				return fmt.Errorf("%s: duplicate _count", f.Name)
+			}
+			g.hasCount, g.count = true, s.Value
+		default:
+			return fmt.Errorf("%s: unexpected histogram sample %s", f.Name, s.Name)
+		}
+	}
+	for _, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("%s: missing +Inf bucket", f.Name)
+		}
+		if !g.hasSum || !g.hasCount {
+			return fmt.Errorf("%s: missing _sum or _count", f.Name)
+		}
+		if g.count != g.infCount {
+			return fmt.Errorf("%s: _count %v != +Inf bucket %v", f.Name, g.count, g.infCount)
+		}
+		if g.count == 0 && g.sum != 0 {
+			return fmt.Errorf("%s: empty histogram with nonzero sum %v", f.Name, g.sum)
+		}
+	}
+	return nil
+}

@@ -3,9 +3,11 @@ package particle
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/floorplan"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rfid"
 	"repro/internal/rng"
 	"repro/internal/walkgraph"
@@ -35,6 +37,49 @@ type Filter struct {
 	// spans is cov's per-edge span table, cached so the per-particle loops
 	// scan it without a method call per particle.
 	spans [][]rfid.CoverSpan
+	// met holds the optional stage telemetry; timed gates all timing work so
+	// an uninstrumented filter pays nothing (see Instrument).
+	met   Metrics
+	timed bool
+}
+
+// Metrics are the filter's optional telemetry sinks. Every field may be nil
+// independently; recording is atomic and allocation-free, so the
+// steady-state loop's zero-allocation contract holds with instrumentation
+// enabled (pinned by TestInstrumentedAdvanceZeroAllocs).
+type Metrics struct {
+	// Predict, Reweight, and Resample receive the per-stage wall time in
+	// seconds of each Run/Advance call. Reweight includes the silent-second
+	// negative update (both are observation incorporation); Resample
+	// includes roughening.
+	Predict, Reweight, Resample *obs.Histogram
+	// ParticleSteps accumulates particle × second motion steps, the
+	// filter's fundamental unit of work.
+	ParticleSteps *obs.Counter
+}
+
+// Instrument attaches telemetry sinks and enables per-run stage timing
+// (State.LastRun). Call it before the filter is shared across goroutines;
+// a zero Metrics still enables timing alone.
+func (f *Filter) Instrument(m Metrics) {
+	f.met = m
+	f.timed = true
+}
+
+// RunStats is the per-stage wall-time breakdown of one Run/Advance call,
+// recorded on the State when the filter is instrumented.
+type RunStats struct {
+	// From and To bound the simulated seconds this call advanced over.
+	From, To model.Time
+	// Predict, Reweight, and Resample are the stage wall times. Reweight
+	// includes negative updates; Resample includes roughening.
+	Predict, Reweight, Resample time.Duration
+	// Steps counts simulated seconds stepped; Detections the detected
+	// seconds incorporated; Resamples the detected-second resampling passes.
+	Steps, Detections, Resamples int
+	// ESS is the effective sample size of the final particle set, computed
+	// from unnormalized weights (Ns means healthy, ~1 means degenerate).
+	ESS float64
 }
 
 // New builds a Filter. The configuration is validated once here, and the
@@ -172,9 +217,25 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 	if now < tmin {
 		tmin = now
 	}
+	// Stage timing is gated on one bool so the uninstrumented loop pays no
+	// clock reads; time.Now and the histogram sinks allocate nothing, which
+	// keeps the instrumented loop inside the zero-allocation contract.
+	timed := f.timed
+	var rs RunStats
+	var t0 time.Time
+	if timed {
+		rs.From = st.Time
+	}
 	for tj := st.Time + 1; tj <= tmin; tj++ {
+		if timed {
+			t0 = time.Now()
+		}
 		for i := range st.Particles {
 			f.cfg.Step(src, f.g, &st.Particles[i], 1.0)
+		}
+		if timed {
+			rs.Predict += time.Since(t0)
+			rs.Steps++
 		}
 		reader, detected := byTime[tj]
 		if !detected {
@@ -182,11 +243,25 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 			// information enabled, silence is itself an observation: the
 			// object is (almost surely) not inside any reader's range.
 			if f.cfg.UseNegativeInfo {
+				if timed {
+					t0 = time.Now()
+				}
 				f.negativeUpdate(src, st)
+				if timed {
+					rs.Reweight += time.Since(t0)
+				}
 			}
 			continue
 		}
-		if !f.reweight(st.Particles, reader) {
+		if timed {
+			rs.Detections++
+			t0 = time.Now()
+		}
+		consistent := f.reweight(st.Particles, reader)
+		if timed {
+			rs.Reweight += time.Since(t0)
+		}
+		if !consistent {
 			// Degenerate observation: no particle is consistent with the
 			// reading. Without intervention the filter would keep the wrong
 			// cloud forever (all weights equally low), so recover by
@@ -197,13 +272,52 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 			continue
 		}
 		NormalizeWeights(st.Particles)
+		if timed {
+			t0 = time.Now()
+		}
 		f.resample(src, st)
 		f.roughen(src, st.Particles)
+		if timed {
+			rs.Resample += time.Since(t0)
+			rs.Resamples++
+		}
 	}
 	if tmin > st.Time {
 		st.Time = tmin
 	}
 	st.LastReadingTime = td
+	if timed {
+		rs.To = st.Time
+		rs.ESS = essOf(st.Particles)
+		st.LastRun = rs
+		if f.met.Predict != nil {
+			f.met.Predict.Observe(rs.Predict.Seconds())
+		}
+		if f.met.Reweight != nil {
+			f.met.Reweight.Observe(rs.Reweight.Seconds())
+		}
+		if f.met.Resample != nil {
+			f.met.Resample.Observe(rs.Resample.Seconds())
+		}
+		if f.met.ParticleSteps != nil {
+			f.met.ParticleSteps.Add(uint64(rs.Steps) * uint64(len(st.Particles)))
+		}
+	}
+}
+
+// essOf is EffectiveSampleSize for possibly unnormalized weights:
+// (sum w)^2 / sum w^2.
+func essOf(ps []Particle) float64 {
+	var sum, sq float64
+	for i := range ps {
+		w := ps[i].Weight
+		sum += w
+		sq += w * w
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / sq
 }
 
 // resample replaces st.Particles with a resampled set and recycles the

@@ -146,6 +146,9 @@ type State struct {
 	Time model.Time
 	// LastReadingTime is the time of the newest reading incorporated.
 	LastReadingTime model.Time
+	// LastRun is the stage-timing breakdown of the most recent Run/Advance
+	// call, filled only when the filter is instrumented (Filter.Instrument).
+	LastRun RunStats
 
 	// scratch is the recycled resampling output buffer: after each resample
 	// the previous particle slice becomes the next call's destination, so

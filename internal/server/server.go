@@ -13,26 +13,37 @@
 //	GET  /stats                     cumulative work counters
 //	GET  /plan                      the floor plan as JSON
 //	GET  /snapshot.svg              rendered floor plan + distributions
+//	GET  /metrics                   Prometheus text-format telemetry
+//	GET  /debug/filtertrace         recent particle-filter runs with stage timings
+//	GET  /debug/slowqueries         recent queries over the slow threshold
+//	GET  /debug/pprof/              net/http/pprof (opt-in via HandlerConfig)
 //
 // The System is not safe for concurrent use; the server serializes access
 // with a mutex, which matches the one-writer reality of a reading stream.
+// Handlers compute their answer under the lock and encode it to the client
+// after releasing it, so one slow reader cannot head-of-line block the
+// ingestion path.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rfid"
 	"repro/internal/viz"
 )
@@ -43,48 +54,127 @@ type Server struct {
 	sys  *engine.System
 	plan *floorplan.Plan
 	dep  *rfid.Deployment
-	// rejected counts whole deliveries refused as late, whether they came
-	// in over HTTP (409) or through IngestDirect — same semantics for both.
-	rejected int
+
+	// Per-endpoint telemetry, registered into the system's registry so one
+	// /metrics scrape covers every layer.
+	httpRequests *obs.CounterVec
+	httpLatency  *obs.HistogramVec
+	encodeErrors *obs.Counter
 }
 
 // New builds a Server around an assembled system.
 func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
-	return &Server{sys: sys, plan: plan, dep: dep}
+	r := sys.Telemetry().Registry()
+	return &Server{
+		sys:  sys,
+		plan: plan,
+		dep:  dep,
+		httpRequests: r.CounterVec("repro_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "path", "code"),
+		httpLatency: r.HistogramVec("repro_http_request_seconds",
+			"HTTP request wall time, by route pattern.", nil, "path"),
+		encodeErrors: r.Counter("repro_http_encode_errors_total",
+			"JSON responses whose encoding failed mid-write (client gone or marshal error)."),
+	}
 }
 
 // IngestDirect feeds one delivery of readings bypassing HTTP (used by the
 // demo simulator); it takes the same lock as the handlers. Rejections are
-// reported exactly as handleIngest reports them: the typed error is
-// returned, logged, and counted in the same rejection counter that backs
-// the HTTP 409 path.
+// logged and land in the same Stats().Ingest.LateBatches counter that backs
+// the HTTP 409 path, so /stats and /metrics agree no matter the entry point.
 func (s *Server) IngestDirect(t model.Time, raws []model.RawReading) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.sys.Ingest(t, raws)
 	var ie *ingest.Error
 	if errors.As(err, &ie) && ie.Rejected {
-		s.rejected++
 		log.Printf("ingest: direct delivery rejected: %v", ie)
 	}
 	return err
 }
 
-// Handler returns the HTTP handler with all routes registered.
-func (s *Server) Handler() http.Handler {
+// HandlerConfig selects the optional debug surface of the HTTP handler.
+type HandlerConfig struct {
+	// EnablePProf mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals and cost CPU, so production deployments must
+	// opt in (the -pprof flag of cmd/server).
+	EnablePProf bool
+}
+
+// Handler returns the HTTP handler with all routes registered and the debug
+// surface at its defaults (pprof off).
+func (s *Server) Handler() http.Handler { return s.HandlerWith(HandlerConfig{}) }
+
+// HandlerWith returns the HTTP handler with all routes registered, honoring
+// the given debug configuration. Every route is wrapped in the telemetry
+// middleware, so /metrics reports per-endpoint request counts and latency.
+func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /range", s.handleRange)
-	mux.HandleFunc("GET /knn", s.handleKNN)
-	mux.HandleFunc("GET /localize", s.handleLocalize)
-	mux.HandleFunc("GET /occupancy", s.handleOccupancy)
-	mux.HandleFunc("GET /objects", s.handleObjects)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /plan", s.handlePlan)
-	mux.HandleFunc("GET /route", s.handleRoute)
-	mux.HandleFunc("GET /snapshot.svg", s.handleSnapshot)
-	mux.HandleFunc("GET /{$}", s.handleUI)
+	route := func(pattern, path string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(path, h))
+	}
+	route("POST /ingest", "/ingest", s.handleIngest)
+	route("GET /range", "/range", s.handleRange)
+	route("GET /knn", "/knn", s.handleKNN)
+	route("GET /localize", "/localize", s.handleLocalize)
+	route("GET /occupancy", "/occupancy", s.handleOccupancy)
+	route("GET /objects", "/objects", s.handleObjects)
+	route("GET /stats", "/stats", s.handleStats)
+	route("GET /plan", "/plan", s.handlePlan)
+	route("GET /route", "/route", s.handleRoute)
+	route("GET /snapshot.svg", "/snapshot.svg", s.handleSnapshot)
+	route("GET /metrics", "/metrics", s.handleMetrics)
+	route("GET /debug/filtertrace", "/debug/filtertrace", s.handleFilterTrace)
+	route("GET /debug/slowqueries", "/debug/slowqueries", s.handleSlowQueries)
+	route("GET /{$}", "/", s.handleUI)
+	if cfg.EnablePProf {
+		// pprof handlers do their own method checks and serve GET only.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter records the status code a handler sent (200 when it never
+// called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the request counter and latency histogram.
+// The path label is the route pattern, never the raw URL, so cardinality
+// stays bounded.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.httpLatency.With(path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		lat.ObserveSince(start)
+		s.httpRequests.With(path, strconv.Itoa(code)).Inc()
+	}
 }
 
 // uiPage is a minimal live dashboard: the SVG snapshot refreshing every two
@@ -154,16 +244,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	err := s.sys.Ingest(req.Time, req.Readings)
+	now := s.sys.Now()
+	s.mu.Unlock()
 	var ie *ingest.Error
 	if errors.As(err, &ie) && ie.Rejected {
-		s.rejected++
 		httpError(w, http.StatusConflict, "%v", ie)
 		return
 	}
 	resp := map[string]any{
-		"now":      s.sys.Now(),
+		"now":      now,
 		"received": len(req.Readings),
 		"accepted": len(req.Readings),
 		"dropped":  0,
@@ -173,7 +263,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp["dropped"] = ie.Dropped
 		resp["reason"] = ie.Kind.String()
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // objProb is one entry of a probabilistic answer, sorted by probability.
@@ -205,19 +295,21 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "range needs float params x, y, w, h")
 		return
 	}
-	win := geom.RectWH(x, y, ww, h)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var rs model.ResultSet
-	if at, ok, err := queryTime(r, "at"); err != nil {
+	at, atOK, err := queryTime(r, "at")
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad at: %v", err)
 		return
-	} else if ok {
+	}
+	win := geom.RectWH(x, y, ww, h)
+	s.mu.Lock()
+	var rs model.ResultSet
+	if atOK {
 		rs = s.sys.RangeQueryAt(win, at)
 	} else {
 		rs = s.sys.RangeQuery(win)
 	}
-	writeJSON(w, map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)})
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)})
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -228,18 +320,20 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "knn needs float params x, y and positive integer k")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var rs model.ResultSet
-	if at, ok, err := queryTime(r, "at"); err != nil {
+	at, atOK, err := queryTime(r, "at")
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad at: %v", err)
 		return
-	} else if ok {
+	}
+	s.mu.Lock()
+	var rs model.ResultSet
+	if atOK {
 		rs = s.sys.KNNQueryAt(geom.Pt(x, y), k, at)
 	} else {
 		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
 	}
-	writeJSON(w, map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)})
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)})
 }
 
 // handleRoute returns the shortest indoor walking route between two points
@@ -254,14 +348,14 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	g := s.sys.Graph()
 	pts, dist := g.Route(g.NearestLocation(geom.Pt(x1, y1)), g.NearestLocation(geom.Pt(x2, y2)))
+	s.mu.Unlock()
 	poly := make([][2]float64, len(pts))
 	for i, p := range pts {
 		poly[i] = [2]float64{p.X, p.Y}
 	}
-	writeJSON(w, map[string]any{"meters": dist, "polyline": poly})
+	s.writeJSON(w, map[string]any{"meters": dist, "polyline": poly})
 }
 
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
@@ -271,8 +365,8 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	loc, ok := s.sys.Localize(model.ObjectID(id))
+	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "object %d has no readings", id)
 		return
@@ -281,7 +375,7 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if loc.Room != floorplan.NoRoom {
 		roomName = s.plan.Room(loc.Room).Name
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"object":   loc.Object,
 		"mean":     [2]float64{loc.Mean.X, loc.Mean.Y},
 		"room":     roomName,
@@ -291,60 +385,59 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	type entry struct {
 		Room string  `json:"room"`
 		P    float64 `json:"p"`
 	}
+	s.mu.Lock()
+	occ := s.sys.Occupancy()
+	s.mu.Unlock()
 	// Non-nil so an empty answer encodes as [] rather than null.
 	out := []entry{}
-	for _, ro := range s.sys.Occupancy() {
+	for _, ro := range occ {
 		name := "(hallways)"
 		if ro.Room != floorplan.NoRoom {
 			name = s.plan.Room(ro.Room).Name
 		}
 		out = append(out, entry{Room: name, P: ro.P})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	objs := s.sys.Collector().KnownObjects()
+	s.mu.Unlock()
 	if objs == nil {
 		objs = []model.ObjectID{}
 	}
-	writeJSON(w, objs)
+	s.writeJSON(w, objs)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	hits, misses := s.sys.CacheStats()
-	writeJSON(w, map[string]any{
-		"now":            s.sys.Now(),
-		"work":           s.sys.Stats(),
-		"cacheHits":      hits,
-		"cacheMisses":    misses,
-		"ingestRejected": s.rejected,
+	st := s.sys.Stats()
+	now := s.sys.Now()
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]any{
+		"now":         now,
+		"work":        st,
+		"cacheHits":   hits,
+		"cacheMisses": misses,
+		// Whole deliveries refused as late, whichever entry point they used
+		// (HTTP 409 or IngestDirect). Served from the engine's own drop
+		// accounting so it can never disagree with /metrics.
+		"ingestRejected": st.Ingest.LateBatches,
 	})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	data, err := json.Marshal(s.plan)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encode plan: %v", err)
-		return
-	}
-	w.Write(data)
+	s.writeJSON(w, s.plan)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	c := viz.NewCanvas(s.plan, 10)
 	c.DrawPlan(s.plan)
 	c.DrawDeployment(s.dep)
@@ -353,8 +446,57 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	for i, obj := range tab.Objects() {
 		c.DrawDistribution(s.sys.AnchorIndex(), tab.DistributionOf(obj), colors[i%len(colors)])
 	}
+	svg := c.SVG()
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "image/svg+xml")
-	fmt.Fprint(w, c.SVG())
+	fmt.Fprint(w, svg)
+}
+
+// handleMetrics serves the Prometheus scrape: the scrape-time mirrors are
+// refreshed under the lock, then the lock is dropped and the registry
+// renders into a buffer (atomics need no lock), so a stalled scraper never
+// blocks ingestion.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.sys.SyncMetrics()
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if _, err := s.sys.Telemetry().Registry().WriteTo(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "render metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.Write(buf.Bytes())
+}
+
+// handleFilterTrace serves the bounded ring of recent particle-filter runs
+// with their per-stage timings.
+func (s *Server) handleFilterTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.sys.Telemetry().Trace
+	traces := tr.Snapshot()
+	if traces == nil {
+		traces = []obs.FilterTrace{}
+	}
+	s.writeJSON(w, map[string]any{
+		"capacity": tr.Cap(),
+		"total":    tr.Total(),
+		"traces":   traces,
+	})
+}
+
+// handleSlowQueries serves the bounded ring of queries that crossed the
+// configured slow-query threshold.
+func (s *Server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	sl := s.sys.Telemetry().Slow
+	queries := sl.Snapshot()
+	if queries == nil {
+		queries = []engine.SlowQuery{}
+	}
+	s.writeJSON(w, map[string]any{
+		"capacity": sl.Cap(),
+		"total":    sl.Total(),
+		"queries":  queries,
+	})
 }
 
 func queryFloat(r *http.Request, name string) (float64, error) {
@@ -371,11 +513,14 @@ func queryTime(r *http.Request, name string) (model.Time, bool, error) {
 	return model.Time(n), err == nil, err
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v to the client with the Content-Type committed before
+// the first body byte. Encode failures (client gone mid-write, or a value
+// that cannot marshal) are counted and logged rather than swallowed.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already out; nothing more to do.
-		return
+		s.encodeErrors.Inc()
+		log.Printf("server: encode response: %v", err)
 	}
 }
 
