@@ -7,13 +7,23 @@
 //	server                        # default office on :8080
 //	server -addr :9000 -plan my-building.json -readers 24 -range 1.5
 //	server -demo                  # also run a built-in simulator feeding readings
+//	server -data-dir ./data       # durable: WAL + snapshots, recover on restart
+//
+// With -data-dir set the server opens (or creates) a write-ahead log and
+// snapshot store there, recovers any prior state on startup, and on SIGINT or
+// SIGTERM drains in-flight requests, flushes the reorder buffer, and writes a
+// final snapshot before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -21,9 +31,17 @@ import (
 	"repro/internal/rfid"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		planFile = flag.String("plan", "", "floor plan JSON file (default: built-in office)")
@@ -35,6 +53,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQ    = flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 disables the log)")
+
+		dataDir   = flag.String("data-dir", "", "data directory for the WAL and snapshots (empty: in-memory only)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		fsyncIvl  = flag.Duration("fsync-interval", time.Second, "minimum spacing between fsyncs under -fsync=interval")
+		snapEvery = flag.Int("snapshot-every", 300, "write an engine snapshot every N acked stream seconds (0: only on shutdown)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -42,47 +66,76 @@ func main() {
 	if *planFile != "" {
 		data, err := os.ReadFile(*planFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "server: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		plan, err = floorplan.Decode(data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "server: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	dep, err := rfid.DeployUniform(plan, *readers, *rdRange)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "server: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	cfg := engine.DefaultConfig()
 	cfg.KeepHistory = *history
 	cfg.Seed = *seed
 	cfg.SlowQueryThreshold = *slowQ
-	sys, err := engine.New(plan, dep, cfg)
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Durability = engine.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncIvl,
+			SnapshotEvery: *snapEvery,
+		}
+	}
+	sys, err := engine.Open(plan, dep, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "server: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	srv := server.New(sys, plan, dep)
+	if rec := sys.Recovery(); rec.Enabled {
+		fmt.Printf("durability: data-dir=%s fsync=%s; recovered snapshot seq=%d, replayed %d records (%d readings)",
+			*dataDir, *fsync, rec.SnapshotSeq, rec.RecordsReplayed, rec.ReadingsReplayed)
+		if rec.Corrupt {
+			fmt.Printf("; repaired torn tail (%d bytes truncated)", rec.TruncatedBytes)
+		}
+		fmt.Println()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *demo {
 		tc := sim.DefaultTraceConfig()
 		tc.NumObjects = *objects
 		world, err := sim.New(sys.Graph(), rfid.NewSensor(dep), tc, *seed+7)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "server: %v\n", err)
-			os.Exit(1)
+			return err
+		}
+		// After a recovery the stream clock is past zero; fast-forward the
+		// simulator so its deliveries land ahead of the watermark instead of
+		// being rejected as late retransmissions.
+		for world.Now() < sys.Now() {
+			world.Step()
 		}
 		go func() {
 			// One simulated second per wall-clock second, ingested through
 			// the same code path HTTP clients use.
 			ticker := time.NewTicker(time.Second)
 			defer ticker.Stop()
-			for range ticker.C {
-				t, raws := world.Step()
-				srv.IngestDirect(t, raws)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					t, raws := world.Step()
+					srv.IngestDirect(t, raws)
+				}
 			}
 		}()
 		fmt.Printf("demo simulator running: %d objects\n", *objects)
@@ -95,9 +148,38 @@ func main() {
 		fmt.Printf(", pprof on /debug/pprof/")
 	}
 	fmt.Println()
-	handler := srv.HandlerWith(server.HandlerConfig{EnablePProf: *pprofOn})
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fmt.Fprintf(os.Stderr, "server: %v\n", err)
-		os.Exit(1)
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.HandlerWith(server.HandlerConfig{EnablePProf: *pprofOn}),
 	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop admitting (readyz goes 503 so load balancers
+	// route away), drain in-flight requests up to the deadline, then flush
+	// the reorder buffer and write a final snapshot via srv.Close.
+	fmt.Println("server: shutting down, draining requests")
+	srv.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "server: drain: %v\n", err)
+		httpSrv.Close()
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	fmt.Println("server: state persisted, bye")
+	return nil
 }

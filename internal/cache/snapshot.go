@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/particle"
+)
+
+// Entry is one cached particle state in serializable form (exported fields
+// for encoding/gob).
+type Entry struct {
+	State  particle.State
+	Device model.ReaderID
+}
+
+// Dump returns every live entry sorted by object ID, with deep-copied
+// particle states, for inclusion in an engine snapshot.
+func (c *Cache) Dump() []Entry {
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, Entry{State: *e.state.Clone(), Device: e.device})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].State.Object < out[j].State.Object })
+	return out
+}
+
+// RestoreEntries replaces the cache contents with the dumped entries. Hit and
+// miss counters are untouched; use RestoreStats for those.
+func (c *Cache) RestoreEntries(entries []Entry) {
+	c.entries = make(map[model.ObjectID]entry, len(entries))
+	for _, e := range entries {
+		st := e.State
+		c.entries[st.Object] = entry{state: st.Clone(), device: e.Device}
+	}
+}
+
+// RestoreStats overwrites the cumulative hit and miss counters (recovery
+// support; the live telemetry mirrors are not replayed).
+func (c *Cache) RestoreStats(hits, misses int) {
+	c.hits, c.misses = hits, misses
+}

@@ -1,0 +1,84 @@
+package collector
+
+import (
+	"sort"
+
+	"repro/internal/ingest"
+	"repro/internal/model"
+)
+
+// Snapshot is the collector's complete serializable state. All fields are
+// exported so the engine can encode it with encoding/gob; objects are sorted
+// by ID so the encoding of a given state is deterministic.
+type Snapshot struct {
+	Objects  []ObjectSnapshot
+	Now      model.Time
+	Started  bool
+	Historic bool
+	Drops    ingest.Drops
+}
+
+// ObjectSnapshot is the retained state for one object.
+type ObjectSnapshot struct {
+	Object   model.ObjectID
+	In       model.ReaderID
+	LastSeen model.Time
+	Runs     []RunSnapshot
+}
+
+// RunSnapshot is one device run (consecutive detection by a single reader).
+type RunSnapshot struct {
+	Reader  model.ReaderID
+	Entries []model.AggregatedReading
+}
+
+// Snapshot captures the collector state. Pending (undrained) events are NOT
+// part of the snapshot: the engine drains them synchronously inside every
+// ingested second, so at snapshot time the event queue is always empty.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Now:      c.now,
+		Started:  c.started,
+		Historic: c.historic,
+		Drops:    c.drops,
+		Objects:  make([]ObjectSnapshot, 0, len(c.objects)),
+	}
+	for obj, log := range c.objects {
+		os := ObjectSnapshot{
+			Object:   obj,
+			In:       log.in,
+			LastSeen: log.lastSeen,
+			Runs:     make([]RunSnapshot, len(log.runs)),
+		}
+		for i, r := range log.runs {
+			os.Runs[i] = RunSnapshot{
+				Reader:  r.reader,
+				Entries: append([]model.AggregatedReading(nil), r.entries...),
+			}
+		}
+		s.Objects = append(s.Objects, os)
+	}
+	sort.Slice(s.Objects, func(i, j int) bool { return s.Objects[i].Object < s.Objects[j].Object })
+	return s
+}
+
+// Restore replaces the collector's state with the snapshot's. The receiver's
+// prior contents are discarded.
+func (c *Collector) Restore(s Snapshot) {
+	c.now = s.Now
+	c.started = s.Started
+	c.historic = s.Historic
+	c.drops = s.Drops
+	c.events = nil
+	c.objects = make(map[model.ObjectID]*objectLog, len(s.Objects))
+	for _, os := range s.Objects {
+		log := &objectLog{in: os.In, lastSeen: os.LastSeen, runs: make([]run, len(os.Runs))}
+		for i, r := range os.Runs {
+			log.runs[i] = run{
+				reader:  r.Reader,
+				entries: append([]model.AggregatedReading(nil), r.Entries...),
+			}
+		}
+		c.objects[os.Object] = log
+	}
+}

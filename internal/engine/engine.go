@@ -29,6 +29,7 @@ import (
 	"repro/internal/rfid"
 	"repro/internal/rng"
 	"repro/internal/symbolic"
+	"repro/internal/wal"
 	"repro/internal/walkgraph"
 )
 
@@ -76,6 +77,10 @@ type Config struct {
 	TraceRing int
 	// Seed drives all of the engine's randomness.
 	Seed int64
+	// Durability configures the write-ahead log and snapshot store. The zero
+	// value disables durability entirely (the historical in-memory contract);
+	// a non-empty Dir enables it, but only through Open — New ignores it.
+	Durability DurabilityConfig
 }
 
 // DefaultConfig returns the paper's defaults (Table 2).
@@ -150,6 +155,19 @@ type System struct {
 	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
 	eventLog []model.Event
 	eventOff int
+
+	// Durability state; all nil/zero when Config.Durability is disabled or
+	// the system was built with New instead of Open.
+	wal      *wal.Log
+	walSeq   uint64
+	walBuf   []byte
+	walErr   error
+	streamID uint64
+	lastSync time.Time
+	// sinceSnap counts acked seconds since the last snapshot; replaying
+	// counts as true so recovery never re-replays an unbounded log.
+	sinceSnap int
+	recovery  RecoveryInfo
 }
 
 // Stats returns the system's cumulative work counters, with the drop
@@ -261,18 +279,51 @@ func (s *System) Now() model.Time { return s.col.Now() }
 // *ingest.Error and counts the loss in Stats — nothing is dropped
 // silently. Unless the error's Rejected flag is set, the rest of the
 // delivery was still accepted.
+// With durability enabled (Open), every flushed second is appended to the
+// write-ahead log before it is applied, and the log is fsynced per the
+// configured policy before Ingest returns. A WAL failure is sticky: the
+// first append or sync error fail-stops ingestion (every later Ingest
+// returns the same error) rather than silently degrading to memory-only.
 func (s *System) Ingest(t model.Time, raws []model.RawReading) error {
-	return s.reorder.Offer(t, raws)
+	if s.walErr != nil {
+		return s.walErr
+	}
+	err := s.reorder.Offer(t, raws)
+	if serr := s.syncWAL(false); serr != nil {
+		return serr
+	}
+	if s.walErr != nil {
+		// The append inside the sink failed; the delivery is not durable.
+		return s.walErr
+	}
+	return err
 }
 
 // FlushIngest drains every second still buffered in the reorder buffer,
 // regardless of the lateness horizon. Call it at end of stream or before
-// final queries when a non-zero horizon is configured.
-func (s *System) FlushIngest() { s.reorder.FlushAll() }
+// final queries when a non-zero horizon is configured. With durability
+// enabled the drained seconds are logged and fsynced like any others.
+func (s *System) FlushIngest() {
+	s.reorder.FlushAll()
+	s.syncWAL(true)
+}
 
-// ingestSecond is the reorder buffer's sink: one flushed second into the
-// collector, applying the cache invalidation rule to every ENTER event.
+// ingestSecond is the reorder buffer's sink. With durability enabled it
+// first appends the second to the write-ahead log — together with the
+// reorder buffer's position and drop accounting, so recovery restores
+// Stats exactly — then applies it, then schedules a snapshot when due.
 func (s *System) ingestSecond(t model.Time, raws []model.RawReading) {
+	if s.wal != nil && s.walErr == nil {
+		s.appendWAL(t, raws)
+	}
+	s.applySecond(t, raws)
+	s.maybeSnapshot()
+}
+
+// applySecond feeds one flushed second into the collector, applying the
+// cache invalidation rule to every ENTER event. It is the recovery replay
+// path too, so it must not touch the WAL.
+func (s *System) applySecond(t model.Time, raws []model.RawReading) {
 	dropped := s.col.Drops().Readings()
 	s.col.IngestSecond(t, raws)
 	s.stats.ReadingsIngested += len(raws) - (s.col.Drops().Readings() - dropped)

@@ -46,6 +46,19 @@ type Telemetry struct {
 	streamNow       *obs.Gauge
 	objectsKnown    *obs.Gauge
 	cacheEntries    *obs.Gauge
+
+	// Durability metrics. Records/syncs/snapshots are inline-recorded; the
+	// recovery counters are set once by Open; lastSeq/segments are mirrors.
+	walRecords          *obs.Counter
+	walSyncs            *obs.Counter
+	walErrors           *obs.Counter
+	walSnapshots        *obs.Counter
+	walSnapshotErrors   *obs.Counter
+	walReplayed         *obs.Counter
+	walTruncatedBytes   *obs.Counter
+	walSnapshotsSkipped *obs.Counter
+	walLastSeq          *obs.Gauge
+	walSegments         *obs.Gauge
 }
 
 // SlowQuery is one slow-query log record.
@@ -117,6 +130,26 @@ func newTelemetry(cfg Config) *Telemetry {
 			"Objects with retained collector state."),
 		cacheEntries: r.Gauge("repro_cache_entries",
 			"Particle states currently held by the cache."),
+		walRecords: r.Counter("repro_wal_records_appended_total",
+			"Acked seconds appended to the write-ahead log."),
+		walSyncs: r.Counter("repro_wal_syncs_total",
+			"fsync calls issued on the write-ahead log."),
+		walErrors: r.Counter("repro_wal_errors_total",
+			"WAL append/sync failures (the sticky fail-stop path)."),
+		walSnapshots: r.Counter("repro_wal_snapshots_written_total",
+			"Engine snapshots committed to the data directory."),
+		walSnapshotErrors: r.Counter("repro_wal_snapshot_errors_total",
+			"Snapshot encode/write failures (non-fatal; the WAL still covers the state)."),
+		walReplayed: r.Counter("repro_wal_records_replayed_total",
+			"WAL records applied during the last recovery."),
+		walTruncatedBytes: r.Counter("repro_wal_truncated_bytes_total",
+			"Bytes cut from a torn or corrupt WAL tail during the last recovery."),
+		walSnapshotsSkipped: r.Counter("repro_wal_snapshots_skipped_total",
+			"Corrupt snapshots passed over during the last recovery."),
+		walLastSeq: r.Gauge("repro_wal_last_seq",
+			"Last WAL sequence number appended or recovered."),
+		walSegments: r.Gauge("repro_wal_segments",
+			"Live WAL segment files."),
 	}
 	return t
 }
@@ -158,6 +191,10 @@ func (s *System) SyncMetrics() {
 	t.streamNow.Set(float64(s.col.Now()))
 	t.objectsKnown.Set(float64(s.col.NumObjects()))
 	t.cacheEntries.Set(float64(s.cache.Len()))
+	if s.wal != nil {
+		t.walLastSeq.Set(float64(s.walSeq))
+		t.walSegments.Set(float64(s.wal.Segments()))
+	}
 }
 
 // recordTrace appends one filter run to the trace ring, combining the

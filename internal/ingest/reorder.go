@@ -113,6 +113,24 @@ func (b *Reorder) PendingReadings() int {
 // delivery.
 func (b *Reorder) Watermark() (model.Time, bool) { return b.watermark, b.started }
 
+// MaxSeen returns the newest delivered batch second; ok is false before the
+// first delivery.
+func (b *Reorder) MaxSeen() (model.Time, bool) { return b.maxSeen, b.started }
+
+// Restore positions an empty buffer at a recovered stream point: the next
+// accepted delivery must be newer than watermark, and the cumulative drop
+// and forced-flush accounting continues from the restored values. Buffered
+// seconds are not restorable — unflushed input is by definition unacked — so
+// Restore refuses nothing but silently discards any pending state.
+func (b *Reorder) Restore(watermark, maxSeen model.Time, drops Drops, forced int) {
+	b.pending = make(map[model.Time]*pendingSecond)
+	b.watermark = watermark
+	b.maxSeen = maxSeen
+	b.started = true
+	b.drops = drops
+	b.forced = forced
+}
+
 // Lag returns the width of the open window in seconds: the newest delivered
 // batch second minus the newest closed second. It is 0 before the first
 // delivery and at horizon 0 (every second closes immediately); with a
@@ -284,10 +302,12 @@ func (b *Reorder) Offer(t model.Time, raws []model.RawReading) error {
 
 // flushUpTo closes every second up to and including target: buffered
 // seconds in (watermark, target] are delivered to the sink in order, and
-// the rest of the span is counted as gaps arithmetically. The cost is
-// O(buffered), never O(span): batch times come from untrusted input, and
-// walking an attacker-chosen span second by second would stall the whole
-// server inside one delivery.
+// the rest of the span is counted as gaps. The watermark and gap accounting
+// advance BEFORE each sink call, so state the sink reads back (durability
+// records, drop snapshots) is consistent with the second it receives. The
+// cost is O(buffered), never O(span): batch times come from untrusted
+// input, and walking an attacker-chosen span second by second would stall
+// the whole server inside one delivery.
 func (b *Reorder) flushUpTo(target model.Time) {
 	if target <= b.watermark {
 		return
@@ -302,13 +322,17 @@ func (b *Reorder) flushUpTo(target model.Time) {
 	for _, sec := range secs {
 		ps := b.pending[sec]
 		delete(b.pending, sec)
+		// The uint64 subtraction yields the exact skipped span even when the
+		// int64 difference overflows; the gap counter saturates instead of
+		// wrapping. Every pending second is > watermark, so the -1 is safe.
+		b.drops.GapSeconds = satAdd(b.drops.GapSeconds, uint64(sec)-uint64(b.watermark)-1)
+		b.watermark = sec
 		b.sink(sec, ps.raws)
 	}
-	// The uint64 subtraction yields the exact span even when the int64
-	// difference overflows; the gap counter saturates instead of wrapping.
-	span := uint64(target) - uint64(b.watermark)
-	b.drops.GapSeconds = satAdd(b.drops.GapSeconds, span-uint64(len(secs)))
-	b.watermark = target
+	if target > b.watermark {
+		b.drops.GapSeconds = satAdd(b.drops.GapSeconds, uint64(target)-uint64(b.watermark))
+		b.watermark = target
+	}
 }
 
 // satAdd adds d to the non-negative counter a, saturating at MaxInt.

@@ -3,7 +3,10 @@
 // evaluator. Keeping them here avoids import cycles between those packages.
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ObjectID identifies a moving object. Each object carries exactly one RFID
 // tag, so the object ID doubles as the tag ID in raw readings.
@@ -121,11 +124,20 @@ func (s ResultSet) Scale(ratio float64) {
 }
 
 // TotalProb returns the sum of all probabilities in s (used by the kNN
-// algorithm's stopping criterion).
+// algorithm's stopping criterion). The sum runs in ascending object order:
+// float addition is not associative, and the stopping criterion compares the
+// total against a threshold, so summing in map iteration order would let two
+// ResultSets with identical contents disagree on a borderline comparison —
+// making kNN answers differ between otherwise identical systems.
 func (s ResultSet) TotalProb() float64 {
+	ids := make([]ObjectID, 0, len(s))
+	for o := range s {
+		ids = append(ids, o)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	t := 0.0
-	for _, p := range s {
-		t += p
+	for _, o := range ids {
+		t += s[o]
 	}
 	return t
 }

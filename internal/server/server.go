@@ -33,9 +33,11 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -55,17 +57,25 @@ type Server struct {
 	plan *floorplan.Plan
 	dep  *rfid.Deployment
 
+	// ready gates /readyz: set once recovery is complete and the server is
+	// accepting traffic, cleared when shutdown begins so load balancers
+	// drain before the listener closes.
+	ready atomic.Bool
+
 	// Per-endpoint telemetry, registered into the system's registry so one
 	// /metrics scrape covers every layer.
 	httpRequests *obs.CounterVec
 	httpLatency  *obs.HistogramVec
 	encodeErrors *obs.Counter
+	httpPanics   *obs.Counter
 }
 
-// New builds a Server around an assembled system.
+// New builds a Server around an assembled system. The server starts ready:
+// engine.Open completes recovery before returning, so by the time a Server
+// exists the system can take traffic. SetReady(false) begins a drain.
 func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
 	r := sys.Telemetry().Registry()
-	return &Server{
+	s := &Server{
 		sys:  sys,
 		plan: plan,
 		dep:  dep,
@@ -75,7 +85,27 @@ func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server
 			"HTTP request wall time, by route pattern.", nil, "path"),
 		encodeErrors: r.Counter("repro_http_encode_errors_total",
 			"JSON responses whose encoding failed mid-write (client gone or marshal error)."),
+		httpPanics: r.Counter("repro_http_panics_total",
+			"Handler panics converted to 500 responses by the recovery middleware."),
 	}
+	s.ready.Store(true)
+	return s
+}
+
+// SetReady flips the /readyz answer. Flip it false at the start of a
+// graceful shutdown so load balancers stop routing before the listener
+// closes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close drains the server for shutdown: /readyz goes unready, then the
+// engine's durability layer flushes, snapshots, and closes under the
+// serialization lock. Safe to call once in-flight requests finished (i.e.
+// after http.Server.Shutdown returned).
+func (s *Server) Close() error {
+	s.ready.Store(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Close()
 }
 
 // IngestDirect feeds one delivery of readings bypassing HTTP (used by the
@@ -124,6 +154,8 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	route("GET /route", "/route", s.handleRoute)
 	route("GET /snapshot.svg", "/snapshot.svg", s.handleSnapshot)
 	route("GET /metrics", "/metrics", s.handleMetrics)
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /readyz", "/readyz", s.handleReadyz)
 	route("GET /debug/filtertrace", "/debug/filtertrace", s.handleFilterTrace)
 	route("GET /debug/slowqueries", "/debug/slowqueries", s.handleSlowQueries)
 	route("GET /{$}", "/", s.handleUI)
@@ -159,22 +191,71 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with the request counter and latency histogram.
-// The path label is the route pattern, never the raw URL, so cardinality
-// stays bounded.
+// instrument wraps a handler with the request counter, latency histogram,
+// and panic recovery. The path label is the route pattern, never the raw
+// URL, so cardinality stays bounded. A panicking handler becomes a 500 with
+// a JSON error body (when nothing was written yet) instead of tearing down
+// the connection; http.ErrAbortHandler keeps its contract and re-panics.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.httpLatency.With(path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if rec != nil {
+				s.httpPanics.Inc()
+				log.Printf("server: panic in %s %s: %v\n%s", r.Method, path, rec, debug.Stack())
+				if sw.code == 0 {
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					json.NewEncoder(sw).Encode(map[string]string{"error": "internal server error"})
+				}
+			}
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			lat.ObserveSince(start)
+			s.httpRequests.With(path, strconv.Itoa(code)).Inc()
+		}()
 		h(sw, r)
-		code := sw.code
-		if code == 0 {
-			code = http.StatusOK
-		}
-		lat.ObserveSince(start)
-		s.httpRequests.With(path, strconv.Itoa(code)).Inc()
 	}
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: recovery is complete, no drain is in progress,
+// and the durability layer (when enabled) has not fail-stopped. 503 means
+// "route traffic elsewhere", and the body says why.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	s.mu.Lock()
+	walErr := s.sys.WALError()
+	rec := s.sys.Recovery()
+	s.mu.Unlock()
+	if walErr != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "wal failed", "error": walErr.Error()})
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"status":     "ok",
+		"durability": rec.Enabled,
+		"recovery":   rec,
+	})
 }
 
 // uiPage is a minimal live dashboard: the SVG snapshot refreshing every two

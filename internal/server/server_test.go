@@ -451,3 +451,90 @@ func TestIngestDirectReportsRejection(t *testing.T) {
 		t.Errorf("ingestRejected = %d, want 1", st.IngestRejected)
 	}
 }
+
+// lightServer builds a server over a fresh, unstreamed system — enough for
+// the health/readiness and middleware tests that don't need object state.
+func lightServer(t *testing.T) *Server {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	return New(engine.MustNew(plan, dep, engine.DefaultConfig()), plan, dep)
+}
+
+func TestHealthzAndReadyz(t *testing.T) {
+	srv := lightServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: code=%d status=%q", code, health.Status)
+	}
+	var ready struct {
+		Status     string `json:"status"`
+		Durability bool   `json:"durability"`
+	}
+	if code := getJSON(t, ts, "/readyz", &ready); code != http.StatusOK || ready.Status != "ok" {
+		t.Fatalf("readyz: code=%d status=%q", code, ready.Status)
+	}
+	if ready.Durability {
+		t.Error("memory-only system reported durability enabled")
+	}
+
+	// Draining: readiness flips to 503, liveness stays 200.
+	srv.SetReady(false)
+	if code := getJSON(t, ts, "/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: code=%d", code)
+	}
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK {
+		t.Fatalf("draining healthz: code=%d", code)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv := lightServer(t)
+	h := srv.instrument("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/boom", nil)) // must not propagate
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: code=%d", rec.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("panicking handler body: %q (decode err %v)", rec.Body.String(), err)
+	}
+	if got := srv.httpPanics.Value(); got != 1 {
+		t.Fatalf("repro_http_panics_total = %d, want 1", got)
+	}
+
+	// A panic after the handler already wrote must not write a second body.
+	h = srv.instrument("/late", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("after write")
+	})
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/late", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("post-write panic rewrote status: %d", rec.Code)
+	}
+
+	// http.ErrAbortHandler is the standard "drop this connection" signal
+	// and must propagate to the HTTP server untouched.
+	h = srv.instrument("/abort", func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("ErrAbortHandler swallowed, got %v", r)
+		}
+	}()
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/abort", nil))
+	t.Fatal("unreachable: abort panic did not propagate")
+}

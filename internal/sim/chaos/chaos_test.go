@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+func baseConfig(t *testing.T) (*floorplan.Plan, *rfid.Deployment, Config) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	ec := engine.DefaultConfig()
+	ec.Particle.Ns = 16
+	ec.Seed = 41
+	ec.SlowQueryThreshold = 0
+	ec.Durability = engine.DurabilityConfig{
+		Dir:           t.TempDir(),
+		Fsync:         wal.SyncAlways,
+		SnapshotEvery: 7,
+	}
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 8
+	tc.DwellMin, tc.DwellMax = 2, 6
+	return plan, dep, Config{
+		Engine:  ec,
+		Trace:   tc,
+		Seconds: 40,
+		Crashes: 4,
+		Seed:    909,
+	}
+}
+
+func checkReport(t *testing.T, rep Report, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("contract violation: %s", m)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("harness performed no crashes; scenario proves nothing")
+	}
+	t.Logf("crashes=%d replayed=%d snapshots=%d redelivered=%d tornInjected=%d truncated=%d stats=%+v",
+		rep.Crashes, rep.RecordsReplayed, rep.SnapshotsRestored, rep.RedeliveredSeconds,
+		rep.TornBytesInjected, rep.TruncatedBytes, rep.Stats)
+}
+
+// TestKillRecover crashes an in-order (horizon 0) stream four times and
+// requires the survivor to match the uncrashed oracle exactly. With fsync
+// always and horizon 0 every acked second is on disk, so nothing is ever
+// re-delivered.
+func TestKillRecover(t *testing.T) {
+	plan, dep, cfg := baseConfig(t)
+	rep, err := Run(plan, dep, cfg)
+	checkReport(t, rep, err)
+	if rep.RedeliveredSeconds != 0 {
+		t.Errorf("horizon 0 run re-delivered %d seconds; acked seconds were lost", rep.RedeliveredSeconds)
+	}
+	if rep.RecordsReplayed == 0 && rep.SnapshotsRestored == 0 {
+		t.Error("no recovery work observed across 4 crashes")
+	}
+}
+
+// TestKillRecoverTornTail additionally smears garbage over the WAL tail
+// after every kill; recovery must truncate at least the injected bytes and
+// still match the oracle.
+func TestKillRecoverTornTail(t *testing.T) {
+	plan, dep, cfg := baseConfig(t)
+	cfg.TornTailBytes = 23
+	rep, err := Run(plan, dep, cfg)
+	checkReport(t, rep, err)
+	if rep.TruncatedBytes < int64(rep.TornBytesInjected) {
+		t.Errorf("truncated %d bytes < injected %d garbage bytes", rep.TruncatedBytes, rep.TornBytesInjected)
+	}
+}
+
+// TestKillRecoverWithHorizon runs with a reorder horizon, so a crash loses
+// the buffered-not-flushed window and the harness re-delivers it — the
+// gateway retransmission model the recovery watermark policy is built for.
+func TestKillRecoverWithHorizon(t *testing.T) {
+	plan, dep, cfg := baseConfig(t)
+	cfg.Engine.Ingest.Horizon = 3
+	rep, err := Run(plan, dep, cfg)
+	checkReport(t, rep, err)
+}

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// errStopScan makes the scan callback stop cleanly, treating the current
+// record as the end of the usable log (used for sequence regressions).
+var errStopScan = errors.New("wal: stop scan")
+
+// Rec is one record handed to a scan callback.
+type Rec struct {
+	Seq     uint64
+	Payload []byte
+	// Start and End are the record's byte offsets within its segment file
+	// (End is the offset just past the payload).
+	Start, End int64
+}
+
+// SegmentScan summarizes one segment scan.
+type SegmentScan struct {
+	// StreamID is the stream identity from the segment header.
+	StreamID uint64
+	// Records is the number of valid records seen.
+	Records int
+	// FirstSeq and LastSeq bound the valid records (0 when none).
+	FirstSeq, LastSeq uint64
+	// EndOffset is the offset just past the last valid record — the truncate
+	// point when the tail is damaged.
+	EndOffset int64
+	// FileSize is the segment file's size.
+	FileSize int64
+	// Tail is FileSize - EndOffset: bytes past the last valid record.
+	Tail int64
+	// Stopped reports that the scan ended before the end of file (bad
+	// record, CRC failure, or a sequence regression signaled by the
+	// callback).
+	Stopped bool
+	// BadRecord reports that the stop was a framing/CRC failure rather than
+	// a clean end (a partially written final record also sets it when any
+	// tail bytes exist).
+	BadRecord bool
+	// Reason describes the stop for diagnostics ("" when the segment is
+	// clean).
+	Reason string
+}
+
+// segmentStreamID reads a segment's header and returns its stream identity.
+// ok is false when the header is too short or the magic is wrong (the file
+// is damage, not a different stream); a version mismatch is an error.
+func segmentStreamID(path string) (streamID uint64, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, false, nil
+	}
+	if string(hdr[0:4]) != segMagic {
+		return 0, false, nil
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return 0, false, fmt.Errorf("wal: %s: unsupported format version %d (want %d)", path, v, Version)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), true, nil
+}
+
+// ScanSegment reads one segment file, calling fn for every record whose
+// frame and CRC verify. It never returns an error for corruption — damage is
+// reported in the SegmentScan so callers choose between repairing (Open,
+// walctl truncate) and reporting (walctl verify). It returns an error only
+// for I/O failures, an unreadable header, or a non-nil error from fn other
+// than the stop sentinel.
+func ScanSegment(path string, fn func(Rec) error) (SegmentScan, error) {
+	var s SegmentScan
+	f, err := os.Open(path)
+	if err != nil {
+		return s, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return s, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	s.FileSize = st.Size()
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// A file too short for its own header holds no records at all;
+		// EndOffset 0 means "truncate to nothing" (the whole file is tail).
+		s.Stopped, s.BadRecord = true, true
+		s.Tail = s.FileSize
+		s.Reason = "short segment header"
+		return s, nil
+	}
+	if string(hdr[0:4]) != segMagic {
+		s.Stopped, s.BadRecord = true, true
+		s.Tail = s.FileSize
+		s.Reason = "bad segment magic"
+		return s, nil
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return s, fmt.Errorf("wal: %s: unsupported format version %d (want %d)", path, v, Version)
+	}
+	s.StreamID = binary.LittleEndian.Uint64(hdr[8:16])
+	s.EndOffset = segHeaderSize
+
+	stop := func(reason string, bad bool) {
+		s.Stopped = true
+		s.Reason = reason
+		s.Tail = s.FileSize - s.EndOffset
+		// A clean kill mid-write leaves a partial record; that is still a
+		// "bad record" for accounting (bytes discarded), distinguished only
+		// by reason.
+		s.BadRecord = bad
+	}
+
+	var rec [recHeaderSize]byte
+	for {
+		off := s.EndOffset
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			if err == io.EOF {
+				return s, nil // clean end of segment
+			}
+			if err == io.ErrUnexpectedEOF {
+				stop("torn record header", true)
+				return s, nil
+			}
+			return s, fmt.Errorf("wal: read segment: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(rec[0:4])
+		wantCRC := binary.LittleEndian.Uint32(rec[4:8])
+		seq := binary.LittleEndian.Uint64(rec[8:16])
+		if length > maxPayload {
+			stop(fmt.Sprintf("implausible record length %d at offset %d", length, off), true)
+			return s, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				stop(fmt.Sprintf("torn record payload at offset %d", off), true)
+				return s, nil
+			}
+			return s, fmt.Errorf("wal: read segment: %w", err)
+		}
+		crc := crc32.ChecksumIEEE(rec[8:16])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != wantCRC {
+			stop(fmt.Sprintf("CRC mismatch at offset %d (seq %d)", off, seq), true)
+			return s, nil
+		}
+		if fn != nil {
+			if err := fn(Rec{Seq: seq, Payload: payload, Start: off, End: off + recHeaderSize + int64(length)}); err != nil {
+				if errors.Is(err, errStopScan) {
+					stop(fmt.Sprintf("sequence regression at offset %d (seq %d)", off, seq), true)
+					return s, nil
+				}
+				return s, err
+			}
+		}
+		if s.Records == 0 {
+			s.FirstSeq = seq
+		}
+		s.Records++
+		s.LastSeq = seq
+		s.EndOffset = off + recHeaderSize + int64(length)
+	}
+}
