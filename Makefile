@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-smoke bench-json check experiments examples vet profile
+.PHONY: build test race bench bench-smoke bench-json check experiments examples vet vuln profile
 
 build:
 	go build ./...
@@ -14,11 +14,22 @@ test:
 race:
 	go test -race ./...
 
-# Static analysis, the full suite under the race detector, and one iteration
-# of every hot-path benchmark so a compile- or panic-level regression in the
-# benchmarked paths cannot land silently.
+# Known-vulnerability scan. The module is stdlib-only, so findings are Go
+# toolchain/stdlib advisories. Skips with a notice when govulncheck is not
+# installed (offline sandboxes); CI installs it and enforces the scan.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Static analysis, the vulnerability scan, the full suite under the race
+# detector, and one iteration of every hot-path benchmark so a compile- or
+# panic-level regression in the benchmarked paths cannot land silently.
 check:
 	go vet ./...
+	$(MAKE) vuln
 	go test -race ./...
 	$(MAKE) bench-smoke
 

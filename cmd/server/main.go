@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/floorplan"
+	"repro/internal/health"
 	"repro/internal/rfid"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -53,6 +54,13 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQ    = flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 disables the log)")
+
+		healthOn    = flag.Bool("reader-health", true, "infer per-reader liveness and compensate the sensing model for SUSPECT/DEAD readers")
+		maxInFlight = flag.Int("max-inflight", 4, "concurrent queries admitted (0 disables admission control and overload shedding)")
+		maxQueue    = flag.Int("max-queue", 32, "queries allowed to wait for an admission slot before shedding with 429")
+		maxWait     = flag.Duration("max-wait", 500*time.Millisecond, "longest a query waits for an admission slot before 429")
+		degradedNs  = flag.Int("degraded-particles", 32, "per-object particle budget under sustained overload (0 disables degraded mode)")
+		ingestBytes = flag.Int64("ingest-max-bytes", server.DefaultMaxIngestBytes, "POST /ingest body cap in bytes (negative disables)")
 
 		dataDir   = flag.String("data-dir", "", "data directory for the WAL and snapshots (empty: in-memory only)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
@@ -81,6 +89,9 @@ func run() error {
 	cfg.KeepHistory = *history
 	cfg.Seed = *seed
 	cfg.SlowQueryThreshold = *slowQ
+	if !*healthOn {
+		cfg.Health = health.Config{}
+	}
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
@@ -97,7 +108,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(sys, plan, dep)
+	adm := server.DefaultAdmissionConfig()
+	adm.MaxInFlight = *maxInFlight
+	adm.MaxQueue = *maxQueue
+	adm.MaxWait = *maxWait
+	adm.DegradedParticles = *degradedNs
+	srv := server.NewWith(sys, plan, dep, server.Config{
+		Admission:      adm,
+		MaxIngestBytes: *ingestBytes,
+	})
 	if rec := sys.Recovery(); rec.Enabled {
 		fmt.Printf("durability: data-dir=%s fsync=%s; recovered snapshot seq=%d, replayed %d records (%d readings)",
 			*dataDir, *fsync, rec.SnapshotSeq, rec.RecordsReplayed, rec.ReadingsReplayed)
@@ -152,6 +171,14 @@ func run() error {
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: srv.HandlerWith(server.HandlerConfig{EnablePProf: *pprofOn}),
+		// Bound every connection phase so a slow or malicious client cannot
+		// hold a goroutine forever (slowloris): headers within 5s, the whole
+		// request within 30s, responses within 2m (SVG snapshots and pprof
+		// profiles are the slow ones), idle keep-alives recycled at 2m.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
 	go func() {

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/particle"
@@ -75,6 +77,11 @@ type Config struct {
 	// TraceRing is the capacity of the filter-trace ring buffer
 	// (Telemetry.Trace, served at /debug/filtertrace). 0 means 256.
 	TraceRing int
+	// Health parameterizes the per-reader liveness monitor that feeds the
+	// sensing-model compensation (filter negative updates, pruner uncertain
+	// regions). The zero value disables monitoring; monitoring is passive —
+	// bit-for-bit — while every reader is LIVE either way.
+	Health health.Config
 	// Seed drives all of the engine's randomness.
 	Seed int64
 	// Durability configures the write-ahead log and snapshot store. The zero
@@ -94,6 +101,7 @@ func DefaultConfig() Config {
 		UsePruning:         true,
 		SMTrials:           200,
 		SlowQueryThreshold: 100 * time.Millisecond,
+		Health:             health.DefaultConfig(),
 		Seed:               1,
 	}
 }
@@ -111,6 +119,9 @@ func (c Config) Validate() error {
 	}
 	if c.SMTrials <= 0 {
 		return fmt.Errorf("engine: SMTrials must be positive, got %d", c.SMTrials)
+	}
+	if err := c.Health.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -152,6 +163,11 @@ type System struct {
 	reorder *ingest.Reorder
 	stats   Stats
 	tel     *Telemetry
+	// monitor is the per-reader liveness monitor (nil when Config.Health is
+	// disabled); extraDrops holds transport-level losses noted by the HTTP
+	// layer (oversized bodies) that never reach the reorder buffer.
+	monitor    *health.Monitor
+	extraDrops ingest.Drops
 	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
 	eventLog []model.Event
 	eventOff int
@@ -176,6 +192,7 @@ func (s *System) Stats() Stats {
 	st := s.stats
 	st.Ingest = s.reorder.Drops()
 	st.Ingest.Merge(s.col.Drops())
+	st.Ingest.Merge(s.extraDrops)
 	st.ReadingsDropped = st.Ingest.Readings()
 	st.ReadingsPending = s.reorder.PendingReadings()
 	return st
@@ -227,6 +244,12 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 		src:    rng.New(cfg.Seed),
 	}
 	s.reorder = ingest.NewReorder(cfg.Ingest, s.ingestSecond)
+	if cfg.Health.Enabled {
+		s.monitor, err = health.NewMonitor(cfg.Health, dep.NumReaders())
+		if err != nil {
+			return nil, err
+		}
+	}
 	// Telemetry is always on: the record path is atomic and allocation-free,
 	// and the stage timings are what every perf PR measures itself against.
 	s.tel = newTelemetry(cfg)
@@ -324,12 +347,20 @@ func (s *System) ingestSecond(t model.Time, raws []model.RawReading) {
 // cache invalidation rule to every ENTER event. It is the recovery replay
 // path too, so it must not touch the WAL.
 func (s *System) applySecond(t model.Time, raws []model.RawReading) {
+	if s.monitor != nil && s.monitor.ObserveSecond(t, raws) {
+		s.refreshHealth()
+	}
 	dropped := s.col.Drops().Readings()
 	s.col.IngestSecond(t, raws)
 	s.stats.ReadingsIngested += len(raws) - (s.col.Drops().Readings() - dropped)
 	for _, ev := range s.col.DrainEvents() {
 		if ev.Kind == model.Enter {
 			s.cache.Invalidate(ev.Object, ev.Reader)
+			if s.monitor != nil {
+				// The ENTER explains the object's coming silence (rooms are
+				// uncovered): its reader should not expect more detections.
+				s.monitor.Release(ev.Object)
+			}
 		}
 		s.eventLog = append(s.eventLog, ev)
 	}
@@ -389,6 +420,21 @@ func (s *System) objectInfos() []query.ObjectInfo {
 // Config.Workers); each object's randomness derives from (Seed, object,
 // last reading time), so the output is identical at any parallelism.
 func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
+	tab, _ := s.preprocessCtx(nil, candidates)
+	return tab
+}
+
+// PreprocessContext is Preprocess with a per-request deadline, checked at
+// every per-object task boundary. On expiry the remaining objects are
+// skipped — they simply do not appear in the returned table — and a
+// *query.DeadlineError is returned alongside the partial table.
+func (s *System) PreprocessContext(ctx context.Context, candidates []model.ObjectID) (*anchor.Table, error) {
+	return s.preprocessCtx(ctx, candidates)
+}
+
+// preprocessCtx is the shared implementation; a nil ctx skips every check
+// and is exactly the pre-deadline behavior.
+func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID) (*anchor.Table, error) {
 	tab := anchor.NewTable()
 	now := s.col.Now()
 	sorted := append([]model.ObjectID(nil), candidates...)
@@ -440,6 +486,11 @@ func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
 	worker := func() {
 		defer wg.Done()
 		for i := range next {
+			if ctx != nil && ctx.Err() != nil {
+				// Deadline hit: drain the channel without filtering so the
+				// feeder never blocks; skipped objects stay out of the table.
+				continue
+			}
 			t := &tasks[i]
 			src := rng.Derive(s.cfg.Seed, int64(t.obj), int64(t.entries[len(t.entries)-1].Time))
 			if t.cached != nil {
@@ -489,7 +540,10 @@ func (s *System) Preprocess(candidates []model.ObjectID) *anchor.Table {
 		}
 		tab.SetDistribution(t.obj, t.dist)
 	}
-	return tab
+	if ctx != nil && ctx.Err() != nil {
+		return tab, &query.DeadlineError{Stage: "preprocess", Err: ctx.Err()}
+	}
+	return tab, nil
 }
 
 // RangeCandidates applies the query aware optimization for range queries,

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"log"
+	"strconv"
 	"time"
 
 	"repro/internal/ingest"
@@ -35,17 +36,28 @@ type Telemetry struct {
 	slowQueries                                           *obs.Counter
 	cacheHits, cacheMisses, cacheEvictions                *obs.Counter
 
+	// Resilience metrics. deadlineExceeded and healthTransitions are
+	// inline-recorded; particleBudget is set by SetParticleBudget; the
+	// per-reader state/silence gauges are scrape-time mirrors.
+	deadlineExceeded  *obs.Counter
+	healthTransitions *obs.Counter
+	particleBudget    *obs.Gauge
+	readerState       *obs.GaugeVec
+	readerSilence     *obs.GaugeVec
+	readerLabels      []string
+
 	// Scrape-time mirrors, refreshed by SyncMetrics.
-	ingested        *obs.Counter
-	dropped         map[ingest.Kind]*obs.Counter
-	rejectedBatches *obs.Counter
-	gapSeconds      *obs.Counter
-	pendingSeconds  *obs.Gauge
-	pendingReadings *obs.Gauge
-	watermarkLag    *obs.Gauge
-	streamNow       *obs.Gauge
-	objectsKnown    *obs.Gauge
-	cacheEntries    *obs.Gauge
+	ingested         *obs.Counter
+	dropped          map[ingest.Kind]*obs.Counter
+	rejectedBatches  *obs.Counter
+	oversizedBatches *obs.Counter
+	gapSeconds       *obs.Counter
+	pendingSeconds   *obs.Gauge
+	pendingReadings  *obs.Gauge
+	watermarkLag     *obs.Gauge
+	streamNow        *obs.Gauge
+	objectsKnown     *obs.Gauge
+	cacheEntries     *obs.Gauge
 
 	// Durability metrics. Records/syncs/snapshots are inline-recorded; the
 	// recovery counters are set once by Open; lastSeq/segments are mirrors.
@@ -116,6 +128,18 @@ func newTelemetry(cfg Config) *Telemetry {
 		dropped: dropped,
 		rejectedBatches: r.Counter("repro_ingest_batches_rejected_total",
 			"Whole deliveries refused as late (the HTTP 409 path)."),
+		oversizedBatches: r.Counter("repro_ingest_batches_oversized_total",
+			"Whole deliveries refused undecoded for exceeding the body cap (the HTTP 413 path)."),
+		deadlineExceeded: r.Counter("repro_query_deadline_exceeded_total",
+			"Queries that ran out of their per-request deadline and returned a partial result."),
+		healthTransitions: r.Counter("repro_reader_health_transitions_total",
+			"Unhealthy-set refreshes pushed from the reader-health monitor into the sensing model."),
+		particleBudget: r.Gauge("repro_particle_budget",
+			"Effective per-object particle count for new filter states (reduced in degraded mode)."),
+		readerState: r.GaugeVec("repro_reader_state",
+			"Reader liveness state: 0 live, 1 suspect, 2 dead.", "reader"),
+		readerSilence: r.GaugeVec("repro_reader_silence_seconds",
+			"Stream seconds since the reader last produced any reading (-1: never read).", "reader"),
 		gapSeconds: r.Counter("repro_ingest_gap_seconds_total",
 			"Stream seconds the watermark passed with no delivery at all."),
 		pendingSeconds: r.Gauge("repro_ingest_pending_seconds",
@@ -151,6 +175,7 @@ func newTelemetry(cfg Config) *Telemetry {
 		walSegments: r.Gauge("repro_wal_segments",
 			"Live WAL segment files."),
 	}
+	t.particleBudget.Set(float64(cfg.Particle.Ns))
 	return t
 }
 
@@ -184,6 +209,7 @@ func (s *System) SyncMetrics() {
 		c.Set(uint64(st.Ingest.Of(kind)))
 	}
 	t.rejectedBatches.Set(uint64(st.Ingest.LateBatches))
+	t.oversizedBatches.Set(uint64(st.Ingest.OversizedBatches))
 	t.gapSeconds.Set(uint64(st.Ingest.GapSeconds))
 	t.pendingSeconds.Set(float64(s.reorder.PendingSeconds()))
 	t.pendingReadings.Set(float64(st.ReadingsPending))
@@ -194,6 +220,19 @@ func (s *System) SyncMetrics() {
 	if s.wal != nil {
 		t.walLastSeq.Set(float64(s.walSeq))
 		t.walSegments.Set(float64(s.wal.Segments()))
+	}
+	if s.monitor != nil {
+		if t.readerLabels == nil {
+			t.readerLabels = make([]string, s.dep.NumReaders())
+			for i := range t.readerLabels {
+				t.readerLabels[i] = strconv.Itoa(i)
+			}
+		}
+		for _, rh := range s.monitor.Snapshot(s.col.Now()) {
+			label := t.readerLabels[rh.Reader]
+			t.readerState.With(label).Set(float64(rh.State))
+			t.readerSilence.With(label).Set(float64(rh.SilenceSeconds))
+		}
 	}
 }
 

@@ -1,0 +1,305 @@
+package health
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func mustMonitor(t *testing.T, n int) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// reading builds a well-stamped raw reading.
+func reading(obj model.ObjectID, rd model.ReaderID, t model.Time) model.RawReading {
+	return model.RawReading{Object: obj, Reader: rd, Time: t}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero (disabled) config must validate, got %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.SuspectMissed = float64(bad.ExpectHorizon) // not strictly above
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SuspectMissed <= ExpectHorizon must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.DeadMissed = bad.SuspectMissed - 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("DeadMissed < SuspectMissed must be rejected")
+	}
+}
+
+func TestDisabledMonitorIsInert(t *testing.T) {
+	m, err := NewMonitor(Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := model.Time(1); sec <= 50; sec++ {
+		if m.ObserveSecond(sec, nil) {
+			t.Fatal("disabled monitor reported a state change")
+		}
+	}
+	if m.Unhealthy() != nil {
+		t.Fatal("disabled monitor has an unhealthy set")
+	}
+}
+
+// TestSteadyTrafficStaysLive: a reader with steady traffic, plus a reader
+// that never reads, both stay LIVE (no traffic means no expectation).
+func TestSteadyTrafficStaysLive(t *testing.T) {
+	m := mustMonitor(t, 2)
+	for sec := model.Time(1); sec <= 100; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{reading(1, 0, sec)})
+	}
+	if got := m.State(0); got != Live {
+		t.Fatalf("steady reader state = %v, want live", got)
+	}
+	if got := m.State(1); got != Live {
+		t.Fatalf("silent-forever reader state = %v, want live", got)
+	}
+	if m.Unhealthy() != nil {
+		t.Fatal("unexpected unhealthy set")
+	}
+}
+
+// TestSingleVanishDoesNotFlag: one object walking out of a reader's range
+// (e.g. into an uncovered room) must never flag the reader — a lone vanish
+// accrues at most ExpectHorizon misses, below SuspectMissed by construction.
+func TestSingleVanishDoesNotFlag(t *testing.T) {
+	m := mustMonitor(t, 1)
+	for sec := model.Time(1); sec <= 30; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{reading(7, 0, sec)})
+	}
+	// The object vanishes; the reader sees nothing, forever.
+	for sec := model.Time(31); sec <= 120; sec++ {
+		m.ObserveSecond(sec, nil)
+	}
+	if got := m.State(0); got != Live {
+		t.Fatalf("reader flagged %v after a single object vanished, want live", got)
+	}
+}
+
+// TestMassVanishGoesSuspectThenDead: three objects going dark simultaneously
+// is the signature of a dying range; the reader must pass SUSPECT on the way
+// to DEAD.
+func TestMassVanishGoesSuspectThenDead(t *testing.T) {
+	m := mustMonitor(t, 2)
+	feed := func(sec model.Time) []model.RawReading {
+		return []model.RawReading{
+			reading(1, 0, sec), reading(2, 0, sec), reading(3, 0, sec),
+			reading(9, 1, sec), // keep reader 1 alive as a control
+		}
+	}
+	for sec := model.Time(1); sec <= 30; sec++ {
+		m.ObserveSecond(sec, feed(sec))
+	}
+	sawSuspect := false
+	var deadAt model.Time
+	for sec := model.Time(31); sec <= 60 && deadAt == 0; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{reading(9, 1, sec)})
+		switch m.State(0) {
+		case Suspect:
+			sawSuspect = true
+		case Dead:
+			deadAt = sec
+		}
+	}
+	if !sawSuspect {
+		t.Error("reader never passed through SUSPECT")
+	}
+	if deadAt == 0 {
+		t.Fatalf("reader never declared DEAD; state=%v missed=%v", m.State(0), m.Snapshot(60)[0].Missed)
+	}
+	if got := m.State(1); got != Live {
+		t.Fatalf("control reader state = %v, want live", got)
+	}
+	un := m.Unhealthy()
+	if un == nil || !un[0] || un[1] {
+		t.Fatalf("unhealthy set = %v, want reader 0 only", un)
+	}
+}
+
+// TestHandoffReleasesExpectation: objects handed off to a neighboring reader
+// release the previous reader immediately — a drained hallway segment is not
+// an outage.
+func TestHandoffReleasesExpectation(t *testing.T) {
+	m := mustMonitor(t, 2)
+	for sec := model.Time(1); sec <= 20; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{
+			reading(1, 0, sec), reading(2, 0, sec), reading(3, 0, sec),
+		})
+	}
+	// All three hand off to reader 1 and keep reading there.
+	for sec := model.Time(21); sec <= 80; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{
+			reading(1, 1, sec), reading(2, 1, sec), reading(3, 1, sec),
+		})
+	}
+	if got := m.State(0); got != Live {
+		t.Fatalf("handed-off reader state = %v, want live", got)
+	}
+}
+
+// TestReleaseSuppressesExpectation: when the engine explains an object's
+// silence (an ENTER event — it walked into an uncovered room), releasing the
+// object must keep its reader LIVE even if several objects vanish together.
+func TestReleaseSuppressesExpectation(t *testing.T) {
+	m := mustMonitor(t, 1)
+	for sec := model.Time(1); sec <= 20; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{
+			reading(1, 0, sec), reading(2, 0, sec), reading(3, 0, sec),
+		})
+	}
+	// All three vanish at once, but every vanish is explained by an ENTER.
+	m.Release(1)
+	m.Release(2)
+	m.Release(3)
+	for sec := model.Time(21); sec <= 120; sec++ {
+		m.ObserveSecond(sec, nil)
+	}
+	if got := m.State(0); got != Live {
+		t.Fatalf("reader flagged %v after explained vanishes, want live", got)
+	}
+}
+
+// TestRecoveryHysteresis: a DEAD reader needs RecoverSeconds consecutive
+// reading seconds before it is trusted LIVE again; a single flap is not
+// enough.
+func TestRecoveryHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecoverSeconds = 3
+	m, err := NewMonitor(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := model.Time(0)
+	step := func(raws []model.RawReading) {
+		sec++
+		m.ObserveSecond(sec, raws)
+	}
+	traffic := func(t model.Time) []model.RawReading {
+		return []model.RawReading{reading(1, 0, t), reading(2, 0, t), reading(3, 0, t)}
+	}
+	for i := 0; i < 30; i++ {
+		step(traffic(sec + 1))
+	}
+	for i := 0; i < 30; i++ {
+		step(nil)
+	}
+	if got := m.State(0); got != Dead {
+		t.Fatalf("state after mass vanish = %v, want dead", got)
+	}
+	// One flap second, then silence again: still not LIVE.
+	step(traffic(sec + 1))
+	if got := m.State(0); got != Dead {
+		t.Fatalf("state after a single flap = %v, want dead (hysteresis)", got)
+	}
+	step(nil)
+	step(traffic(sec + 1))
+	step(traffic(sec + 1))
+	if got := m.State(0); got != Live {
+		// Streak broke at the silent second; two more make 2 < 3.
+		t.Logf("state after broken streak = %v (expected not yet live)", got)
+	}
+	step(traffic(sec + 1))
+	if got := m.State(0); got != Live {
+		t.Fatalf("state after %d consecutive reading seconds = %v, want live", cfg.RecoverSeconds, got)
+	}
+	if m.Unhealthy() != nil {
+		t.Fatal("unhealthy set must be nil after full recovery")
+	}
+}
+
+// TestSuspectRecoversOnFirstReading: SUSPECT is statistical, so one real
+// detection clears it.
+func TestSuspectRecoversOnFirstReading(t *testing.T) {
+	m := mustMonitor(t, 1)
+	sec := model.Time(0)
+	for i := 0; i < 20; i++ {
+		sec++
+		m.ObserveSecond(sec, []model.RawReading{reading(1, 0, sec), reading(2, 0, sec)})
+	}
+	for m.State(0) == Live {
+		sec++
+		m.ObserveSecond(sec, nil)
+		if sec > 200 {
+			t.Fatal("two vanished objects never drove the reader to SUSPECT")
+		}
+	}
+	if got := m.State(0); got != Suspect {
+		t.Fatalf("state = %v, want suspect", got)
+	}
+	sec++
+	m.ObserveSecond(sec, []model.RawReading{reading(5, 0, sec)})
+	if got := m.State(0); got != Live {
+		t.Fatalf("state after reading = %v, want live", got)
+	}
+}
+
+// TestMisstampedReadingProvesLiveness: a reading with a skewed stamp still
+// resets the reader's silence clock (its radio works; its clock is broken).
+func TestMisstampedReadingProvesLiveness(t *testing.T) {
+	m := mustMonitor(t, 1)
+	sec := model.Time(0)
+	for i := 0; i < 20; i++ {
+		sec++
+		m.ObserveSecond(sec, []model.RawReading{reading(1, 0, sec), reading(2, 0, sec)})
+	}
+	// Objects vanish, but the reader keeps emitting mis-stamped readings.
+	for i := 0; i < 40; i++ {
+		sec++
+		m.ObserveSecond(sec, []model.RawReading{{Object: 1, Reader: 0, Time: sec + 3}})
+	}
+	if got := m.State(0); got != Live {
+		t.Fatalf("state = %v, want live (mis-stamped readings prove liveness)", got)
+	}
+}
+
+// TestSnapshotFields sanity-checks the externally served record.
+func TestSnapshotFields(t *testing.T) {
+	m := mustMonitor(t, 2)
+	m.ObserveSecond(1, []model.RawReading{reading(1, 0, 1)})
+	m.ObserveSecond(2, nil)
+	m.ObserveSecond(3, nil)
+	snap := m.Snapshot(3)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size %d, want 2", len(snap))
+	}
+	if snap[0].SilenceSeconds != 2 {
+		t.Errorf("reader 0 silence = %d, want 2", snap[0].SilenceSeconds)
+	}
+	if snap[1].SilenceSeconds != -1 {
+		t.Errorf("never-read reader silence = %d, want -1", snap[1].SilenceSeconds)
+	}
+	if snap[0].StateName != "live" {
+		t.Errorf("state name %q, want live", snap[0].StateName)
+	}
+	if snap[0].LastRead != 1 {
+		t.Errorf("lastRead %d, want 1", snap[0].LastRead)
+	}
+}
+
+// TestReplayedSecondIgnored: feeding a second at or before the monitor's
+// clock (the recovery replay overlap case) must not change anything.
+func TestReplayedSecondIgnored(t *testing.T) {
+	m := mustMonitor(t, 1)
+	for sec := model.Time(1); sec <= 10; sec++ {
+		m.ObserveSecond(sec, []model.RawReading{reading(1, 0, sec)})
+	}
+	if m.ObserveSecond(5, nil) {
+		t.Fatal("replayed second changed state")
+	}
+	if got := m.Snapshot(10)[0].LastRead; got != 10 {
+		t.Fatalf("lastRead = %d after replay, want 10", got)
+	}
+}

@@ -34,6 +34,11 @@ const (
 	// all (lost batch). Gaps are observations, not drops: they are counted,
 	// never returned as errors from Offer.
 	KindGap
+	// KindOversized marks a whole HTTP delivery refused before decoding
+	// because its body exceeded the configured byte cap (the 413 path). The
+	// reading count inside is unknown, so it is accounted at batch
+	// granularity only.
+	KindOversized
 )
 
 // ReadingKinds lists the kinds that classify dropped readings (KindGap is
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "invalid"
 	case KindGap:
 		return "gap"
+	case KindOversized:
+		return "oversized"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -111,6 +118,11 @@ type Drops struct {
 	// GapSeconds counts seconds the watermark passed with no delivery at
 	// all — batches lost upstream of the system.
 	GapSeconds int
+	// OversizedBatches counts whole HTTP deliveries refused undecoded
+	// because the body exceeded the ingest byte cap (the 413 path). Their
+	// reading counts are unknowable, so like LateBatches this is batch-level
+	// accounting and excluded from Readings().
+	OversizedBatches int
 }
 
 // Readings returns the total number of raw readings dropped.
@@ -132,6 +144,8 @@ func (d Drops) Of(k Kind) int {
 		return d.InvalidReadings
 	case KindGap:
 		return d.GapSeconds
+	case KindOversized:
+		return d.OversizedBatches
 	default:
 		return 0
 	}
@@ -146,4 +160,5 @@ func (d *Drops) Merge(o Drops) {
 	d.MisstampedReadings += o.MisstampedReadings
 	d.InvalidReadings += o.InvalidReadings
 	d.GapSeconds += o.GapSeconds
+	d.OversizedBatches += o.OversizedBatches
 }

@@ -41,6 +41,15 @@ type Filter struct {
 	// an uninstrumented filter pays nothing (see Instrument).
 	met   Metrics
 	timed bool
+	// unhealthy flags readers whose ranges must not contribute negative
+	// evidence (a dead reader's silence says nothing about the object). It is
+	// nil when every reader is healthy, which keeps the common path — and its
+	// float operations — exactly as without health tracking.
+	unhealthy []bool
+	// maxNs, when positive, caps the particle count of newly initialized
+	// states below cfg.Ns: the degraded-mode budget under overload. Cached
+	// states keep their existing particle count.
+	maxNs int
 }
 
 // Metrics are the filter's optional telemetry sinks. Every field may be nil
@@ -119,6 +128,46 @@ func MustNew(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment) *Filter {
 // Config returns the filter's configuration.
 func (f *Filter) Config() Config { return f.cfg }
 
+// SetUnhealthy installs the set of readers whose silence must be ignored by
+// the negative update (indexed by ReaderID; nil or all-false restores the
+// uncompensated behavior). The caller must not mutate the slice afterwards
+// and must not call this concurrently with Run/Advance.
+func (f *Filter) SetUnhealthy(un []bool) {
+	all := false
+	for _, u := range un {
+		if u {
+			all = true
+			break
+		}
+	}
+	if !all {
+		un = nil
+	}
+	f.unhealthy = un
+}
+
+// Unhealthy returns the installed unhealthy-reader set (nil when none).
+func (f *Filter) Unhealthy() []bool { return f.unhealthy }
+
+// SetParticleBudget caps the particle count of newly initialized states at n
+// (degraded-mode operation under overload); n <= 0 or n >= Ns restores the
+// configured count. Already-cached states are not resized.
+func (f *Filter) SetParticleBudget(n int) {
+	if n <= 0 || n >= f.cfg.Ns {
+		n = 0
+	}
+	f.maxNs = n
+}
+
+// ParticleBudget returns the effective per-object particle count for new
+// states: the configured Ns, or the degraded-mode cap when one is set.
+func (f *Filter) ParticleBudget() int {
+	if f.maxNs > 0 {
+		return f.maxNs
+	}
+	return f.cfg.Ns
+}
+
 // Coverage returns the filter's coverage index (nil on the geometric path).
 func (f *Filter) Coverage() *rfid.Coverage { return f.cov }
 
@@ -137,8 +186,9 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 		ivs, total = rfid.ComputeInitIntervals(f.g, r)
 	}
 
+	ns := f.ParticleBudget()
 	st := &State{Object: obj, Time: t, LastReadingTime: t}
-	st.Particles = make([]Particle, f.cfg.Ns)
+	st.Particles = make([]Particle, ns)
 	for i := range st.Particles {
 		var loc walkgraph.Location
 		if total > 0 {
@@ -161,7 +211,7 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 			Loc:    loc,
 			Toward: toward,
 			Speed:  src.TruncGaussian(f.cfg.SpeedMean, f.cfg.SpeedStd, f.cfg.MinSpeed, f.cfg.MaxSpeed),
-			Weight: 1.0 / float64(f.cfg.Ns),
+			Weight: 1.0 / float64(ns),
 		}
 	}
 	return st
@@ -337,9 +387,13 @@ func (f *Filter) resample(src *rng.Source, st *State) {
 // effective sample size degenerates below half the particle count. This
 // preserves particle diversity across long silent stretches instead of
 // collapsing the cloud into whichever hypothesis was briefly favored.
+// Ranges of SUSPECT/DEAD readers (Filter.SetUnhealthy) are excluded: silence
+// from a reader that may not be reporting carries no information, so the
+// penalty there would push mass away from where the object plausibly is.
 func (f *Filter) negativeUpdate(src *rng.Source, st *State) {
 	ps := st.Particles
 	inside := 0
+	un := f.unhealthy
 	if f.cov != nil {
 		for i := range ps {
 			loc := ps[i].Loc
@@ -360,6 +414,9 @@ func (f *Filter) negativeUpdate(src *rng.Source, st *State) {
 			spans := f.spans[loc.Edge]
 			for si := range spans {
 				s := &spans[si]
+				if un != nil && un[s.Reader] {
+					continue
+				}
 				if off < s.OuterLo || off > s.OuterHi {
 					continue
 				}
@@ -376,7 +433,7 @@ func (f *Filter) negativeUpdate(src *rng.Source, st *State) {
 			if f.g.Edge(ps[i].Loc.Edge).Kind == walkgraph.LinkEdge {
 				continue
 			}
-			_, covered := f.dep.CoveringReader(f.g.Point(ps[i].Loc))
+			_, covered := f.dep.CoveringReaderExcept(f.g.Point(ps[i].Loc), un)
 			if covered && f.g.RoomAt(ps[i].Loc) == floorplan.NoRoom {
 				ps[i].Weight *= f.cfg.NegativeWeight
 				inside++

@@ -1,0 +1,41 @@
+package query
+
+import (
+	"context"
+	"fmt"
+)
+
+// deadlineStride is how many anchor-scan iterations run between context
+// checks: coarse enough to keep the check off the profile, fine enough that
+// an expired request stops within microseconds.
+const deadlineStride = 64
+
+// DeadlineError reports that a query ran out of its per-request budget. The
+// result returned alongside it is a usable partial: for the evaluator it
+// holds everything accumulated before expiry; for the pruner it is a
+// superset of the exact candidates (pruning fails open, never dropping a
+// possible answer). Stage names the loop that hit the deadline, e.g.
+// "knn/anchor-scan" or "prune/range". Unwrap exposes the context error, so
+// errors.Is(err, context.DeadlineExceeded) works as usual.
+type DeadlineError struct {
+	Stage string
+	Err   error
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("query: deadline exceeded at %s: %v", e.Stage, e.Err)
+}
+
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// expired returns a *DeadlineError when ctx is done; a nil ctx (the
+// deadline-free fast path used by the legacy entry points) never expires.
+func expired(ctx context.Context, stage string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &DeadlineError{Stage: stage, Err: err}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -34,11 +35,29 @@ func NewEvaluator(g *walkgraph.Graph, idx *anchor.Index) *Evaluator {
 // scaled by the fraction of the hallway width the query covers, and room
 // probabilities by the fraction of the room area it covers.
 func (e *Evaluator) Range(tab *anchor.Table, q geom.Rect) model.ResultSet {
+	rs, _ := e.rangeCtx(nil, tab, q)
+	return rs
+}
+
+// RangeContext is Range with a per-request deadline: the context is checked
+// at every hallway- and room-cell boundary, and on expiry the result
+// accumulated so far is returned together with a *DeadlineError. A nil error
+// means the result is complete.
+func (e *Evaluator) RangeContext(ctx context.Context, tab *anchor.Table, q geom.Rect) (model.ResultSet, error) {
+	return e.rangeCtx(ctx, tab, q)
+}
+
+// rangeCtx is the shared implementation; a nil ctx skips every check and is
+// byte-for-byte the pre-deadline behavior.
+func (e *Evaluator) rangeCtx(ctx context.Context, tab *anchor.Table, q geom.Rect) (model.ResultSet, error) {
 	resultSet := make(model.ResultSet)
 	plan := e.g.Plan()
 
 	// Hallway cells.
 	for _, h := range plan.Hallways() {
+		if err := expired(ctx, "range/hallways"); err != nil {
+			return resultSet, err
+		}
 		strip := h.Strip()
 		overlap := strip.Intersect(q)
 		if overlap.Empty() {
@@ -72,6 +91,9 @@ func (e *Evaluator) Range(tab *anchor.Table, q geom.Rect) model.ResultSet {
 	// Room cells: the covered fraction of the room's footprint (which may be
 	// a composite of several rectangles).
 	for _, room := range plan.Rooms() {
+		if err := expired(ctx, "range/rooms"); err != nil {
+			return resultSet, err
+		}
 		covered := room.IntersectArea(q)
 		if covered <= 0 {
 			continue
@@ -84,7 +106,7 @@ func (e *Evaluator) Range(tab *anchor.Table, q geom.Rect) model.ResultSet {
 		result.Scale(covered / room.Area())
 		resultSet.Add(result)
 	}
-	return resultSet
+	return resultSet, nil
 }
 
 // KNN evaluates an indoor kNN query (the paper's Algorithm 4): starting from
@@ -94,13 +116,30 @@ func (e *Evaluator) Range(tab *anchor.Table, q geom.Rect) model.ResultSet {
 // set reaches k. The result holds at least k objects (probability mass k)
 // whenever the table contains that much mass.
 func (e *Evaluator) KNN(tab *anchor.Table, q geom.Point, k int) model.ResultSet {
+	rs, _ := e.knnCtx(nil, tab, q, k)
+	return rs
+}
+
+// KNNContext is KNN with a per-request deadline, checked every
+// deadlineStride anchors of the distance-ordered scan. On expiry the mass
+// accumulated so far (possibly < k) is returned with a *DeadlineError.
+func (e *Evaluator) KNNContext(ctx context.Context, tab *anchor.Table, q geom.Point, k int) (model.ResultSet, error) {
+	return e.knnCtx(ctx, tab, q, k)
+}
+
+func (e *Evaluator) knnCtx(ctx context.Context, tab *anchor.Table, q geom.Point, k int) (model.ResultSet, error) {
 	resultSet := make(model.ResultSet)
 	if k <= 0 {
-		return resultSet
+		return resultSet, nil
 	}
 	loc := e.g.NearestLocation(q)
 	ids, _ := e.idx.AnchorsByNetworkDistance(loc)
-	for _, ap := range ids {
+	for i, ap := range ids {
+		if i%deadlineStride == 0 {
+			if err := expired(ctx, "knn/anchor-scan"); err != nil {
+				return resultSet, err
+			}
+		}
 		entry := tab.Get(ap)
 		if len(entry) == 0 {
 			continue
@@ -110,7 +149,7 @@ func (e *Evaluator) KNN(tab *anchor.Table, q geom.Point, k int) model.ResultSet 
 			break
 		}
 	}
-	return resultSet
+	return resultSet, nil
 }
 
 // TopKObjects ranks a probabilistic result set by descending probability and
@@ -158,6 +197,11 @@ type Pruner struct {
 	dep *rfid.Deployment
 	// umax is the maximum walking speed used to grow uncertain regions.
 	umax float64
+	// unhealthy flags readers whose last detection may be stale beyond its
+	// timestamp (the device went SUSPECT/DEAD after reading the object), so
+	// their uncertain regions are widened to keep pruning sound. nil when all
+	// readers are healthy.
+	unhealthy []bool
 }
 
 // NewPruner builds a Pruner.
@@ -165,24 +209,71 @@ func NewPruner(g *walkgraph.Graph, idx *anchor.Index, dep *rfid.Deployment, umax
 	return &Pruner{g: g, idx: idx, dep: dep, umax: umax}
 }
 
+// SetUnhealthy installs the unhealthy-reader set (indexed by ReaderID; nil or
+// all-false restores the uncompensated regions). The caller must not mutate
+// the slice afterwards or call this concurrently with candidate generation.
+func (p *Pruner) SetUnhealthy(un []bool) {
+	any := false
+	for _, u := range un {
+		if u {
+			any = true
+			break
+		}
+	}
+	if !any {
+		un = nil
+	}
+	p.unhealthy = un
+}
+
 // UncertainRegion returns the Euclidean uncertain region UR(o): a circle
 // centered at the object's last detecting device with radius
 // umax * (now - lastSeen) + device range.
+//
+// When the last detecting device is unhealthy the radius gains one extra
+// device range: the object may have left the range unnoticed any time after
+// the last read (the usual exit event that re-anchors UR never arrived), so
+// the region is grown by the largest silent head start the dead range can
+// hide. Time-based growth already covers travel after that instant.
 func (p *Pruner) UncertainRegion(info ObjectInfo, now model.Time) geom.Circle {
 	r := p.dep.Reader(info.Reader)
 	lmax := p.umax * float64(now-info.LastSeen)
 	if lmax < 0 {
 		lmax = 0
 	}
-	return geom.Circle{C: r.Pos, R: lmax + r.Range}
+	rad := lmax + r.Range
+	if p.unhealthy != nil && int(info.Reader) < len(p.unhealthy) && p.unhealthy[info.Reader] {
+		rad += r.Range
+	}
+	return geom.Circle{C: r.Pos, R: rad}
 }
 
 // RangeCandidates returns the objects whose uncertain regions overlap at
 // least one of the query windows; all others are non-candidates whose
 // filtering cost is saved.
 func (p *Pruner) RangeCandidates(infos []ObjectInfo, windows []geom.Rect, now model.Time) []model.ObjectID {
+	out, _ := p.rangeCandidatesCtx(nil, infos, windows, now)
+	return out
+}
+
+// RangeCandidatesContext is RangeCandidates with a per-request deadline,
+// checked once per object. On expiry it fails conservatively: the remaining
+// unexamined objects are all admitted as candidates (pruning is an
+// optimization; an incomplete prune must never drop a possible answer), and
+// the *DeadlineError is returned so the caller can account for the overrun.
+func (p *Pruner) RangeCandidatesContext(ctx context.Context, infos []ObjectInfo, windows []geom.Rect, now model.Time) ([]model.ObjectID, error) {
+	return p.rangeCandidatesCtx(ctx, infos, windows, now)
+}
+
+func (p *Pruner) rangeCandidatesCtx(ctx context.Context, infos []ObjectInfo, windows []geom.Rect, now model.Time) ([]model.ObjectID, error) {
 	var out []model.ObjectID
-	for _, info := range infos {
+	for n, info := range infos {
+		if err := expired(ctx, "prune/range"); err != nil {
+			for _, rest := range infos[n:] {
+				out = append(out, rest.Object)
+			}
+			return out, err
+		}
 		ur := p.UncertainRegion(info, now)
 		for _, w := range windows {
 			if ur.OverlapsRect(w) {
@@ -191,7 +282,7 @@ func (p *Pruner) RangeCandidates(infos []ObjectInfo, windows []geom.Rect, now mo
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // KNNCandidates implements the paper's distance-based pruning: with
@@ -199,8 +290,21 @@ func (p *Pruner) RangeCandidates(infos []ObjectInfo, windows []geom.Rect, now mo
 // point to UR(o_i), and f the k-th smallest l_i, every object with s_i > f
 // is pruned — at least k objects are certainly closer.
 func (p *Pruner) KNNCandidates(infos []ObjectInfo, q geom.Point, k int, now model.Time) []model.ObjectID {
+	out, _ := p.knnCandidatesCtx(nil, infos, q, k, now)
+	return out
+}
+
+// KNNCandidatesContext is KNNCandidates with a per-request deadline, checked
+// once per object during bound computation. On expiry every object is
+// admitted (the distance threshold cannot be established from partial
+// bounds, and pruning must stay sound) and the *DeadlineError is returned.
+func (p *Pruner) KNNCandidatesContext(ctx context.Context, infos []ObjectInfo, q geom.Point, k int, now model.Time) ([]model.ObjectID, error) {
+	return p.knnCandidatesCtx(ctx, infos, q, k, now)
+}
+
+func (p *Pruner) knnCandidatesCtx(ctx context.Context, infos []ObjectInfo, q geom.Point, k int, now model.Time) ([]model.ObjectID, error) {
 	if len(infos) == 0 {
-		return nil
+		return nil, nil
 	}
 	loc := p.g.NearestLocation(q)
 	nodeDist := p.g.DistancesFromLocation(loc)
@@ -212,6 +316,13 @@ func (p *Pruner) KNNCandidates(infos []ObjectInfo, q geom.Point, k int, now mode
 	bs := make([]bounds, 0, len(infos))
 	ls := make([]float64, 0, len(infos))
 	for _, info := range infos {
+		if err := expired(ctx, "prune/knn"); err != nil {
+			out := make([]model.ObjectID, len(infos))
+			for i := range infos {
+				out[i] = infos[i].Object
+			}
+			return out, err
+		}
 		ur := p.UncertainRegion(info, now)
 		si, li := math.Inf(1), 0.0
 		for _, a := range p.idx.Anchors() {
@@ -250,7 +361,7 @@ func (p *Pruner) KNNCandidates(infos []ObjectInfo, q geom.Point, k int, now mode
 			out = append(out, b.obj)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RoomOf exposes the plan lookup used by ground-truth helpers: the room

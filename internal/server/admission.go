@@ -1,0 +1,226 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// AdmissionConfig bounds the query-side concurrency of the server. The zero
+// value disables admission control entirely (every request is admitted
+// immediately), which is the pre-resilience behavior.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of queries allowed past admission at once.
+	// Queries serialize on the engine lock anyway, so this bounds how much
+	// work can pile up behind it. 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue is how many requests may wait for a slot beyond MaxInFlight;
+	// arrivals beyond it are shed immediately with 429.
+	MaxQueue int
+	// MaxWait is the longest a queued request waits for a slot before being
+	// shed with 429. 0 means shed immediately when no slot is free.
+	MaxWait time.Duration
+
+	// DegradedParticles, when positive, enables degraded mode: after
+	// DegradeAfter sheds within RestoreAfter of each other the per-object
+	// particle budget is reduced to this value (the documented Ns ablation
+	// knob — cheaper filtering, coarser distributions), and restored once
+	// RestoreAfter passes with no shed. The gap between the enter condition
+	// (sustained shedding) and the leave condition (a full calm window) is
+	// the hysteresis band that prevents flapping.
+	DegradedParticles int
+	// DegradeAfter is how many sheds within a RestoreAfter window trip
+	// degraded mode. Values below 1 are treated as 1.
+	DegradeAfter int
+	// RestoreAfter is the calm period (no sheds) after which full fidelity
+	// is restored, and also the window within which sheds accumulate toward
+	// DegradeAfter. 0 means 30s.
+	RestoreAfter time.Duration
+}
+
+// DefaultAdmissionConfig returns admission bounds suited to a single-engine
+// server: a handful of in-flight queries, a short queue, and degraded mode
+// halving the default particle count.
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{
+		MaxInFlight:       4,
+		MaxQueue:          32,
+		MaxWait:           500 * time.Millisecond,
+		DegradedParticles: 32,
+		DegradeAfter:      3,
+		RestoreAfter:      30 * time.Second,
+	}
+}
+
+// admission is the query admission controller: a slot semaphore with a
+// bounded, deadline-bounded wait queue, plus the degraded-mode hysteresis
+// tracker. A nil *admission admits everything (admission disabled).
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+	// queued counts requests waiting for a slot; latencyNs is an EWMA of
+	// admitted-query wall time used to estimate Retry-After.
+	queued    atomic.Int64
+	latencyNs atomic.Int64
+
+	admitted *obs.Counter
+	shed     *obs.Counter
+	inflight *obs.Gauge
+	queuedG  *obs.Gauge
+
+	// Degraded-mode state, guarded by mu. Time flows in via the now
+	// parameters so tests drive it deterministically.
+	mu        sync.Mutex
+	degraded  bool
+	shedCount int
+	lastShed  time.Time
+}
+
+// newAdmission builds the controller, registering its metrics; returns nil
+// (admission disabled) when cfg.MaxInFlight is 0.
+func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
+	if cfg.MaxInFlight <= 0 {
+		return nil
+	}
+	if cfg.DegradeAfter < 1 {
+		cfg.DegradeAfter = 1
+	}
+	if cfg.RestoreAfter <= 0 {
+		cfg.RestoreAfter = 30 * time.Second
+	}
+	a := &admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		admitted: reg.Counter("repro_admission_admitted_total",
+			"Query requests admitted past the admission controller."),
+		shed: reg.Counter("repro_admission_shed_total",
+			"Query requests shed with 429 (queue full or slot wait timed out)."),
+		inflight: reg.Gauge("repro_admission_inflight",
+			"Query requests currently holding an admission slot."),
+		queuedG: reg.Gauge("repro_admission_queued",
+			"Query requests waiting for an admission slot."),
+	}
+	return a
+}
+
+// acquire tries to admit one request: it returns a release closure and true,
+// or false when the request must be shed. The release closure must be called
+// exactly once, after the query finishes.
+func (a *admission) acquire() (release func(), ok bool) {
+	if a == nil {
+		return func() {}, true
+	}
+	start := time.Now()
+	rel := func() {
+		<-a.slots
+		a.inflight.Set(float64(len(a.slots)))
+		a.observeLatency(time.Since(start))
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		a.inflight.Set(float64(len(a.slots)))
+		return rel, true
+	default:
+	}
+	// No free slot: join the bounded wait queue.
+	if q := a.queued.Add(1); q > int64(a.cfg.MaxQueue) {
+		a.queued.Add(-1)
+		a.noteShed(time.Now())
+		return nil, false
+	}
+	a.queuedG.Set(float64(a.queued.Load()))
+	defer func() {
+		a.queued.Add(-1)
+		a.queuedG.Set(float64(a.queued.Load()))
+	}()
+	timer := time.NewTimer(a.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		a.inflight.Set(float64(len(a.slots)))
+		return rel, true
+	case <-timer.C:
+		a.noteShed(time.Now())
+		return nil, false
+	}
+}
+
+// observeLatency folds one admitted query's wall time into the EWMA backing
+// the Retry-After estimate.
+func (a *admission) observeLatency(d time.Duration) {
+	const alpha = 0.2
+	for {
+		old := a.latencyNs.Load()
+		next := int64(float64(old)*(1-alpha) + float64(d.Nanoseconds())*alpha)
+		if old == 0 {
+			next = d.Nanoseconds()
+		}
+		if a.latencyNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a shed client should back off: the
+// EWMA query latency times the work queued ahead of it, spread over the
+// available slots, floored at one second (the header's resolution).
+func (a *admission) retryAfterSeconds() int {
+	lat := time.Duration(a.latencyNs.Load())
+	if lat <= 0 {
+		lat = 100 * time.Millisecond
+	}
+	backlog := float64(len(a.slots)) + float64(a.queued.Load())
+	secs := lat.Seconds() * backlog / float64(a.cfg.MaxInFlight)
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// retryAfterHeader is retryAfterSeconds as a header value.
+func (a *admission) retryAfterHeader() string {
+	return strconv.Itoa(a.retryAfterSeconds())
+}
+
+// noteShed records one shed at the given time and reports the running count
+// toward the degrade threshold. Sheds further apart than RestoreAfter start
+// a fresh count.
+func (a *admission) noteShed(now time.Time) {
+	a.shed.Inc()
+	a.mu.Lock()
+	if !a.lastShed.IsZero() && now.Sub(a.lastShed) > a.cfg.RestoreAfter {
+		a.shedCount = 0
+	}
+	a.shedCount++
+	a.lastShed = now
+	a.mu.Unlock()
+}
+
+// degradeDecision reports whether the server should be in degraded mode as
+// of now, applying the hysteresis band: enter after DegradeAfter sheds
+// within the window, leave only after a full RestoreAfter of calm. It
+// returns the (possibly new) state and whether it changed.
+func (a *admission) degradeDecision(now time.Time) (degraded, changed bool) {
+	if a == nil || a.cfg.DegradedParticles <= 0 {
+		return false, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	was := a.degraded
+	if !a.degraded {
+		if a.shedCount >= a.cfg.DegradeAfter {
+			a.degraded = true
+		}
+	} else if a.lastShed.IsZero() || now.Sub(a.lastShed) >= a.cfg.RestoreAfter {
+		a.degraded = false
+		a.shedCount = 0
+	}
+	return a.degraded, a.degraded != was
+}

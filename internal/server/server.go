@@ -27,6 +27,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -57,6 +59,11 @@ type Server struct {
 	plan *floorplan.Plan
 	dep  *rfid.Deployment
 
+	// adm is the query admission controller (nil: admission disabled);
+	// maxIngestBytes caps POST /ingest bodies.
+	adm            *admission
+	maxIngestBytes int64
+
 	// ready gates /readyz: set once recovery is complete and the server is
 	// accepting traffic, cleared when shutdown begins so load balancers
 	// drain before the listener closes.
@@ -68,17 +75,51 @@ type Server struct {
 	httpLatency  *obs.HistogramVec
 	encodeErrors *obs.Counter
 	httpPanics   *obs.Counter
+
+	// Degraded-mode telemetry (registered only with admission control on).
+	degradedMode        *obs.Gauge
+	degradedTransitions *obs.Counter
 }
 
-// New builds a Server around an assembled system. The server starts ready:
-// engine.Open completes recovery before returning, so by the time a Server
-// exists the system can take traffic. SetReady(false) begins a drain.
+// Config selects the server's resilience posture.
+type Config struct {
+	// Admission bounds concurrent queries and enables degraded mode under
+	// sustained overload. The zero value disables admission control.
+	Admission AdmissionConfig
+	// MaxIngestBytes caps the POST /ingest request body; oversized bodies
+	// get 413 and are counted in the ingest drop accounting. 0 selects
+	// DefaultMaxIngestBytes; negative disables the cap.
+	MaxIngestBytes int64
+}
+
+// DefaultMaxIngestBytes bounds one ingest delivery. A reading encodes to a
+// few dozen JSON bytes, so 8 MiB comfortably fits ~100k readings per batch —
+// far past any one-second gateway delivery — while bounding the bytes a
+// single request can make the decoder buffer.
+const DefaultMaxIngestBytes = 8 << 20
+
+// New builds a Server around an assembled system with the default
+// configuration (no admission control, default ingest body cap). The server
+// starts ready: engine.Open completes recovery before returning, so by the
+// time a Server exists the system can take traffic. SetReady(false) begins a
+// drain.
 func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
+	return NewWith(sys, plan, dep, Config{})
+}
+
+// NewWith builds a Server with an explicit resilience configuration.
+func NewWith(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) *Server {
 	r := sys.Telemetry().Registry()
+	maxBytes := cfg.MaxIngestBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxIngestBytes
+	}
 	s := &Server{
-		sys:  sys,
-		plan: plan,
-		dep:  dep,
+		sys:            sys,
+		plan:           plan,
+		dep:            dep,
+		adm:            newAdmission(cfg.Admission, r),
+		maxIngestBytes: maxBytes,
 		httpRequests: r.CounterVec("repro_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "path", "code"),
 		httpLatency: r.HistogramVec("repro_http_request_seconds",
@@ -87,6 +128,12 @@ func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server
 			"JSON responses whose encoding failed mid-write (client gone or marshal error)."),
 		httpPanics: r.Counter("repro_http_panics_total",
 			"Handler panics converted to 500 responses by the recovery middleware."),
+	}
+	if s.adm != nil {
+		s.degradedMode = r.Gauge("repro_degraded_mode",
+			"1 while the server runs with a reduced particle budget under overload.")
+		s.degradedTransitions = r.Counter("repro_degraded_transitions_total",
+			"Degraded-mode enter/leave transitions.")
 	}
 	s.ready.Store(true)
 	return s
@@ -143,16 +190,19 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	route := func(pattern, path string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(path, h))
 	}
+	// Query routes go through the admission controller (a no-op when
+	// admission is disabled); ingest, health, and debug routes never shed.
 	route("POST /ingest", "/ingest", s.handleIngest)
-	route("GET /range", "/range", s.handleRange)
-	route("GET /knn", "/knn", s.handleKNN)
-	route("GET /localize", "/localize", s.handleLocalize)
-	route("GET /occupancy", "/occupancy", s.handleOccupancy)
+	route("GET /range", "/range", s.admit(s.handleRange))
+	route("GET /knn", "/knn", s.admit(s.handleKNN))
+	route("GET /localize", "/localize", s.admit(s.handleLocalize))
+	route("GET /occupancy", "/occupancy", s.admit(s.handleOccupancy))
 	route("GET /objects", "/objects", s.handleObjects)
 	route("GET /stats", "/stats", s.handleStats)
 	route("GET /plan", "/plan", s.handlePlan)
 	route("GET /route", "/route", s.handleRoute)
-	route("GET /snapshot.svg", "/snapshot.svg", s.handleSnapshot)
+	route("GET /readers", "/readers", s.handleReaders)
+	route("GET /snapshot.svg", "/snapshot.svg", s.admit(s.handleSnapshot))
 	route("GET /metrics", "/metrics", s.handleMetrics)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /readyz", "/readyz", s.handleReadyz)
@@ -224,6 +274,75 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		}()
 		h(sw, r)
 	}
+}
+
+// admit gates a query handler behind the admission controller: shed
+// requests get 429 with a Retry-After estimated from the current backlog
+// and recent query latency. Admission state also drives the degraded-mode
+// controller. With admission disabled this is a transparent wrapper.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.adm.acquire()
+		if !ok {
+			s.updateDegraded()
+			retry := s.adm.retryAfterHeader()
+			w.Header().Set("Retry-After", retry)
+			httpError(w, http.StatusTooManyRequests, "overloaded: query shed, retry in %ss", retry)
+			return
+		}
+		defer func() {
+			release()
+			s.updateDegraded()
+		}()
+		h(w, r)
+	}
+}
+
+// updateDegraded applies the degraded-mode controller's decision to the
+// engine: entering reduces the per-object particle budget along the Ns
+// ablation knob, leaving restores full fidelity. Called with s.mu NOT held.
+func (s *Server) updateDegraded() {
+	degraded, changed := s.adm.degradeDecision(time.Now())
+	if !changed {
+		return
+	}
+	budget := 0
+	if degraded {
+		budget = s.adm.cfg.DegradedParticles
+	}
+	s.mu.Lock()
+	s.sys.SetParticleBudget(budget)
+	s.mu.Unlock()
+	if degraded {
+		s.degradedMode.Set(1)
+		log.Printf("server: sustained overload, degrading particle budget to %d", budget)
+	} else {
+		s.degradedMode.Set(0)
+		log.Printf("server: load cleared, restoring full particle budget")
+	}
+	s.degradedTransitions.Inc()
+}
+
+// handleReaders serves the per-reader liveness snapshot the health monitor
+// maintains: state, silence, smoothed detection rate, and accrued missed
+// evidence per reader.
+func (s *Server) handleReaders(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	enabled := s.sys.HealthMonitorEnabled()
+	readers := s.sys.ReaderHealth()
+	now := s.sys.Now()
+	s.mu.Unlock()
+	if readers == nil {
+		readers = []health.ReaderHealth{}
+	}
+	s.writeJSON(w, map[string]any{
+		"enabled": enabled,
+		"now":     now,
+		"readers": readers,
+	})
 }
 
 // handleHealthz is liveness: the process is up and serving.
@@ -307,8 +426,23 @@ func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
 type ingestRequest = model.Batch
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := r.Body
+	if s.maxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	}
 	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// Refused undecoded: the loss is counted at batch granularity so
+			// the drop accounting stays complete (Stats().Ingest).
+			s.mu.Lock()
+			s.sys.NoteOversizedBody()
+			s.mu.Unlock()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d-byte ingest cap; split the delivery", s.maxIngestBytes)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
@@ -381,16 +515,29 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad at: %v", err)
 		return
 	}
+	deadline, err := queryDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad deadline_ms: %v", err)
+		return
+	}
 	win := geom.RectWH(x, y, ww, h)
 	s.mu.Lock()
 	var rs model.ResultSet
-	if atOK {
+	var qerr error
+	switch {
+	case atOK:
 		rs = s.sys.RangeQueryAt(win, at)
-	} else {
+	case deadline > 0:
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		rs, qerr = s.sys.RangeQueryContext(ctx, win)
+		cancel()
+	default:
 		rs = s.sys.RangeQuery(win)
 	}
 	s.mu.Unlock()
-	s.writeJSON(w, map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)})
+	resp := map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)}
+	addPartial(resp, qerr)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -406,15 +553,58 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad at: %v", err)
 		return
 	}
+	deadline, err := queryDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad deadline_ms: %v", err)
+		return
+	}
 	s.mu.Lock()
 	var rs model.ResultSet
-	if atOK {
+	var qerr error
+	switch {
+	case atOK:
 		rs = s.sys.KNNQueryAt(geom.Pt(x, y), k, at)
-	} else {
+	case deadline > 0:
+		ctx, cancel := context.WithTimeout(r.Context(), deadline)
+		rs, qerr = s.sys.KNNQueryContext(ctx, geom.Pt(x, y), k)
+		cancel()
+	default:
 		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
 	}
 	s.mu.Unlock()
-	s.writeJSON(w, map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)})
+	resp := map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)}
+	addPartial(resp, qerr)
+	s.writeJSON(w, resp)
+}
+
+// queryDeadline parses the optional deadline_ms parameter (0: no deadline).
+func queryDeadline(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if ms <= 0 {
+		return 0, fmt.Errorf("deadline_ms must be positive, got %d", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// addPartial marks a response produced by a query that ran out of its
+// deadline: the result is a usable prefix, not the complete answer. The
+// request still succeeds (200) — a partial under deadline pressure is the
+// contract, not an error.
+func addPartial(resp map[string]any, qerr error) {
+	if qerr == nil {
+		return
+	}
+	resp["partial"] = true
+	if de, ok := engine.IsDeadline(qerr); ok {
+		resp["deadline_stage"] = de.Stage
+	}
 }
 
 // handleRoute returns the shortest indoor walking route between two points

@@ -38,6 +38,18 @@ type FaultConfig struct {
 	// DuplicateProb is the per-batch probability that a gateway retransmits
 	// the delivery 1..DelayMax (or 1) seconds later.
 	DuplicateProb float64
+	// Outages schedules deterministic reader downtime on top of the random
+	// dropout model: during [From, To] the reader's readings vanish before
+	// delivery. Scheduled outages make recall-under-outage experiments
+	// reproducible where DropoutProb alone would randomize which reader dies
+	// and when.
+	Outages []Outage
+}
+
+// Outage is one scheduled reader blackout, inclusive on both ends.
+type Outage struct {
+	Reader   model.ReaderID
+	From, To model.Time
 }
 
 // Validate checks the configuration.
@@ -59,6 +71,14 @@ func (c FaultConfig) Validate() error {
 	}
 	if (c.DelayProb > 0 || c.DuplicateProb > 0) && c.DelayMax <= 0 {
 		return fmt.Errorf("sim: DelayProb/DuplicateProb need positive DelayMax, got %d", c.DelayMax)
+	}
+	for _, o := range c.Outages {
+		if o.Reader < 0 {
+			return fmt.Errorf("sim: outage references negative reader %d", o.Reader)
+		}
+		if o.To < o.From {
+			return fmt.Errorf("sim: outage for reader %d ends (%d) before it starts (%d)", o.Reader, o.To, o.From)
+		}
 	}
 	return nil
 }
@@ -95,6 +115,9 @@ type Injector struct {
 	offline    map[model.ReaderID]bool
 	queue      map[model.Time][]model.Batch
 	stats      FaultStats
+	// now is the last second fed to Apply, so Offline can answer for the
+	// scheduled outages too.
+	now model.Time
 }
 
 // NewInjector builds a fault injector over numReaders readers with its own
@@ -128,8 +151,21 @@ func MustNewInjector(cfg FaultConfig, numReaders int, seed int64) *Injector {
 // Stats returns the cumulative fault accounting.
 func (f *Injector) Stats() FaultStats { return f.stats }
 
-// Offline reports whether the injector currently suppresses a reader.
-func (f *Injector) Offline(id model.ReaderID) bool { return f.offline[id] }
+// Offline reports whether the injector currently suppresses a reader, by
+// random dropout or by a scheduled outage covering the last applied second.
+func (f *Injector) Offline(id model.ReaderID) bool {
+	return f.offline[id] || f.scheduledOut(id, f.now)
+}
+
+// scheduledOut reports whether a scheduled outage covers reader id at t.
+func (f *Injector) scheduledOut(id model.ReaderID, t model.Time) bool {
+	for _, o := range f.cfg.Outages {
+		if o.Reader == id && t >= o.From && t <= o.To {
+			return true
+		}
+	}
+	return false
+}
 
 // Apply feeds the true batch for second t through the fault model and
 // returns the deliveries due now: the (possibly degraded) current batch
@@ -137,6 +173,7 @@ func (f *Injector) Offline(id model.ReaderID) bool { return f.offline[id] }
 // whose time has come. Deliveries are ordered by ascending batch second
 // for determinism.
 func (f *Injector) Apply(t model.Time, raws []model.RawReading) []model.Batch {
+	f.now = t
 	f.stats.ReadingsProduced += len(raws)
 
 	// Flip per-reader dropout and skew states, scanning readers in ID order
@@ -163,7 +200,7 @@ func (f *Injector) Apply(t model.Time, raws []model.RawReading) []model.Batch {
 	// readers mis-stamp theirs.
 	kept := make([]model.RawReading, 0, len(raws))
 	for _, r := range raws {
-		if f.offline[r.Reader] {
+		if f.offline[r.Reader] || f.scheduledOut(r.Reader, t) {
 			f.stats.ReadingsLost++
 			continue
 		}
