@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-smoke bench-json check experiments examples vet vuln profile
+.PHONY: build test race bench bench-smoke bench-json bench-diff check experiments examples vet vuln profile
 
 build:
 	go build ./...
@@ -41,10 +41,18 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x ./internal/...
 
-# Run the particle-filter hot-path benchmarks (indexed coverage index vs.
-# geometric reference) and record the parsed results plus speedups.
+# Run the hot-path benchmarks (indexed coverage index vs. geometric
+# reference, plus the 1k-object engine step) and record the parsed results,
+# the indexed/geometric speedups, and the speedups over the checked-in
+# pre-SoA baseline BENCH_1.json.
 bench-json:
-	go run ./cmd/benchjson -out BENCH_1.json
+	go run ./cmd/benchjson -out BENCH_2.json -baseline BENCH_1.json
+
+# Regression gate: re-run the hot-path benchmarks and fail loudly if the
+# indexed FilterStep is more than 20% slower than the checked-in BENCH_2.json.
+# Writes nothing; used by CI next to bench-smoke.
+bench-diff:
+	go run ./cmd/benchjson -out '' -baseline BENCH_2.json -maxregress 0.20
 
 # Regenerate every paper figure at full scale (~15 minutes).
 experiments:

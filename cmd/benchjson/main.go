@@ -1,12 +1,20 @@
 // Command benchjson runs the particle-filter hot-path micro-benchmarks
-// (indexed coverage path vs. geometric reference path) and writes the parsed
-// results as JSON, so speedups can be tracked across revisions without
-// eyeballing `go test -bench` output.
+// (indexed coverage path vs. geometric reference path) plus the engine-level
+// 1k-object step benchmark, and writes the parsed results as JSON, so
+// speedups can be tracked across revisions without eyeballing
+// `go test -bench` output.
 //
 // Usage:
 //
-//	benchjson                      # writes BENCH_1.json in the cwd
-//	benchjson -out results.json -benchtime 2s
+//	benchjson                                # writes BENCH_1.json in the cwd
+//	benchjson -out BENCH_2.json -baseline BENCH_1.json
+//	benchjson -baseline BENCH_2.json -maxregress 0.20   # CI regression gate
+//
+// With -baseline, each result is compared against the same benchmark in the
+// baseline file and the per-benchmark speedup (baseline ns/op over current
+// ns/op) is embedded as "speedups_vs_baseline". With -maxregress P, the run
+// exits non-zero if the indexed FilterStep is more than P (fraction) slower
+// than the baseline — the loud CI failure mode for hot-path regressions.
 package main
 
 import (
@@ -24,34 +32,132 @@ import (
 // sub-benchmarks.
 const benchPattern = "BenchmarkFilterStep|BenchmarkNegativeUpdate|BenchmarkInitAt|BenchmarkReweight"
 
+// enginePattern selects the engine-level population benchmark (no
+// indexed/geometric split; one full ingest+preprocess second for 1k objects).
+const enginePattern = "BenchmarkEngineStep1kObjects"
+
 // result is one parsed benchmark line.
 type result struct {
-	Name        string  `json:"name"`       // e.g. "FilterStep"
-	Path        string  `json:"path"`       // "indexed" or "geometric"
+	Name        string  `json:"name"`           // e.g. "FilterStep"
+	Path        string  `json:"path,omitempty"` // "indexed", "geometric", or "" for whole-engine benchmarks
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	ObjsPerSec  float64 `json:"objs_per_sec,omitempty"`
 }
 
-// report is the file layout: the raw results plus the indexed-over-geometric
-// speedup per benchmark.
+// key identifies a result across runs for baseline comparison.
+func (r result) key() string {
+	if r.Path == "" {
+		return r.Name
+	}
+	return r.Name + "/" + r.Path
+}
+
+// report is the file layout: the raw results, the indexed-over-geometric
+// speedup per benchmark, and (when -baseline is given) the per-benchmark
+// speedup over the baseline file.
 type report struct {
-	GoOS     string             `json:"goos,omitempty"`
-	GoArch   string             `json:"goarch,omitempty"`
-	CPU      string             `json:"cpu,omitempty"`
-	Results  []result           `json:"results"`
-	Speedups map[string]float64 `json:"speedups"`
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Results    []result           `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+	Baseline   string             `json:"baseline,omitempty"`
+	VsBaseline map[string]float64 `json:"speedups_vs_baseline,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output file")
+	out := flag.String("out", "BENCH_1.json", "output file (empty: don't write)")
 	benchtime := flag.String("benchtime", "1s", "value passed to -benchtime")
+	baseline := flag.String("baseline", "", "previous benchjson report to compute speedups_vs_baseline against")
+	maxregress := flag.Float64("maxregress", 0, "fail if indexed FilterStep regresses more than this fraction vs -baseline (0 disables)")
 	flag.Parse()
 
+	rep := report{Speedups: map[string]float64{}}
+	runBench(&rep, benchPattern, "./internal/particle/", *benchtime)
+	runBench(&rep, enginePattern, "./internal/engine/", *benchtime)
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines parsed"))
+	}
+
+	// Speedup = geometric ns/op over indexed ns/op, per benchmark name.
+	byKey := map[string]map[string]float64{}
+	for _, r := range rep.Results {
+		if byKey[r.Name] == nil {
+			byKey[r.Name] = map[string]float64{}
+		}
+		byKey[r.Name][r.Path] = r.NsPerOp
+	}
+	for name, paths := range byKey {
+		if geo, ok := paths["geometric"]; ok {
+			if idx, ok := paths["indexed"]; ok && idx > 0 {
+				rep.Speedups[name] = geo / idx
+			}
+		}
+	}
+
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline = *baseline
+		rep.VsBaseline = map[string]float64{}
+		baseNs := map[string]float64{}
+		for _, r := range base.Results {
+			baseNs[r.key()] = r.NsPerOp
+		}
+		for _, r := range rep.Results {
+			if b, ok := baseNs[r.key()]; ok && r.NsPerOp > 0 {
+				rep.VsBaseline[r.key()] = b / r.NsPerOp
+			}
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+	}
+	for name, s := range rep.Speedups {
+		fmt.Printf("  %-24s %.2fx vs geometric\n", name, s)
+	}
+	for key, s := range rep.VsBaseline {
+		fmt.Printf("  %-24s %.2fx vs %s\n", key, s, rep.Baseline)
+	}
+
+	if *maxregress > 0 {
+		if rep.Baseline == "" {
+			fatal(fmt.Errorf("-maxregress requires -baseline"))
+		}
+		const gate = "FilterStep/indexed"
+		s, ok := rep.VsBaseline[gate]
+		if !ok {
+			fatal(fmt.Errorf("-maxregress: %s missing from current run or baseline", gate))
+		}
+		// speedup < 1/(1+p) means the hot path got more than p slower.
+		if s < 1/(1+*maxregress) {
+			fatal(fmt.Errorf("REGRESSION: %s is %.0f%% slower than %s (speedup %.2fx, limit -%.0f%%)",
+				gate, (1/s-1)*100, rep.Baseline, s, *maxregress*100))
+		}
+		fmt.Printf("bench-diff OK: %s at %.2fx of %s (within -%.0f%% budget)\n",
+			gate, s, rep.Baseline, *maxregress*100)
+	}
+}
+
+// runBench executes `go test -bench pattern` for one package and appends the
+// parsed result lines to the report.
+func runBench(rep *report, pattern, pkg, benchtime string) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", benchPattern, "-benchmem", "-benchtime", *benchtime,
-		"./internal/particle/")
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
 	cmd.Stderr = os.Stderr
 	outPipe, err := cmd.StdoutPipe()
 	if err != nil {
@@ -60,8 +166,6 @@ func main() {
 	if err := cmd.Start(); err != nil {
 		fatal(err)
 	}
-
-	rep := report{Speedups: map[string]float64{}}
 	sc := bufio.NewScanner(outPipe)
 	for sc.Scan() {
 		line := sc.Text()
@@ -83,47 +187,29 @@ func main() {
 		fatal(err)
 	}
 	if err := cmd.Wait(); err != nil {
-		fatal(fmt.Errorf("go test -bench: %w", err))
+		fatal(fmt.Errorf("go test -bench %s: %w", pkg, err))
 	}
-	if len(rep.Results) == 0 {
-		fatal(fmt.Errorf("no benchmark lines parsed"))
-	}
+}
 
-	// Speedup = geometric ns/op over indexed ns/op, per benchmark name.
-	byKey := map[string]map[string]float64{}
-	for _, r := range rep.Results {
-		if byKey[r.Name] == nil {
-			byKey[r.Name] = map[string]float64{}
-		}
-		byKey[r.Name][r.Path] = r.NsPerOp
-	}
-	for name, paths := range byKey {
-		if geo, ok := paths["geometric"]; ok {
-			if idx, ok := paths["indexed"]; ok && idx > 0 {
-				rep.Speedups[name] = geo / idx
-			}
-		}
-	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
+// loadReport reads a previously written benchjson file.
+func loadReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return rep, fmt.Errorf("baseline: %w", err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
-	for name, s := range rep.Speedups {
-		fmt.Printf("  %-16s %.2fx\n", name, s)
-	}
+	return rep, nil
 }
 
 // parseLine parses a `go test -bench` result line of the form
 //
 //	BenchmarkName/sub-N   iters   123.4 ns/op   56 B/op   7 allocs/op
 //
-// and keeps only the indexed/geometric sub-benchmarks.
+// keeping indexed/geometric sub-benchmarks and whole-package benchmarks
+// without a sub-benchmark path.
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -135,7 +221,7 @@ func parseLine(line string) (result, bool) {
 		full = full[:i]
 	}
 	name, path, ok := strings.Cut(strings.TrimPrefix(full, "Benchmark"), "/")
-	if !ok || (path != "indexed" && path != "geometric") {
+	if ok && path != "indexed" && path != "geometric" {
 		return result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -152,6 +238,8 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "objs/s":
+			r.ObjsPerSec, _ = strconv.ParseFloat(v, 64)
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -15,11 +15,17 @@ type Entry struct {
 }
 
 // Dump returns every live entry sorted by object ID, with deep-copied
-// particle states, for inclusion in an engine snapshot.
+// particle states, for inclusion in an engine snapshot. The states'
+// LastRun stage timings are zeroed: they are wall-clock diagnostics, and
+// leaving them in would make the snapshot encoding of one logical state
+// differ run to run (the engine's parallel-determinism tests compare
+// snapshots byte for byte).
 func (c *Cache) Dump() []Entry {
 	out := make([]Entry, 0, len(c.entries))
 	for _, e := range c.entries {
-		out = append(out, Entry{State: *e.state.Clone(), Device: e.device})
+		st := *e.state.Clone()
+		st.LastRun = particle.RunStats{}
+		out = append(out, Entry{State: st, Device: e.device})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].State.Object < out[j].State.Object })
 	return out

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -393,6 +394,60 @@ func TestGracefulCloseThenResume(t *testing.T) {
 	}
 	mustMatchOracle(t, "close+resume", restarted, f.oracle(t, len(f.deliveries)), true)
 	restarted.Close()
+}
+
+// TestSoAStateRecoveryRoundTrip pins the durability contract of the SoA
+// particle kernel: states cleansed through the flat-array kernel, cached,
+// gob-snapshotted, and recovered must continue bit-for-bit — the recovered
+// system re-enters the kernel (AoS state loaded back into pool arrays) and
+// answers every query exactly like an uncrashed system that did the same
+// interleaved preprocessing. The final snapshotBytes comparison additionally
+// asserts the durable encodings themselves are identical.
+func TestSoAStateRecoveryRoundTrip(t *testing.T) {
+	f := newDurableFixture(t, 24)
+	dir := t.TempDir()
+	cfg := f.config(dir)
+	cfg.Durability.SnapshotEvery = 4
+	sys, err := Open(f.plan, f.dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := MustNew(f.plan, f.dep, f.cfg)
+	preprocessed := false
+	for i, d := range f.deliveries {
+		if err := sys.Ingest(d.t, clone(d.raws)); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		oracle.Ingest(d.t, clone(d.raws))
+		// Preprocess mid-stream on both sides so the periodic snapshots
+		// carry kernel-produced cached states, not just raw readings.
+		if (i+1)%6 == 0 {
+			objs := sys.Collector().KnownObjects()
+			if len(objs) > 0 {
+				preprocessed = true
+			}
+			sys.Preprocess(objs)
+			oracle.Preprocess(oracle.Collector().KnownObjects())
+		}
+	}
+	if !preprocessed {
+		t.Fatal("stream produced no objects to preprocess; scenario is vacuous")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recovered, err := Open(f.plan, f.dep, f.config(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer recovered.Close()
+	if !recovered.Recovery().SnapshotRestored {
+		t.Fatalf("clean shutdown should leave a snapshot: %+v", recovered.Recovery())
+	}
+	mustMatchOracle(t, "soa round trip", recovered, oracle, true)
+	if got, want := snapshotBytes(t, recovered), snapshotBytes(t, oracle); !bytes.Equal(got, want) {
+		t.Fatalf("recovered snapshot encoding diverged from uncrashed (%d vs %d bytes)", len(got), len(want))
+	}
 }
 
 // TestRecoveryTornFinalRecord and TestRecoveryCRCCorruption cover the two

@@ -186,7 +186,7 @@ func TestPruningDoesNotChangeRangeAnswersMaterially(t *testing.T) {
 		tc := sim.DefaultTraceConfig()
 		tc.NumObjects = 15
 		tc.DwellMin, tc.DwellMax = 2, 8
-		simulator := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 4242)
+		simulator := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 4243)
 		for i := 0; i < 120; i++ {
 			tm, raws := simulator.Step()
 			sys.Ingest(tm, raws)

@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/gob"
 	"reflect"
 	"testing"
 
 	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/model"
 	"repro/internal/rfid"
 	"repro/internal/sim"
 )
@@ -51,6 +55,99 @@ func TestParallelPreprocessDeterministic(t *testing.T) {
 	}
 	if len(serial) == 0 {
 		t.Fatal("no distributions computed")
+	}
+}
+
+// snapshotBytes encodes exactly the payload writeSnapshot would, so tests
+// can compare two systems' durable state byte for byte without a WAL
+// directory. Collector.Snapshot and Cache.Dump both emit object-ID-sorted
+// slices, so equal logical state means equal bytes.
+func snapshotBytes(t *testing.T, s *System) []byte {
+	t.Helper()
+	hits, misses := s.cache.Stats()
+	wm, started := s.reorder.Watermark()
+	ms, _ := s.reorder.MaxSeen()
+	snap := engineSnap{
+		Stats:          s.stats,
+		Collector:      s.col.Snapshot(),
+		CacheEntries:   s.cache.Dump(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Events:         s.eventLog,
+		EventOff:       s.eventOff,
+		ReorderStarted: started,
+		Watermark:      wm,
+		MaxSeen:        ms,
+		Drops:          s.reorder.Drops(),
+		Forced:         s.reorder.ForcedFlushes(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatalf("encode snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelPreprocessDeterministicAtScale drives 1000 objects through the
+// batched worker-pool scheduler across the full (workers × batch size) grid
+// and asserts that cumulative Stats, range and kNN answers, and the durable
+// snapshot encoding are bit-for-bit identical to the serial single-object
+// baseline. This pins the scheduler's whole observable surface, not just the
+// distributions: cache hit/miss accounting, filter-run counters, and the
+// gob-encoded particle states that recovery depends on.
+func TestParallelPreprocessDeterministicAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-object grid is not a -short test")
+	}
+	type outcome struct {
+		stats Stats
+		rng   model.ResultSet
+		knn   model.ResultSet
+		snap  []byte
+	}
+	build := func(workers, batch int) outcome {
+		plan := floorplan.DefaultOffice()
+		dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+		cfg := DefaultConfig()
+		cfg.Seed = 33
+		cfg.Workers = workers
+		cfg.BatchSize = batch
+		sys := MustNew(plan, dep, cfg)
+		tc := sim.DefaultTraceConfig()
+		tc.NumObjects = 1000
+		tc.DwellMin, tc.DwellMax = 2, 8
+		world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 77)
+		for i := 0; i < 40; i++ {
+			tm, raws := world.Step()
+			sys.Ingest(tm, raws)
+		}
+		rng := sys.RangeQuery(geom.RectWH(5, 9, 25, 14))
+		knn := sys.KNNQuery(geom.Pt(20, 12), 10)
+		return outcome{stats: sys.Stats(), rng: rng, knn: knn, snap: snapshotBytes(t, sys)}
+	}
+	base := build(1, 1)
+	if base.stats.FiltersRun == 0 || len(base.rng) == 0 {
+		t.Fatalf("baseline is vacuous: stats=%+v |range|=%d", base.stats, len(base.rng))
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 7, 64} {
+			if workers == 1 && batch == 1 {
+				continue
+			}
+			got := build(workers, batch)
+			if !reflect.DeepEqual(got.stats, base.stats) {
+				t.Errorf("workers=%d batch=%d: stats diverge:\n got %+v\nwant %+v", workers, batch, got.stats, base.stats)
+			}
+			if !reflect.DeepEqual(got.rng, base.rng) {
+				t.Errorf("workers=%d batch=%d: range answers diverge", workers, batch)
+			}
+			if !reflect.DeepEqual(got.knn, base.knn) {
+				t.Errorf("workers=%d batch=%d: kNN answers diverge", workers, batch)
+			}
+			if !bytes.Equal(got.snap, base.snap) {
+				t.Errorf("workers=%d batch=%d: snapshot bytes diverge (%d vs %d bytes)", workers, batch, len(got.snap), len(base.snap))
+			}
+		}
 	}
 }
 

@@ -133,7 +133,7 @@ func newOutageFixture(t *testing.T) *outageFixture {
 	tc := sim.DefaultTraceConfig()
 	tc.NumObjects = 25
 	tc.DwellMin, tc.DwellMax = 2, 6
-	world := sim.MustNew(sysOn.Graph(), rfid.NewSensor(dep), tc, 41)
+	world := sim.MustNew(sysOn.Graph(), rfid.NewSensor(dep), tc, 42)
 
 	// Warmup: clean traffic while counting per-reader readings, so the outage
 	// hits the busiest reader (a dead quiet reader would make the test vacuous).

@@ -2,6 +2,7 @@ package particle
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"time"
 
@@ -29,8 +30,10 @@ type Filter struct {
 	g   *walkgraph.Graph
 	dep *rfid.Deployment
 	// et is the graph's flat per-edge table (kind, door position) used by
-	// the hot-loop classifications.
+	// the hot-loop classifications; nt its per-node counterpart used by the
+	// SoA motion kernel.
 	et *walkgraph.EdgeTable
+	nt *walkgraph.NodeTable
 	// cov is the edge-coverage index; nil selects the geometric reference
 	// path.
 	cov *rfid.Coverage
@@ -50,6 +53,11 @@ type Filter struct {
 	// states below cfg.Ns: the degraded-mode budget under overload. Cached
 	// states keep their existing particle count.
 	maxNs int
+	// soa records whether RunPool/AdvancePool may step particles on the
+	// structure-of-arrays kernel (see soa.go): it requires the coverage
+	// index, the package's own Systematic resampler (the kernel inlines
+	// Algorithm 1), and Config.DisableSoAKernel unset.
+	soa bool
 }
 
 // Metrics are the filter's optional telemetry sinks. Every field may be nil
@@ -109,11 +117,21 @@ func NewWithCoverage(cfg Config, g *walkgraph.Graph, dep *rfid.Deployment, cov *
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Filter{cfg: cfg, g: g, dep: dep, et: g.EdgeTable(), cov: cov}
+	f := &Filter{cfg: cfg, g: g, dep: dep, et: g.EdgeTable(), nt: g.NodeTable(), cov: cov}
 	if cov != nil {
 		f.spans = cov.SpanTable()
 	}
+	f.soa = cov != nil && !cfg.DisableSoAKernel && isSystematic(cfg.Resample)
 	return f, nil
+}
+
+// isSystematic reports whether r is this package's Systematic function. Go
+// cannot compare function values directly; the code-pointer comparison works
+// for the top-level function, which is all the SoA kernel needs — any other
+// resampler (Multinomial, test doubles) falls back to the scalar path.
+func isSystematic(r ResampleFunc) bool {
+	return r != nil &&
+		reflect.ValueOf(r).Pointer() == reflect.ValueOf(ResampleFunc(Systematic)).Pointer()
 }
 
 // MustNew is New for known-valid configurations.
@@ -177,6 +195,16 @@ func (f *Filter) Coverage() *rfid.Coverage { return f.cov }
 // activation intervals come from the coverage index when available; the
 // geometric path re-intersects the activation circle with every edge.
 func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.ReaderID, t model.Time) *State {
+	st := &State{Object: obj, Time: t, LastReadingTime: t}
+	st.Particles = f.initParticles(src, reader, nil)
+	return st
+}
+
+// initParticles samples a fresh particle set within the reader's activation
+// range into dst, reusing its capacity when it suffices (the kidnapped-robot
+// recovery inside advance passes the state's existing slice, keeping the
+// steady-state loop allocation-free; InitAt passes nil).
+func (f *Filter) initParticles(src *rng.Source, reader model.ReaderID, dst []Particle) []Particle {
 	r := f.dep.Reader(reader)
 	var ivs []rfid.InitInterval
 	var total float64
@@ -187,9 +215,13 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 	}
 
 	ns := f.ParticleBudget()
-	st := &State{Object: obj, Time: t, LastReadingTime: t}
-	st.Particles = make([]Particle, ns)
-	for i := range st.Particles {
+	if cap(dst) >= ns {
+		dst = dst[:ns]
+	} else {
+		dst = make([]Particle, ns)
+	}
+	w := 1.0 / float64(ns)
+	for i := range dst {
 		var loc walkgraph.Location
 		if total > 0 {
 			u := src.Uniform(0, total)
@@ -207,14 +239,14 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 		if src.Bool(0.5) {
 			toward = e.B
 		}
-		st.Particles[i] = Particle{
+		dst[i] = Particle{
 			Loc:    loc,
 			Toward: toward,
 			Speed:  src.TruncGaussian(f.cfg.SpeedMean, f.cfg.SpeedStd, f.cfg.MinSpeed, f.cfg.MaxSpeed),
-			Weight: 1.0 / float64(ns),
+			Weight: w,
 		}
 	}
-	return st
+	return dst
 }
 
 // Run executes the full Algorithm 2 for one object: entries must be the
@@ -222,9 +254,13 @@ func (f *Filter) InitAt(src *rng.Source, obj model.ObjectID, reader model.Reader
 // most its two most recent detecting devices). The filter initializes at the
 // first entry's device and advances to min(lastReading + MaxCoastSeconds,
 // now). It returns an error when there are no readings to start from.
+func errNoReadings(obj model.ObjectID) error {
+	return fmt.Errorf("particle: no readings for object %d", obj)
+}
+
 func (f *Filter) Run(src *rng.Source, obj model.ObjectID, entries []model.AggregatedReading, now model.Time) (*State, error) {
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("particle: no readings for object %d", obj)
+		return nil, errNoReadings(obj)
 	}
 	first := entries[0]
 	st := f.InitAt(src, obj, first.Reader, first.Time)
@@ -245,6 +281,7 @@ func (f *Filter) Advance(src *rng.Source, st *State, entries []model.AggregatedR
 // With skipStale set, entries at or before st.Time are ignored (the Advance
 // contract); Run passes every entry through.
 func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time, skipStale bool) {
+	st.soaPool = nil // scalar path mutates Particles: drop any SoA residency
 	if st.byTime == nil {
 		st.byTime = make(map[model.Time]model.ReaderID, len(entries))
 	} else {
@@ -316,9 +353,10 @@ func (f *Filter) advance(src *rng.Source, st *State, entries []model.AggregatedR
 			// reading. Without intervention the filter would keep the wrong
 			// cloud forever (all weights equally low), so recover by
 			// reinitializing within the detecting reader's range — the
-			// standard kidnapped-robot recovery.
-			fresh := f.InitAt(src, st.Object, reader, tj)
-			st.Particles = fresh.Particles
+			// standard kidnapped-robot recovery. The existing slice is
+			// reused, so recovery stays inside the loop's zero-allocation
+			// contract.
+			st.Particles = f.initParticles(src, reader, st.Particles)
 			continue
 		}
 		NormalizeWeights(st.Particles)

@@ -3,8 +3,10 @@ package particle
 import (
 	"testing"
 
+	"repro/internal/anchor"
 	"repro/internal/floorplan"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rfid"
 	"repro/internal/rng"
 	"repro/internal/walkgraph"
@@ -43,8 +45,11 @@ func spreadState(f *Filter, seed int64) (*State, *rng.Source) {
 // BenchmarkFilterStep measures one full filter second on the detected path:
 // motion step, reweight against the detecting reader, normalization,
 // systematic resampling, and roughening, for the paper's Ns=64 particles.
+// Both paths run through the pooled entry point the engine uses: "indexed"
+// executes the SoA kernel, "geometric" falls back to the scalar reference.
 func BenchmarkFilterStep(b *testing.B) {
 	_, _, filters := benchSetup(b)
+	pool := NewPool()
 	for _, name := range []string{"indexed", "geometric"} {
 		f := filters[name]
 		b.Run(name, func(b *testing.B) {
@@ -55,7 +60,7 @@ func BenchmarkFilterStep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				next := st.Time + 1
 				entry[0].Time = next
-				f.Advance(src, st, entry, next)
+				f.AdvancePool(pool, src, st, entry, next)
 			}
 		})
 	}
@@ -146,5 +151,77 @@ func TestSteadyStateAdvanceZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(200, silent); allocs != 0 {
 		t.Errorf("silent-second Advance allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestFullStepZeroAllocs extends the alloc pin to the entire engine-shaped
+// step: the pooled (SoA-kernel) advance with stage telemetry attached must
+// stay at zero allocations — detected seconds, silent seconds, and the
+// kidnapped-robot recovery path alike — and the trailing anchor-snap
+// discretization may allocate only its result map, never per-particle or
+// per-second garbage.
+func TestFullStepZeroAllocs(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	g := walkgraph.MustBuild(plan)
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	f := MustNew(DefaultConfig(), g, dep)
+	r := obs.NewRegistry()
+	f.Instrument(Metrics{
+		Predict:       r.Histogram("p", "x", nil),
+		Reweight:      r.Histogram("w", "x", nil),
+		Resample:      r.Histogram("r", "x", nil),
+		ParticleSteps: r.Counter("s", "x"),
+	})
+	idx, err := anchor.BuildIndex(g, anchor.DefaultSpacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewPool()
+	src := rng.Derive(48)
+	st := f.InitAt(src, 1, 3, 0)
+	entry := []model.AggregatedReading{{Object: 1, Reader: 3}}
+
+	detected := func() {
+		next := st.Time + 1
+		entry[0].Time = next
+		f.AdvancePool(pool, src, st, entry, next)
+	}
+	// A far-away reader forces the recovery re-initialization inside the
+	// kernel (no particle is consistent with the detection).
+	recovery := func() {
+		next := st.Time + 1
+		entry[0].Time = next
+		entry[0].Reader = model.ReaderID((int(entry[0].Reader) + 7) % dep.NumReaders())
+		f.AdvancePool(pool, src, st, entry, next)
+	}
+	fullStep := func() {
+		detected()
+		if dist := st.AnchorDistribution(idx); len(dist) == 0 {
+			t.Fatal("empty distribution")
+		}
+	}
+	// Warm up: build scratch, pool arrays, and the telemetry plumbing, and
+	// cover a pooled silent second once.
+	detected()
+	f.AdvancePool(pool, src, st, nil, st.Time+1)
+	silent := func() {
+		f.AdvancePool(pool, src, st, nil, st.Time+1)
+	}
+	if allocs := testing.AllocsPerRun(200, silent); allocs != 0 {
+		t.Errorf("pooled instrumented silent advance allocates %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, detected); allocs != 0 {
+		t.Errorf("pooled instrumented detected advance allocates %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, recovery); allocs != 0 {
+		t.Errorf("pooled recovery advance allocates %v times per run, want 0", allocs)
+	}
+	entry[0].Reader = 3
+	// The anchor snap returns a freshly built map — a handful of allocations
+	// for the map header and buckets. Anything on the order of Ns would mean
+	// per-particle garbage crept into the step.
+	if allocs := testing.AllocsPerRun(200, fullStep); allocs > 8 {
+		t.Errorf("full step (advance + snap) allocates %v times per run, want <= 8 (result map only)", allocs)
 	}
 }

@@ -84,6 +84,14 @@ type Config struct {
 	// geometric path exists as the reference implementation and for
 	// benchmark comparison. Leave it off outside benchmarks.
 	DisableCoverageIndex bool
+	// DisableSoAKernel makes RunPool/AdvancePool step particles through the
+	// original array-of-structs loops even when given a Pool, instead of the
+	// structure-of-arrays kernel (see soa.go). As with the coverage index,
+	// the two paths produce bit-for-bit identical filter output (enforced by
+	// the SoA equivalence property tests); the AoS path is the reference
+	// implementation and the benchmark baseline. Leave it off outside
+	// benchmarks.
+	DisableSoAKernel bool
 }
 
 // DefaultConfig returns the paper's parameters (Table 2 and Section 4.4).
@@ -158,6 +166,13 @@ type State struct {
 	// byTime is advance's recycled detection schedule (time -> detecting
 	// reader), cleared and refilled on every advance call.
 	byTime map[model.Time]model.ReaderID
+
+	// soaPool/soaGen stamp the last SoA-kernel synchronization of this
+	// state: when soaPool's arrays still hold exactly this state's
+	// particles (generation match), the kernel skips re-loading them.
+	// Every scalar-path mutation clears the stamp; clones don't carry it.
+	soaPool *Pool
+	soaGen  uint64
 }
 
 // Clone returns a deep copy of the state. Scratch buffers are not carried
@@ -169,6 +184,8 @@ func (s *State) Clone() *State {
 	copy(c.Particles, s.Particles)
 	c.scratch = nil
 	c.byTime = nil
+	c.soaPool = nil
+	c.soaGen = 0
 	return &c
 }
 

@@ -31,11 +31,22 @@ func Systematic(src *rng.Source, dst, ps []Particle) []Particle {
 	} else {
 		out = make([]Particle, ns)
 	}
-	u1 := src.Uniform(0, 1.0/float64(ns))
+	inv := 1.0 / float64(ns)
+	u1 := src.Uniform(0, inv)
+	// For the usual power-of-two particle counts, 1/ns is exact and
+	// float64(j)*inv is the correctly rounded quotient float64(j)/float64(ns)
+	// — the same bits without a division per probe. Other counts keep the
+	// division so the probes stay bit-identical to the formula as written.
+	pow2 := ns&(ns-1) == 0
 	i := 0
 	cum := ps[0].Weight
 	for j := 0; j < ns; j++ {
-		u := u1 + float64(j)/float64(ns)
+		var u float64
+		if pow2 {
+			u = u1 + float64(j)*inv
+		} else {
+			u = u1 + float64(j)/float64(ns)
+		}
 		// Advance to the CDF bucket containing u. The last bucket acts as a
 		// sentinel absorbing any rounding shortfall in the weight sum.
 		for i < ns-1 && u > cum {
@@ -43,7 +54,7 @@ func Systematic(src *rng.Source, dst, ps []Particle) []Particle {
 			cum += ps[i].Weight
 		}
 		out[j] = ps[i]
-		out[j].Weight = 1.0 / float64(ns)
+		out[j].Weight = inv
 	}
 	return out
 }

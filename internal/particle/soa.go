@@ -1,0 +1,725 @@
+package particle
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/walkgraph"
+)
+
+// This file is the structure-of-arrays particle kernel: the filter's inner
+// loops rewritten over flat parallel arrays (edge index, offset, heading,
+// speed, resting bitset, weight) owned by a Pool, instead of a []Particle of
+// 56-byte structs. The kernel's arithmetic is bit-for-bit identical to the
+// scalar path in filter.go/motion.go — same float operations in the same
+// order, same random draws in the same order — so a filter produces the same
+// States whichever path runs (pinned by the SoA equivalence property tests).
+// What changes is the memory traffic: predict streams through five flat
+// arrays, reweight and the negative update hand whole batches to the
+// coverage index (rfid.BatchDetectableBy/Any), resampling permutes arrays
+// instead of structs, and roughening draws all speeds in one call.
+//
+// The Pool is the reusable scratch for one object-at-a-time stepping. It is
+// not safe for concurrent use; the engine keeps one per worker and reuses it
+// across all objects the worker steps, so the arrays stay hot in cache and
+// steady-state processing allocates nothing.
+
+// Pool holds the flat particle arrays the SoA kernel steps, plus the back
+// buffers resampling permutes into and the scratch the batch coverage
+// predicates fill. A zero Pool is ready to use; arrays grow on demand and are
+// retained across calls.
+type Pool struct {
+	// n is the live particle count; every array below is sliced to it.
+	n int
+
+	edge   []int32   // Particle.Loc.Edge
+	offset []float64 // Particle.Loc.Offset
+	toward []int32   // Particle.Toward
+	speed  []float64 // Particle.Speed
+	weight []float64 // Particle.Weight
+	// resting packs Particle.Resting as a bitset, bit i = particle i.
+	resting []uint64
+
+	// Back buffers: resampling permutes the arrays above into these and
+	// swaps. Weights need no back buffer — every resampled weight is the
+	// same 1/Ns, so the live array is overwritten after the permutation.
+	bedge    []int32
+	boffset  []float64
+	btoward  []int32
+	bspeed   []float64
+	bresting []uint64
+
+	// covered is the output of the batch coverage predicates.
+	covered []bool
+	// cum is the resampler's prefix-sum scratch (cumulative weights with a
+	// +Inf sentinel in the last slot, so the CDF walk needs one compare).
+	cum []float64
+
+	// owner/gen implement load elision: store stamps the state it wrote
+	// with (pool, generation), and a later load for the same state with a
+	// matching stamp finds the arrays already in sync. The generation
+	// guards against the pool having served another state in between.
+	owner *State
+	gen   uint64
+
+	// sched is the recycled detection schedule (the SoA replacement for
+	// State.byTime): (time, reader) pairs sorted by time, deduplicated
+	// last-wins like the map writes it replaces.
+	sched []soaSched
+}
+
+type soaSched struct {
+	t      model.Time
+	reader model.ReaderID
+}
+
+// NewPool returns an empty Pool. Arrays are allocated lazily on first use.
+func NewPool() *Pool { return &Pool{} }
+
+// ensure sizes every array for n particles, reusing capacity, and sets the
+// live count.
+func (p *Pool) ensure(n int) {
+	if n == p.n && len(p.edge) == n {
+		return
+	}
+	if cap(p.edge) < n {
+		p.edge = make([]int32, n)
+		p.offset = make([]float64, n)
+		p.toward = make([]int32, n)
+		p.speed = make([]float64, n)
+		p.weight = make([]float64, n)
+		p.bedge = make([]int32, n)
+		p.boffset = make([]float64, n)
+		p.btoward = make([]int32, n)
+		p.bspeed = make([]float64, n)
+		p.covered = make([]bool, n)
+		p.cum = make([]float64, n)
+	} else {
+		p.edge = p.edge[:n]
+		p.offset = p.offset[:n]
+		p.toward = p.toward[:n]
+		p.speed = p.speed[:n]
+		p.weight = p.weight[:n]
+		p.bedge = p.bedge[:n]
+		p.boffset = p.boffset[:n]
+		p.btoward = p.btoward[:n]
+		p.bspeed = p.bspeed[:n]
+		p.covered = p.covered[:n]
+		p.cum = p.cum[:n]
+	}
+	words := (n + 63) / 64
+	if cap(p.resting) < words {
+		p.resting = make([]uint64, words)
+		p.bresting = make([]uint64, words)
+	} else {
+		p.resting = p.resting[:words]
+		p.bresting = p.bresting[:words]
+	}
+	p.n = n
+}
+
+// load copies a State's particles into the flat arrays. When the state's
+// residency stamp shows this pool already holds exactly these particles
+// (the previous store wrote them and nothing else used the pool since), the
+// copy is skipped.
+func (p *Pool) load(st *State) {
+	n := len(st.Particles)
+	if st.soaPool == p && p.owner == st && st.soaGen == p.gen && p.n == n {
+		return
+	}
+	p.ensure(n)
+	resting := p.resting
+	for i := range resting {
+		resting[i] = 0
+	}
+	ps := st.Particles
+	edge, offset, toward, speed, weight := p.edge[:n], p.offset[:n], p.toward[:n], p.speed[:n], p.weight[:n]
+	for i := range ps {
+		pt := &ps[i]
+		edge[i] = int32(pt.Loc.Edge)
+		offset[i] = pt.Loc.Offset
+		toward[i] = int32(pt.Toward)
+		speed[i] = pt.Speed
+		weight[i] = pt.Weight
+		if pt.Resting {
+			resting[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// store copies the flat arrays back into the State's particle slice, reusing
+// its capacity (the count can change when a recovery reinitialization ran
+// under a different particle budget).
+func (p *Pool) store(st *State) {
+	n := p.n
+	if cap(st.Particles) < n {
+		st.Particles = make([]Particle, n)
+	} else {
+		st.Particles = st.Particles[:n]
+	}
+	ps := st.Particles
+	edge, offset, toward, speed, weight, resting := p.edge[:n], p.offset[:n], p.toward[:n], p.speed[:n], p.weight[:n], p.resting
+	for i := range ps {
+		pt := &ps[i]
+		pt.Loc.Edge = walkgraph.EdgeID(edge[i])
+		pt.Loc.Offset = offset[i]
+		pt.Toward = walkgraph.NodeID(toward[i])
+		pt.Speed = speed[i]
+		pt.Resting = resting[i>>6]&(1<<uint(i&63)) != 0
+		pt.Weight = weight[i]
+	}
+	p.gen++
+	p.owner = st
+	st.soaPool = p
+	st.soaGen = p.gen
+}
+
+// RunPool is Run executing on the SoA kernel with pool as scratch. With a nil
+// pool, or when the filter cannot use the kernel (geometric path, custom
+// resampler, Config.DisableSoAKernel), it falls back to Run. Output is
+// bit-for-bit identical either way.
+func (f *Filter) RunPool(pool *Pool, src *rng.Source, obj model.ObjectID, entries []model.AggregatedReading, now model.Time) (*State, error) {
+	if pool == nil || !f.soa {
+		return f.Run(src, obj, entries, now)
+	}
+	if len(entries) == 0 {
+		return nil, errNoReadings(obj)
+	}
+	first := entries[0]
+	st := f.InitAt(src, obj, first.Reader, first.Time)
+	f.advanceSoA(pool, src, st, entries[1:], now, false)
+	return st, nil
+}
+
+// AdvancePool is Advance executing on the SoA kernel with pool as scratch,
+// with the same fallback and equivalence contract as RunPool.
+func (f *Filter) AdvancePool(pool *Pool, src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time) {
+	if pool == nil || !f.soa {
+		f.advance(src, st, entries, now, true)
+		return
+	}
+	f.advanceSoA(pool, src, st, entries, now, true)
+}
+
+// SoAKernel reports whether the filter steps particles on the SoA kernel when
+// given a Pool: it requires the coverage index, the package's Systematic
+// resampler, and Config.DisableSoAKernel unset.
+func (f *Filter) SoAKernel() bool { return f.soa }
+
+// advanceSoA is the SoA mirror of advance: same schedule semantics, same
+// per-second stage order, same stage-timing attribution.
+func (f *Filter) advanceSoA(p *Pool, src *rng.Source, st *State, entries []model.AggregatedReading, now model.Time, skipStale bool) {
+	// Build the detection schedule. The scalar path uses a time-keyed map;
+	// here it is a slice kept sorted by time with last-write-wins on
+	// duplicates — the same contents, reading off in time order without
+	// a per-second map lookup. Entries arrive oldest-first, so the insert
+	// is an append in practice.
+	sched := p.sched[:0]
+	td := st.LastReadingTime
+	for _, e := range entries {
+		if skipStale && e.Time <= st.Time {
+			continue
+		}
+		if !e.Detected() {
+			continue
+		}
+		k := len(sched)
+		for k > 0 && sched[k-1].t > e.Time {
+			k--
+		}
+		if k > 0 && sched[k-1].t == e.Time {
+			sched[k-1].reader = e.Reader
+		} else {
+			sched = append(sched, soaSched{})
+			copy(sched[k+1:], sched[k:])
+			sched[k] = soaSched{t: e.Time, reader: e.Reader}
+		}
+		if e.Time > td {
+			td = e.Time
+		}
+	}
+	p.sched = sched
+
+	tmin := td + model.Time(f.cfg.MaxCoastSeconds)
+	if now < tmin {
+		tmin = now
+	}
+	timed := f.timed
+	var rs RunStats
+	var t0 time.Time
+	if timed {
+		rs.From = st.Time
+	}
+	p.load(st)
+	cursor := 0
+	for tj := st.Time + 1; tj <= tmin; tj++ {
+		if timed {
+			t0 = time.Now()
+		}
+		f.predictSoA(p, src)
+		if timed {
+			rs.Predict += time.Since(t0)
+			rs.Steps++
+		}
+		for cursor < len(sched) && sched[cursor].t < tj {
+			cursor++
+		}
+		var reader model.ReaderID
+		detected := false
+		if cursor < len(sched) && sched[cursor].t == tj {
+			reader = sched[cursor].reader
+			detected = true
+			cursor++
+		}
+		if !detected {
+			if f.cfg.UseNegativeInfo {
+				if timed {
+					t0 = time.Now()
+				}
+				f.negativeUpdateSoA(p, src)
+				if timed {
+					rs.Reweight += time.Since(t0)
+				}
+			}
+			continue
+		}
+		if timed {
+			rs.Detections++
+			t0 = time.Now()
+		}
+		// Reweight: the batch coverage predicate decides HighWeight or
+		// LowWeight per particle. The weights themselves are never
+		// materialized — after reweight every weight is exactly one of the
+		// two values, NormalizeWeights' total is their sum accumulated in
+		// index order, and the normalized weights (two divisions instead of
+		// Ns) are consumed solely by the resampler's CDF walk, which reads
+		// them straight off the covered flags. Every float operation and its
+		// order match the scalar reweight → normalize → resample chain, so
+		// the output stays bit-identical.
+		f.cov.BatchDetectableBy(reader, p.edge, p.offset, p.covered)
+		hw, lw := f.cfg.HighWeight, f.cfg.LowWeight
+		// Accumulate in index order (the scalar normalization's float
+		// addition sequence) but select the addend by table index: the
+		// covered flags are close to a coin flip here, so a branch would
+		// mispredict constantly.
+		wtab := [2]float64{lw, hw}
+		hits := 0
+		total := 0.0
+		for _, c := range p.covered {
+			k := 0
+			if c {
+				k = 1
+			}
+			hits += k
+			total += wtab[k]
+		}
+		consistent := hits > 0
+		if timed {
+			rs.Reweight += time.Since(t0)
+		}
+		if !consistent {
+			// Kidnapped-robot recovery, in place: reinitialize the arrays
+			// within the detecting reader's range (same draws and floats as
+			// the scalar recovery, without the fresh State allocation).
+			f.initSoA(p, src, reader)
+			continue
+		}
+		if timed {
+			t0 = time.Now()
+		}
+		f.resampleTwoValuedSoA(p, src, hw/total, lw/total)
+		f.roughenSoA(p, src)
+		if timed {
+			rs.Resample += time.Since(t0)
+			rs.Resamples++
+		}
+	}
+	p.store(st)
+	if tmin > st.Time {
+		st.Time = tmin
+	}
+	st.LastReadingTime = td
+	if timed {
+		rs.To = st.Time
+		rs.ESS = essOf(st.Particles)
+		st.LastRun = rs
+		if f.met.Predict != nil {
+			f.met.Predict.Observe(rs.Predict.Seconds())
+		}
+		if f.met.Reweight != nil {
+			f.met.Reweight.Observe(rs.Reweight.Seconds())
+		}
+		if f.met.Resample != nil {
+			f.met.Resample.Observe(rs.Resample.Seconds())
+		}
+		if f.met.ParticleSteps != nil {
+			f.met.ParticleSteps.Add(uint64(rs.Steps) * uint64(len(st.Particles)))
+		}
+	}
+}
+
+// boolMask returns all-ones for true, zero for false (the compiler lowers
+// the conditional to a flag materialization, not a branch).
+func boolMask(b bool) uint64 {
+	var k uint64
+	if b {
+		k = 1
+	}
+	return -k
+}
+
+// fsel returns a when m is all-ones and b when m is zero, by selecting the
+// raw bit pattern: no float arithmetic, so the chosen value is exactly the
+// operand.
+func fsel(m uint64, a, b float64) float64 {
+	return math.Float64frombits(math.Float64bits(a)&m | math.Float64bits(b)&^m)
+}
+
+// fneg returns -x by sign-bit flip (bit-identical to IEEE negation).
+func fneg(x float64) float64 {
+	return math.Float64frombits(math.Float64bits(x) ^ (1 << 63))
+}
+
+// predictSoA steps every particle by one second under the motion model,
+// mirroring Config.Step draw for draw over the flat edge/node tables.
+func (f *Filter) predictSoA(p *Pool, src *rng.Source) {
+	et := f.et
+	nt := f.nt
+	rows, eRoom := et.Walk, et.RoomEnd
+	isRoom := nt.IsRoom
+	exitP := f.cfg.RoomExitProb // Step computes RoomExitProb*dt; dt is 1 here
+	n := p.n
+	pedge, poffset, ptoward, pspeed, presting := p.edge[:n], p.offset[:n], p.toward[:n], p.speed[:n], p.resting
+	for i := 0; i < n; i++ {
+		off, e, tw := poffset[i], pedge[i], ptoward[i]
+		row := &rows[e]
+		word, bit := i>>6, uint64(1)<<uint(i&63)
+		if presting[word]&bit != 0 {
+			if !src.Bool(exitP) {
+				continue
+			}
+			// Leave the room: head down one of its door edges.
+			presting[word] &^= bit
+			node := eRoom[e]
+			if node < 0 {
+				node = row.A // roomNodeOf's fallback for roomless edges
+			}
+			adj := nt.Incident(node)
+			e = adj[src.Intn(len(adj))]
+			row = &rows[e]
+			if row.A == node {
+				off = 0
+				tw = row.B
+			} else {
+				off = row.Length
+				tw = row.A
+			}
+		}
+		remaining := pspeed[i]
+		for remaining > 0 {
+			// The walk direction is a near-coin-flip per particle, so the
+			// toward-B/toward-A split is done by bit-masked selection
+			// instead of branches. Selection only picks one of two
+			// already-computed float64 bit patterns — off+remaining vs
+			// off-remaining (= off+(-remaining), identical in IEEE
+			// arithmetic) — so the result is bit-for-bit the scalar path's.
+			m := boolMask(tw == row.B)
+			toNode := fsel(m, row.Length-off, off)
+			if remaining < toNode {
+				off += fsel(m, remaining, fneg(remaining))
+				break
+			}
+			remaining -= toNode
+			node := tw
+			if isRoom[node] {
+				if row.A == node {
+					off = 0
+				} else {
+					off = row.Length
+				}
+				presting[word] |= bit
+				break
+			}
+			// chooseNextEdge: uniform pick among incident edges != e, unless
+			// the node is a dead end. Candidate order is the CSR adjacency
+			// order, which is Graph.IncidentEdges order — identical draws.
+			adj := nt.Incident(node)
+			var next int32
+			if len(adj) == 1 {
+				next = adj[0]
+			} else {
+				cnt := 0
+				next = e
+				for _, a := range adj {
+					if a == e {
+						continue
+					}
+					cnt++
+					if src.Intn(cnt) == 0 {
+						next = a
+					}
+				}
+			}
+			row = &rows[next]
+			if row.A == node {
+				off = 0
+				tw = row.B
+			} else {
+				off = row.Length
+				tw = row.A
+			}
+			e = next
+		}
+		poffset[i], pedge[i], ptoward[i] = off, e, tw
+	}
+}
+
+// resampleTwoValuedSoA is resampleSoA for the detected-second case where the
+// normalized weights take exactly two values selected by the covered flags
+// (hwn for covered particles, lwn for the rest). The CDF additions visit the
+// same values in the same order as a materialized weight array would, so the
+// permutation is bit-identical to the general path.
+func (f *Filter) resampleTwoValuedSoA(p *Pool, src *rng.Source, hwn, lwn float64) {
+	ns := p.n
+	if ns == 0 {
+		return
+	}
+	inv := 1.0 / float64(ns)
+	u1 := src.Uniform(0, inv)
+	pow2 := ns&(ns-1) == 0
+	bresting := p.bresting
+	for k := range bresting {
+		bresting[k] = 0
+	}
+	covered := p.covered[:ns]
+	edge, offset, toward, speed, resting := p.edge, p.offset, p.toward, p.speed, p.resting
+	bedge, boffset, btoward, bspeed := p.bedge, p.boffset, p.btoward, p.bspeed
+	wtab := [2]float64{lwn, hwn}
+	// Prefix-sum the two-valued weights into the cum scratch in index order
+	// (the same float additions, in the same order, as the scalar walk's
+	// running accumulator), then overwrite the last slot with +Inf: the walk
+	// below can never pass it, which turns the scalar path's bounds check
+	// ("i < ns-1 && u > cum") into the single compare "u > cum[i]" while
+	// stopping at exactly the same index.
+	cum := p.cum[:ns]
+	c := 0.0
+	for i := 0; i < ns; i++ {
+		k := 0
+		if covered[i] {
+			k = 1
+		}
+		c += wtab[k]
+		cum[i] = c
+	}
+	cum[ns-1] = math.Inf(1)
+	i := 0
+	for j := 0; j < ns; j++ {
+		var u float64
+		if pow2 {
+			u = u1 + float64(j)*inv
+		} else {
+			u = u1 + float64(j)/float64(ns)
+		}
+		for u > cum[i] {
+			i++
+		}
+		bedge[j] = edge[i]
+		boffset[j] = offset[i]
+		btoward[j] = toward[i]
+		bspeed[j] = speed[i]
+		if resting[i>>6]&(1<<uint(i&63)) != 0 {
+			bresting[j>>6] |= 1 << uint(j&63)
+		}
+	}
+	p.edge, p.bedge = p.bedge, p.edge
+	p.offset, p.boffset = p.boffset, p.offset
+	p.toward, p.btoward = p.btoward, p.toward
+	p.speed, p.bspeed = p.bspeed, p.speed
+	p.resting, p.bresting = p.bresting, p.resting
+	w := p.weight
+	for j := range w {
+		w[j] = inv
+	}
+}
+
+// negativeUpdateSoA is the SoA mirror of negativeUpdate: soft-penalize
+// particles inside any healthy reader's range, then resample only on weight
+// degeneracy. Normalization and the ESS test replicate the scalar float
+// operations exactly.
+func (f *Filter) negativeUpdateSoA(p *Pool, src *rng.Source) {
+	n := p.n
+	f.cov.BatchDetectableAny(p.edge, p.offset, f.unhealthy, p.covered)
+	inside := 0
+	nw := f.cfg.NegativeWeight
+	w := p.weight
+	for i := 0; i < n; i++ {
+		if p.covered[i] {
+			w[i] *= nw
+			inside++
+		}
+	}
+	if inside == 0 {
+		return
+	}
+	total := 0.0
+	for i := range w {
+		total += w[i]
+	}
+	if total <= 0 {
+		u := 1.0 / float64(n)
+		for i := range w {
+			w[i] = u
+		}
+	} else {
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	sq := 0.0
+	for i := range w {
+		sq += w[i] * w[i]
+	}
+	ess := 0.0
+	if sq != 0 {
+		ess = 1 / sq
+	}
+	if ess < float64(n)/2 {
+		f.resampleSoA(p, src)
+		f.roughenSoA(p, src)
+	}
+}
+
+// resampleSoA is Systematic (Algorithm 1) permuting the flat arrays into the
+// back buffers. The probe positions and CDF walk are bit-identical to the
+// scalar resampler, including its division-avoiding fast path for
+// power-of-two counts (see Systematic).
+func (f *Filter) resampleSoA(p *Pool, src *rng.Source) {
+	ns := p.n
+	if ns == 0 {
+		return
+	}
+	inv := 1.0 / float64(ns)
+	u1 := src.Uniform(0, inv)
+	pow2 := ns&(ns-1) == 0
+	bresting := p.bresting
+	for k := range bresting {
+		bresting[k] = 0
+	}
+	weight := p.weight[:ns]
+	edge, offset, toward, speed, resting := p.edge, p.offset, p.toward, p.speed, p.resting
+	bedge, boffset, btoward, bspeed := p.bedge, p.boffset, p.btoward, p.bspeed
+	// Same prefix-sum + sentinel trick as resampleTwoValuedSoA: identical
+	// additions in identical order, with +Inf in the last slot standing in
+	// for the scalar walk's bounds check.
+	cum := p.cum[:ns]
+	c := 0.0
+	for i := 0; i < ns; i++ {
+		c += weight[i]
+		cum[i] = c
+	}
+	cum[ns-1] = math.Inf(1)
+	i := 0
+	for j := 0; j < ns; j++ {
+		var u float64
+		if pow2 {
+			u = u1 + float64(j)*inv
+		} else {
+			u = u1 + float64(j)/float64(ns)
+		}
+		for u > cum[i] {
+			i++
+		}
+		bedge[j] = edge[i]
+		boffset[j] = offset[i]
+		btoward[j] = toward[i]
+		bspeed[j] = speed[i]
+		if resting[i>>6]&(1<<uint(i&63)) != 0 {
+			bresting[j>>6] |= 1 << uint(j&63)
+		}
+	}
+	p.edge, p.bedge = p.bedge, p.edge
+	p.offset, p.boffset = p.boffset, p.offset
+	p.toward, p.btoward = p.btoward, p.toward
+	p.speed, p.bspeed = p.bspeed, p.speed
+	p.resting, p.bresting = p.bresting, p.resting
+	for j := range weight {
+		weight[j] = inv
+	}
+}
+
+// roughenSoA perturbs all speeds in one batched draw (stream-identical to the
+// scalar per-particle loop).
+func (f *Filter) roughenSoA(p *Pool, src *rng.Source) {
+	if f.cfg.SpeedJitter <= 0 {
+		return
+	}
+	src.TruncGaussianFill(p.speed, f.cfg.SpeedJitter, f.cfg.MinSpeed, f.cfg.MaxSpeed)
+}
+
+// initSoA reinitializes the pool's particles within the detecting reader's
+// activation range: the in-place SoA form of InitAt's sampling, with the same
+// draws, the same binary search over the precomputed intervals (the SoA
+// kernel always has the coverage index), and no allocation.
+func (f *Filter) initSoA(p *Pool, src *rng.Source, reader model.ReaderID) {
+	ivs, total := f.cov.InitIntervals(reader)
+	ns := f.ParticleBudget()
+	p.ensure(ns)
+	for k := range p.resting {
+		p.resting[k] = 0
+	}
+	et := f.et
+	w := 1.0 / float64(ns)
+	for i := 0; i < ns; i++ {
+		var e int32
+		var off float64
+		if total > 0 {
+			u := src.Uniform(0, total)
+			// Find the interval containing u: the last index with
+			// CumStart <= u, the same index sort.Search yields on the
+			// scalar path (only the index matters for equivalence, not the
+			// probe sequence). Reader coverage rarely spans more than a
+			// handful of edges, so a branchless linear count beats a binary
+			// search whose every probe is a coin-flip branch; large tables
+			// keep the logarithmic search.
+			lo := 1
+			if len(ivs) <= 16 {
+				for k := 1; k < len(ivs); k++ {
+					b := 0
+					if ivs[k].CumStart <= u {
+						b = 1
+					}
+					lo += b
+				}
+			} else {
+				hi := len(ivs)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if !(ivs[mid].CumStart > u) {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+			}
+			iv := &ivs[lo-1]
+			e = int32(iv.Edge)
+			off = iv.Lo + (u - iv.CumStart)
+		} else {
+			// Degenerate deployment: collapse to the nearest graph point.
+			loc := f.g.NearestLocation(f.dep.Reader(reader).Pos)
+			e = int32(loc.Edge)
+			off = loc.Offset
+		}
+		tw := et.A[e]
+		if src.Bool(0.5) {
+			tw = et.B[e]
+		}
+		p.edge[i] = e
+		p.offset[i] = off
+		p.toward[i] = tw
+		p.speed[i] = src.TruncGaussian(f.cfg.SpeedMean, f.cfg.SpeedStd, f.cfg.MinSpeed, f.cfg.MaxSpeed)
+		p.weight[i] = w
+	}
+}

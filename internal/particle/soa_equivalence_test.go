@@ -1,0 +1,143 @@
+package particle
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// TestSoAKernelMatchesAoSBitForBit is the determinism-contract property test
+// of the structure-of-arrays kernel: on 50 random floorplans and random
+// reading streams, a full pooled Run must produce exactly the particle set of
+// the array-of-structs reference path — same locations, directions, speeds,
+// resting flags, and weights, down to the last bit. Both paths consume the
+// same random stream, so any divergence in motion, reweighting, recovery,
+// resampling, or roughening would desynchronize them visibly.
+func TestSoAKernelMatchesAoSBitForBit(t *testing.T) {
+	pool := NewPool() // shared across trials, like an engine worker's pool
+	for trial := 0; trial < 50; trial++ {
+		g, dep := randomSetup(t, trial)
+
+		cfgSoA := DefaultConfig()
+		cfgAoS := DefaultConfig()
+		cfgAoS.DisableSoAKernel = true
+		fSoA := MustNew(cfgSoA, g, dep)
+		fAoS := MustNew(cfgAoS, g, dep)
+		if !fSoA.SoAKernel() || fAoS.SoAKernel() {
+			t.Fatal("SoA knob did not select the expected paths")
+		}
+
+		src := rng.New(int64(15000 + trial))
+		entries := randomEntries(src, dep, 40+trial)
+		now := entries[len(entries)-1].Time + model.Time(trial%8)
+
+		stSoA, errSoA := fSoA.RunPool(pool, rng.Derive(7, int64(trial)), 1, entries, now)
+		stAoS, errAoS := fAoS.RunPool(pool, rng.Derive(7, int64(trial)), 1, entries, now)
+		if (errSoA == nil) != (errAoS == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errSoA, errAoS)
+		}
+		if !statesEqual(stSoA, stAoS) {
+			t.Fatalf("trial %d: SoA and AoS filter output diverged\nsoa: %+v\naos: %+v",
+				trial, stSoA, stAoS)
+		}
+
+		// The cache-hit path must agree too: advance both states further
+		// with a second batch of readings.
+		more := randomEntries(src, dep, 20)
+		for i := range more {
+			more[i].Time += now + 1
+		}
+		later := now + 25
+		fSoA.AdvancePool(pool, rng.Derive(8, int64(trial)), stSoA, more, later)
+		fAoS.AdvancePool(pool, rng.Derive(8, int64(trial)), stAoS, more, later)
+		if !statesEqual(stSoA, stAoS) {
+			t.Fatalf("trial %d: AdvancePool diverged between SoA and AoS paths", trial)
+		}
+	}
+}
+
+// TestSoAKernelMatchesAoSInstrumented repeats a handful of trials with stage
+// timing enabled: instrumentation must not perturb the particle output, and
+// the non-timing RunStats fields (step/detection/resample counts, ESS) must
+// agree exactly between the kernels.
+func TestSoAKernelMatchesAoSInstrumented(t *testing.T) {
+	pool := NewPool()
+	for trial := 0; trial < 8; trial++ {
+		g, dep := randomSetup(t, trial)
+		cfgAoS := DefaultConfig()
+		cfgAoS.DisableSoAKernel = true
+		fSoA := MustNew(DefaultConfig(), g, dep)
+		fAoS := MustNew(cfgAoS, g, dep)
+		fSoA.Instrument(Metrics{})
+		fAoS.Instrument(Metrics{})
+
+		src := rng.New(int64(16000 + trial))
+		entries := randomEntries(src, dep, 50)
+		now := entries[len(entries)-1].Time + 3
+
+		stSoA, _ := fSoA.RunPool(pool, rng.Derive(9, int64(trial)), 1, entries, now)
+		stAoS, _ := fAoS.RunPool(pool, rng.Derive(9, int64(trial)), 1, entries, now)
+		if !statesEqual(stSoA, stAoS) {
+			t.Fatalf("trial %d: instrumented SoA and AoS output diverged", trial)
+		}
+		a, b := stSoA.LastRun, stAoS.LastRun
+		if a.From != b.From || a.To != b.To || a.Steps != b.Steps ||
+			a.Detections != b.Detections || a.Resamples != b.Resamples || a.ESS != b.ESS {
+			t.Fatalf("trial %d: RunStats diverged: %+v vs %+v", trial, a, b)
+		}
+	}
+}
+
+// TestSoAKernelFallbacks pins the dispatch rules: a nil pool, a custom
+// resampler, the geometric path, and the explicit knob must all take the AoS
+// path — and still produce identical output through the pooled entry points.
+func TestSoAKernelFallbacks(t *testing.T) {
+	g, dep := randomSetup(t, 3)
+	src := rng.New(42)
+	entries := randomEntries(src, dep, 30)
+	now := entries[len(entries)-1].Time + 2
+
+	base := MustNew(DefaultConfig(), g, dep)
+	if !base.SoAKernel() {
+		t.Fatal("default indexed filter should enable the SoA kernel")
+	}
+	want, err := base.Run(rng.Derive(1), 1, entries, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgMulti := DefaultConfig()
+	cfgMulti.Resample = Multinomial
+	cfgGeo := DefaultConfig()
+	cfgGeo.DisableCoverageIndex = true
+	cfgOff := DefaultConfig()
+	cfgOff.DisableSoAKernel = true
+	for name, f := range map[string]*Filter{
+		"multinomial": MustNew(cfgMulti, g, dep),
+		"geometric":   MustNew(cfgGeo, g, dep),
+		"disabled":    MustNew(cfgOff, g, dep),
+	} {
+		if f.SoAKernel() {
+			t.Fatalf("%s: SoA kernel unexpectedly enabled", name)
+		}
+	}
+
+	// nil pool on an SoA-capable filter: must fall back, not crash, and
+	// match the plain Run output exactly.
+	got, err := base.RunPool(nil, rng.Derive(1), 1, entries, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got, want) {
+		t.Fatal("nil-pool RunPool diverged from Run")
+	}
+	// Pooled run on an SoA-capable filter must match the plain Run too.
+	got2, err := base.RunPool(NewPool(), rng.Derive(1), 1, entries, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got2, want) {
+		t.Fatal("pooled RunPool diverged from Run")
+	}
+}

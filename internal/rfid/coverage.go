@@ -122,6 +122,8 @@ type Coverage struct {
 	// nearest-reader tie-breaking stays identical).
 	edges [][]CoverSpan
 	rds   []readerCoverage
+	// flat is the lazily built CSR form of edges (see FlatSpans).
+	flat *FlatSpans
 }
 
 // BuildCoverage precomputes the coverage index for a deployment on a
@@ -144,6 +146,7 @@ func BuildCoverage(g *walkgraph.Graph, d *Deployment) *Coverage {
 		ivs, total := ComputeInitIntervals(g, r)
 		c.rds[r.ID] = readerCoverage{init: ivs, initTotal: total}
 	}
+	c.FlatSpans() // build eagerly so the index is immutable once returned
 	return c
 }
 

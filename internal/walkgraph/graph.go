@@ -114,9 +114,11 @@ type Graph struct {
 	nodes     []Node
 	edges     []Edge
 	roomNodes map[floorplan.RoomID]NodeID
-	// table is the lazily built per-edge hot-loop table (see EdgeTable).
+	// table is the lazily built per-edge hot-loop table (see EdgeTable);
+	// ntable its per-node counterpart (see NodeTable).
 	tableOnce sync.Once
 	table     *EdgeTable
+	ntable    nodeTableState
 }
 
 // Plan returns the floor plan the graph was built from.

@@ -1,0 +1,58 @@
+package walkgraph
+
+import "sync"
+
+// NodeTable is the per-node counterpart of EdgeTable: the node-side fields
+// the particle motion kernel reads at every edge crossing, flattened so the
+// hot loop never copies a Node struct or chases the per-node edge slices.
+// Incident edges are stored in CSR form — AdjEdges[AdjStart[n]:AdjStart[n+1]]
+// lists node n's incident edge IDs in exactly the order Graph.IncidentEdges
+// returns them, which keeps the kernel's random edge picks consuming the
+// random stream identically to the reference path. The table is immutable
+// once built and safe for concurrent readers.
+type NodeTable struct {
+	// IsRoom reports whether the node is a RoomCenter.
+	IsRoom []bool
+	// AdjStart is the CSR row index into AdjEdges; len is NumNodes+1.
+	AdjStart []int32
+	// AdjEdges is the concatenated incident-edge lists.
+	AdjEdges []int32
+}
+
+// nodeTableState carries the lazily built NodeTable on the Graph.
+type nodeTableState struct {
+	once  sync.Once
+	table *NodeTable
+}
+
+// NodeTable returns the graph's per-node hot-loop table, building it on
+// first use. The result is shared and must not be modified.
+func (g *Graph) NodeTable() *NodeTable {
+	g.ntable.once.Do(func() {
+		t := &NodeTable{
+			IsRoom:   make([]bool, len(g.nodes)),
+			AdjStart: make([]int32, len(g.nodes)+1),
+		}
+		total := 0
+		for _, n := range g.nodes {
+			total += len(n.edges)
+		}
+		t.AdjEdges = make([]int32, 0, total)
+		for i, n := range g.nodes {
+			t.IsRoom[i] = n.Kind == RoomCenter
+			t.AdjStart[i] = int32(len(t.AdjEdges))
+			for _, e := range n.edges {
+				t.AdjEdges = append(t.AdjEdges, int32(e))
+			}
+		}
+		t.AdjStart[len(g.nodes)] = int32(len(t.AdjEdges))
+		g.ntable.table = t
+	})
+	return g.ntable.table
+}
+
+// Incident returns node n's incident edge IDs as a sub-slice of the CSR
+// array, in Graph.IncidentEdges order. The slice must not be modified.
+func (t *NodeTable) Incident(n int32) []int32 {
+	return t.AdjEdges[t.AdjStart[n]:t.AdjStart[n+1]]
+}
