@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-smoke bench-json bench-diff check experiments examples vet vuln profile
+.PHONY: build test race bench bench-smoke bench-json bench-diff bench-sharded check experiments examples vet vuln profile
 
 build:
 	go build ./...
@@ -49,10 +49,17 @@ bench-json:
 	go run ./cmd/benchjson -out BENCH_2.json -baseline BENCH_1.json
 
 # Regression gate: re-run the hot-path benchmarks and fail loudly if the
-# indexed FilterStep is more than 20% slower than the checked-in BENCH_2.json.
-# Writes nothing; used by CI next to bench-smoke.
+# indexed FilterStep or the single-engine 1k-object step is more than 20%
+# slower than the checked-in BENCH_2.json. Writes nothing; used by CI next
+# to bench-smoke.
 bench-diff:
 	go run ./cmd/benchjson -out '' -baseline BENCH_2.json -maxregress 0.20
+
+# Record the sharded-engine scaling report: the hot-path benchmarks plus the
+# EngineStep benchmarks at shards 1/4/16, with speedups over the pre-sharding
+# BENCH_2.json baseline embedded as speedups_vs_baseline.
+bench-sharded:
+	go run ./cmd/benchjson -out BENCH_3.json -baseline BENCH_2.json
 
 # Regenerate every paper figure at full scale (~15 minutes).
 experiments:

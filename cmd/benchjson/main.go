@@ -13,8 +13,9 @@
 // With -baseline, each result is compared against the same benchmark in the
 // baseline file and the per-benchmark speedup (baseline ns/op over current
 // ns/op) is embedded as "speedups_vs_baseline". With -maxregress P, the run
-// exits non-zero if the indexed FilterStep is more than P (fraction) slower
-// than the baseline — the loud CI failure mode for hot-path regressions.
+// exits non-zero if the indexed FilterStep, the 1k-object engine step, or
+// the one-shard sharded engine step is more than P (fraction) slower than
+// the baseline — the loud CI failure mode for hot-path regressions.
 package main
 
 import (
@@ -32,9 +33,10 @@ import (
 // sub-benchmarks.
 const benchPattern = "BenchmarkFilterStep|BenchmarkNegativeUpdate|BenchmarkInitAt|BenchmarkReweight"
 
-// enginePattern selects the engine-level population benchmark (no
-// indexed/geometric split; one full ingest+preprocess second for 1k objects).
-const enginePattern = "BenchmarkEngineStep1kObjects"
+// enginePattern selects the engine-level population benchmarks: the
+// single-engine 1k-object step (no sub-benchmark path) and its sharded-router
+// variant (shards=N sub-benchmarks showing scaling with the shard count).
+const enginePattern = "BenchmarkEngineStep"
 
 // result is one parsed benchmark line.
 type result struct {
@@ -114,6 +116,19 @@ func main() {
 				rep.VsBaseline[r.key()] = b / r.NsPerOp
 			}
 		}
+		// When the baseline predates the sharded benchmark, anchor the
+		// one-shard router result to the plain engine step — same workload,
+		// the router is the only difference.
+		const single = "EngineStepSharded1kObjects/shards=1"
+		if _, ok := rep.VsBaseline[single]; !ok {
+			if b, ok := baseNs["EngineStep1kObjects"]; ok {
+				for _, r := range rep.Results {
+					if r.key() == single && r.NsPerOp > 0 {
+						rep.VsBaseline[single] = b / r.NsPerOp
+					}
+				}
+			}
+		}
 	}
 
 	if *out != "" {
@@ -138,18 +153,22 @@ func main() {
 		if rep.Baseline == "" {
 			fatal(fmt.Errorf("-maxregress requires -baseline"))
 		}
-		const gate = "FilterStep/indexed"
-		s, ok := rep.VsBaseline[gate]
-		if !ok {
-			fatal(fmt.Errorf("-maxregress: %s missing from current run or baseline", gate))
+		// Gate the filter hot path, the whole-engine step, and the sharded
+		// router at one shard: the router must stay free when N=1.
+		for _, gate := range []string{"FilterStep/indexed", "EngineStep1kObjects",
+			"EngineStepSharded1kObjects/shards=1"} {
+			s, ok := rep.VsBaseline[gate]
+			if !ok {
+				fatal(fmt.Errorf("-maxregress: %s missing from current run or baseline", gate))
+			}
+			// speedup < 1/(1+p) means the hot path got more than p slower.
+			if s < 1/(1+*maxregress) {
+				fatal(fmt.Errorf("REGRESSION: %s is %.0f%% slower than %s (speedup %.2fx, limit -%.0f%%)",
+					gate, (1/s-1)*100, rep.Baseline, s, *maxregress*100))
+			}
+			fmt.Printf("bench-diff OK: %s at %.2fx of %s (within -%.0f%% budget)\n",
+				gate, s, rep.Baseline, *maxregress*100)
 		}
-		// speedup < 1/(1+p) means the hot path got more than p slower.
-		if s < 1/(1+*maxregress) {
-			fatal(fmt.Errorf("REGRESSION: %s is %.0f%% slower than %s (speedup %.2fx, limit -%.0f%%)",
-				gate, (1/s-1)*100, rep.Baseline, s, *maxregress*100))
-		}
-		fmt.Printf("bench-diff OK: %s at %.2fx of %s (within -%.0f%% budget)\n",
-			gate, s, rep.Baseline, *maxregress*100)
 	}
 }
 
@@ -221,7 +240,7 @@ func parseLine(line string) (result, bool) {
 		full = full[:i]
 	}
 	name, path, ok := strings.Cut(strings.TrimPrefix(full, "Benchmark"), "/")
-	if ok && path != "indexed" && path != "geometric" {
+	if ok && path != "indexed" && path != "geometric" && !strings.HasPrefix(path, "shards=") {
 		return result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)

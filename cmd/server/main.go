@@ -54,6 +54,7 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQ    = flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 disables the log)")
+		shards   = flag.Int("shards", 1, "engine shards; >1 partitions objects across independently locked shards")
 
 		healthOn    = flag.Bool("reader-health", true, "infer per-reader liveness and compensate the sensing model for SUSPECT/DEAD readers")
 		maxInFlight = flag.Int("max-inflight", 4, "concurrent queries admitted (0 disables admission control and overload shedding)")
@@ -104,7 +105,13 @@ func run() error {
 			SnapshotEvery: *snapEvery,
 		}
 	}
-	sys, err := engine.Open(plan, dep, cfg)
+	var sys server.Engine
+	if *shards > 1 {
+		cfg.Shards = *shards
+		sys, err = engine.OpenSharded(plan, dep, cfg)
+	} else {
+		sys, err = engine.Open(plan, dep, cfg)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package anchor
 
 import (
+	"sort"
+
 	"repro/internal/model"
 )
 
@@ -70,12 +72,15 @@ func (t *Table) DistributionOf(obj model.ObjectID) map[ID]float64 {
 	return t.byObject[obj]
 }
 
-// Objects returns the IDs of all objects present in the table.
+// Objects returns the IDs of all objects present in the table, ascending.
+// The sorted order makes every consumer that iterates objects (occupancy
+// accumulation, SVG rendering, shard gather merges) deterministic.
 func (t *Table) Objects() []model.ObjectID {
 	out := make([]model.ObjectID, 0, len(t.byObject))
 	for o := range t.byObject {
 		out = append(out, o)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

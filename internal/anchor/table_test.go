@@ -128,3 +128,26 @@ func TestTableForwardReverseConsistent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTableObjectsSorted pins Objects() to ascending object-ID order: every
+// float accumulation over a preprocessing table iterates in this order, so
+// sortedness is what makes engine answers identical run to run and across
+// the single and sharded engines.
+func TestTableObjectsSorted(t *testing.T) {
+	f := func(ids []uint16) bool {
+		tb := NewTable()
+		for i, id := range ids {
+			tb.Add(ID(i%7), model.ObjectID(id), 0.5)
+		}
+		objs := tb.Objects()
+		for i := 1; i < len(objs); i++ {
+			if objs[i-1] >= objs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

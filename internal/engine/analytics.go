@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/anchor"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/model"
@@ -11,10 +12,20 @@ import (
 // building-wide density view facilities dashboards want.
 func (s *System) Occupancy() []RoomOdds {
 	tab := s.Preprocess(infosToIDs(s.objectInfos()))
+	return occupancyOn(s.idx, tab)
+}
+
+// occupancyOn accumulates a table's distributions into per-room expectations.
+// Objects and anchors are visited in sorted order: float addition is not
+// associative, so a pinned order is what makes the answer reproducible across
+// runs — and identical between the single and sharded engines, which both
+// come through here with the same merged table.
+func occupancyOn(idx *anchor.Index, tab *anchor.Table) []RoomOdds {
 	byRoom := make(map[floorplan.RoomID]float64)
 	for _, obj := range tab.Objects() {
-		for ap, p := range tab.DistributionOf(obj) {
-			byRoom[s.idx.Anchor(ap).Room] += p
+		dist := tab.DistributionOf(obj)
+		for _, ap := range sortedAnchorIDs(dist) {
+			byRoom[idx.Anchor(ap).Room] += dist[ap]
 		}
 	}
 	out := make([]RoomOdds, 0, len(byRoom))
@@ -67,8 +78,8 @@ func (s *System) Trajectory(obj model.ObjectID, from, to, step model.Time) []Tra
 			continue
 		}
 		var mx, my float64
-		for ap, p := range dist {
-			a := s.idx.Anchor(ap)
+		for _, ap := range sortedAnchorIDs(dist) {
+			a, p := s.idx.Anchor(ap), dist[ap]
 			mx += a.Pos.X * p
 			my += a.Pos.Y * p
 		}

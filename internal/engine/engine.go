@@ -92,6 +92,12 @@ type Config struct {
 	Health health.Config
 	// Seed drives all of the engine's randomness.
 	Seed int64
+	// Shards partitions object state into this many in-process shards, each
+	// owning its lock, collector slice, cache, particle workers, and WAL
+	// segment stream (NewSharded/OpenSharded; New ignores it). 0 or 1 keeps
+	// the single-shard engine. Answers, Stats, and recovered state are
+	// bit-for-bit identical at any shard count.
+	Shards int
 	// Durability configures the write-ahead log and snapshot store. The zero
 	// value disables durability entirely (the historical in-memory contract);
 	// a non-empty Dir enables it, but only through Open — New ignores it.
@@ -314,6 +320,10 @@ func (s *System) CacheStats() (hits, misses int) { return s.cache.Stats() }
 // Now returns the most recently ingested second.
 func (s *System) Now() model.Time { return s.col.Now() }
 
+// KnownObjects returns the IDs of every object with retained collector
+// state, ascending.
+func (s *System) KnownObjects() []model.ObjectID { return s.col.KnownObjects() }
+
 // Ingest feeds one delivery of raw readings through the hardened ingestion
 // front end: the reorder buffer routes each reading to its own second,
 // deduplicates retransmissions, and flushes whole seconds into the
@@ -389,13 +399,17 @@ func (s *System) applySecond(t model.Time, raws []model.RawReading) {
 	}
 	// Bound the retained log; consumers that fall further behind simply see
 	// a truncated prefix (and, safely, re-evaluate everything).
-	const maxLog = 65536
-	if len(s.eventLog) > maxLog {
-		drop := len(s.eventLog) - maxLog
+	if len(s.eventLog) > maxEventLog {
+		drop := len(s.eventLog) - maxEventLog
 		s.eventLog = append(s.eventLog[:0:0], s.eventLog[drop:]...)
 		s.eventOff += drop
 	}
 }
+
+// maxEventLog bounds the retained ENTER/LEAVE event log. The sharded router
+// applies the same bound to its merged log so EventsSince behaves identically
+// at any shard count.
+const maxEventLog = 65536
 
 // Expire drops collector state and cached particle states for objects whose
 // last reading is older than t. Pair it with population churn: objects that

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/floorplan"
@@ -50,5 +51,51 @@ func BenchmarkEngineStep1kObjects(b *testing.B) {
 	secs := b.Elapsed().Seconds()
 	if secs > 0 {
 		b.ReportMetric(float64(len(objs))*float64(b.N)/secs, "objs/s")
+	}
+}
+
+// BenchmarkEngineStepSharded1kObjects is the sharded-router variant of
+// BenchmarkEngineStep1kObjects: the same 1000-object second (simulate,
+// ingest, preprocess all known objects), routed through engine.Sharded at
+// several shard counts. shards=1 is the router-overhead floor; higher counts
+// show how ingest+preprocess throughput scales when object state is
+// partitioned across independently locked shards.
+func BenchmarkEngineStepSharded1kObjects(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			plan := floorplan.DefaultOffice()
+			dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+			cfg := DefaultConfig()
+			cfg.Seed = 7
+			cfg.Shards = n
+			sys := MustNewSharded(plan, dep, cfg)
+			tc := sim.DefaultTraceConfig()
+			tc.NumObjects = 1000
+			tc.DwellMin, tc.DwellMax = 2, 8
+			world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 7)
+
+			for i := 0; i < 30; i++ {
+				tm, raws := world.Step()
+				sys.Ingest(tm, raws)
+			}
+			objs := sys.KnownObjects()
+			if len(objs) < 900 {
+				b.Fatalf("warmup too cold: only %d/1000 objects known", len(objs))
+			}
+			sys.Preprocess(objs)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm, raws := world.Step()
+				sys.Ingest(tm, raws)
+				sys.Preprocess(objs)
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(len(objs))*float64(b.N)/secs, "objs/s")
+			}
+		})
 	}
 }

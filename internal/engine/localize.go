@@ -77,10 +77,23 @@ func (s *System) RoomDistribution(obj model.ObjectID) ([]RoomOdds, bool) {
 	return roomOdds(s.idx, dist), true
 }
 
+// sortedAnchorIDs returns a distribution's support in ascending anchor
+// order. Every float accumulation over a distribution iterates through it:
+// addition order is pinned, so summaries are reproducible run to run and
+// identical across the single and sharded engines.
+func sortedAnchorIDs(dist map[anchor.ID]float64) []anchor.ID {
+	ids := make([]anchor.ID, 0, len(dist))
+	for ap := range dist {
+		ids = append(ids, ap)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 func roomOdds(idx *anchor.Index, dist map[anchor.ID]float64) []RoomOdds {
 	byRoom := make(map[floorplan.RoomID]float64)
-	for ap, p := range dist {
-		byRoom[idx.Anchor(ap).Room] += p
+	for _, ap := range sortedAnchorIDs(dist) {
+		byRoom[idx.Anchor(ap).Room] += dist[ap]
 	}
 	out := make([]RoomOdds, 0, len(byRoom))
 	for room, p := range byRoom {
@@ -98,8 +111,8 @@ func roomOdds(idx *anchor.Index, dist map[anchor.ID]float64) []RoomOdds {
 func (s *System) summarize(obj model.ObjectID, dist map[anchor.ID]float64) Localization {
 	loc := Localization{Object: obj, Mode: anchor.NoAnchor}
 	var mx, my float64
-	for ap, p := range dist {
-		a := s.idx.Anchor(ap)
+	for _, ap := range sortedAnchorIDs(dist) {
+		a, p := s.idx.Anchor(ap), dist[ap]
 		mx += a.Pos.X * p
 		my += a.Pos.Y * p
 		if p > loc.ModeProb || (p == loc.ModeProb && ap < loc.Mode) {

@@ -1,0 +1,521 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/collector"
+	"repro/internal/floorplan"
+	"repro/internal/ingest"
+	"repro/internal/model"
+	"repro/internal/rfid"
+	"repro/internal/wal"
+)
+
+// Sharded durability: one WAL stream per shard plus a router snapshot
+// stream, all sharing the single engine's stream identity.
+//
+// Layout under Durability.Dir:
+//
+//	SHARDS            guard file: the shard count the directory was written with
+//	snap-*.snap       router snapshots (merged event log, reorder position, query counters)
+//	shard-0000/       shard 0's WAL segments and snapshots
+//	shard-0001/       ...
+//
+// Every flushed second appends one record to EVERY shard's log at the same
+// sequence number — empty subsets included — carrying the router's reorder
+// metadata redundantly. Lockstep sequences make recovery simple and exact:
+// the highest snapshot sequence readable in the router AND every shard is
+// restored, then the shard logs are replayed second by second through the
+// same applyParts path live ingestion uses. A crash between the per-shard
+// appends of one second leaves a ragged tail; recovery replays to the
+// shortest log's last sequence and truncates the shards that got further
+// (wal.TruncateTo), which is exactly the all-or-nothing cut the single
+// engine's torn-tail repair makes.
+
+// shardGuardFile names the file pinning the directory's shard count.
+const shardGuardFile = "SHARDS"
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// checkShardGuard pins dir to one shard count. The shard map is a pure
+// function of (object, count), so opening a directory with a different
+// count would scatter recovered objects across the wrong shards.
+func checkShardGuard(dir string, n int) error {
+	path := filepath.Join(dir, shardGuardFile)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("engine: create data dir: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+			return fmt.Errorf("engine: write shard guard: %w", err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("engine: read shard guard: %w", err)
+	}
+	have, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+	if perr != nil {
+		return fmt.Errorf("engine: unreadable shard guard %s: %q", path, strings.TrimSpace(string(data)))
+	}
+	if have != n {
+		return fmt.Errorf("engine: data directory %s was written with %d shards, refusing to open with %d (the shard map would misroute recovered objects)", dir, have, n)
+	}
+	return nil
+}
+
+// routerSnap is the router's share of a sharded snapshot: everything the
+// shards do not own. The per-shard shardSnap carries the rest.
+type routerSnap struct {
+	RangeQueries   int
+	KNNQueries     int
+	Events         []model.Event
+	EventOff       int
+	ReorderStarted bool
+	Watermark      model.Time
+	MaxSeen        model.Time
+	Drops          ingest.Drops
+	Forced         int
+}
+
+// shardSnap is one shard's share of a sharded snapshot.
+type shardSnap struct {
+	Stats        Stats
+	Collector    collector.Snapshot
+	CacheEntries []cache.Entry
+	CacheHits    int
+	CacheMisses  int
+}
+
+// Recovery returns what OpenSharded found in the data directory.
+func (e *Sharded) Recovery() RecoveryInfo { return e.recovery }
+
+// DurabilityEnabled reports whether this engine writes WALs.
+func (e *Sharded) DurabilityEnabled() bool {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.wals != nil
+}
+
+// WALError returns the sticky WAL failure, or nil while the logs are healthy.
+func (e *Sharded) WALError() error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.walErr
+}
+
+// OpenSharded assembles a Sharded engine like NewSharded and, when
+// durability is enabled, recovers it from the data directory. The recovered
+// state is bit-for-bit identical to the single engine's recovery over the
+// same acked prefix, at any shard count.
+func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Sharded, error) {
+	e, err := NewSharded(plan, dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Durability
+	if !d.Enabled() {
+		return e, nil
+	}
+	sid, err := cfg.StreamID(plan, dep)
+	if err != nil {
+		return nil, err
+	}
+	e.streamID = sid
+	if err := checkShardGuard(d.Dir, e.n); err != nil {
+		return nil, err
+	}
+	rec := RecoveryInfo{Enabled: true}
+
+	// Pick the restore point: the highest snapshot sequence readable in the
+	// router directory AND every shard directory. A snapshot barrier writes
+	// all n+1 files at one sequence; a crash mid-barrier (or a corrupt
+	// file) simply drops that sequence out of the intersection and recovery
+	// replays more WAL. A stream-identity mismatch is fatal, not skippable.
+	routerSnaps, err := wal.ListSnapshots(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	shardSnapsAt := make([]map[uint64]string, e.n)
+	for i := range shardSnapsAt {
+		infos, err := wal.ListSnapshots(shardDir(d.Dir, i))
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[uint64]string, len(infos))
+		for _, si := range infos {
+			m[si.Seq] = si.Path
+		}
+		shardSnapsAt[i] = m
+	}
+	var (
+		snapSeq uint64
+		rsnap   routerSnap
+		ssnaps  []shardSnap
+	)
+	for ri := len(routerSnaps) - 1; ri >= 0 && !rec.SnapshotRestored; ri-- {
+		seq, payload, rerr := wal.ReadSnapshotFile(routerSnaps[ri].Path, sid)
+		if rerr != nil {
+			var mm *wal.MismatchError
+			if errors.As(rerr, &mm) {
+				return nil, rerr
+			}
+			rec.SnapshotsSkipped++
+			continue
+		}
+		var rs routerSnap
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rs); derr != nil {
+			rec.SnapshotsSkipped++
+			continue
+		}
+		candidates := make([]shardSnap, e.n)
+		complete := true
+		for i := 0; i < e.n && complete; i++ {
+			path, ok := shardSnapsAt[i][seq]
+			if !ok {
+				complete = false
+				break
+			}
+			_, spayload, serr := wal.ReadSnapshotFile(path, sid)
+			if serr != nil {
+				var mm *wal.MismatchError
+				if errors.As(serr, &mm) {
+					return nil, serr
+				}
+				complete = false
+				break
+			}
+			if derr := gob.NewDecoder(bytes.NewReader(spayload)).Decode(&candidates[i]); derr != nil {
+				complete = false
+			}
+		}
+		if !complete {
+			rec.SnapshotsSkipped++
+			continue
+		}
+		snapSeq, rsnap, ssnaps = seq, rs, candidates
+		rec.SnapshotRestored = true
+		rec.SnapshotSeq = seq
+	}
+	if rec.SnapshotRestored {
+		e.rangeQ.Store(int64(rsnap.RangeQueries))
+		e.knnQ.Store(int64(rsnap.KNNQueries))
+		e.eventLog = rsnap.Events
+		e.eventOff = rsnap.EventOff
+		for i, sh := range e.shards {
+			sh.stats = ssnaps[i].Stats
+			sh.col.Restore(ssnaps[i].Collector)
+			sh.cache.RestoreEntries(ssnaps[i].CacheEntries)
+			sh.cache.RestoreStats(ssnaps[i].CacheHits, ssnaps[i].CacheMisses)
+		}
+		e.walSeq = snapSeq
+	}
+
+	// Open every shard log, collecting the decoded batches above the
+	// snapshot; above it each shard's sequence must be gapless.
+	closeAll := func() {
+		for _, l := range e.wals {
+			if l != nil {
+				l.Close()
+			}
+		}
+		e.wals = nil
+	}
+	e.wals = make([]*wal.Log, e.n)
+	batches := make([][]wal.Batch, e.n)
+	for i := 0; i < e.n; i++ {
+		expected := snapSeq + 1
+		l, report, oerr := wal.Open(shardDir(d.Dir, i),
+			wal.Options{StreamID: sid, SegmentBytes: d.SegmentBytes},
+			func(seq uint64, payload []byte) error {
+				if seq <= snapSeq {
+					return nil
+				}
+				if seq != expected {
+					return fmt.Errorf("engine: shard %d WAL gap: snapshot covers seq %d but next record is %d (want %d)",
+						i, snapSeq, seq, expected)
+				}
+				b, derr := wal.DecodeBatch(payload)
+				if derr != nil {
+					return derr
+				}
+				batches[i] = append(batches[i], b)
+				expected++
+				return nil
+			})
+		if oerr != nil {
+			closeAll()
+			return nil, oerr
+		}
+		e.wals[i] = l
+		rec.Corrupt = rec.Corrupt || report.Corrupt
+		rec.TruncatedBytes += report.TruncatedBytes
+		rec.SegmentsRemoved += report.RemovedSegments
+	}
+
+	// Replay in lockstep to the shortest log. Each replayed sequence is one
+	// flushed second, applied through the same path live ingestion uses.
+	minAhead := len(batches[0])
+	for _, bs := range batches[1:] {
+		if len(bs) < minAhead {
+			minAhead = len(bs)
+		}
+	}
+	var lastMeta *wal.Batch
+	for k := 0; k < minAhead; k++ {
+		t := batches[0][k].Time
+		parts := make([][]model.RawReading, e.n)
+		var raws []model.RawReading
+		for i := range batches {
+			b := &batches[i][k]
+			if b.Time != t {
+				closeAll()
+				return nil, fmt.Errorf("engine: shard WALs disagree at seq %d: shard 0 holds second %d, shard %d holds %d",
+					snapSeq+uint64(k)+1, t, i, b.Time)
+			}
+			parts[i] = b.Readings
+			raws = append(raws, b.Readings...)
+			rec.ReadingsReplayed += len(b.Readings)
+		}
+		e.applyParts(t, parts, raws)
+		lastMeta = &batches[0][k]
+		rec.RecordsReplayed++
+	}
+	e.walSeq = snapSeq + uint64(minAhead)
+
+	// Cut ragged tails back to the common sequence so the next second
+	// appends cleanly everywhere.
+	for i, l := range e.wals {
+		if l.LastSeq() <= e.walSeq {
+			continue
+		}
+		cut, terr := l.TruncateTo(e.walSeq)
+		rec.TruncatedBytes += cut
+		rec.Corrupt = true
+		if terr != nil {
+			closeAll()
+			return nil, fmt.Errorf("engine: truncate shard %d ragged tail: %w", i, terr)
+		}
+	}
+	rec.LastSeq = e.walSeq
+
+	// Position the reorder buffer; the last replayed record's view wins
+	// over the snapshot's (see Open for the rationale).
+	switch {
+	case lastMeta != nil:
+		e.reorder.Restore(lastMeta.Time, lastMeta.MaxSeen, lastMeta.Drops, lastMeta.Forced)
+	case rec.SnapshotRestored && rsnap.ReorderStarted:
+		e.reorder.Restore(rsnap.Watermark, rsnap.MaxSeen, rsnap.Drops, rsnap.Forced)
+	}
+
+	e.recovery = rec
+	e.lastSync = time.Now()
+	e.tel.walReplayed.Set(uint64(rec.RecordsReplayed))
+	e.tel.walTruncatedBytes.Set(uint64(rec.TruncatedBytes))
+	e.tel.walSnapshotsSkipped.Set(uint64(rec.SnapshotsSkipped))
+	if rec.Corrupt {
+		log.Printf("engine: repaired sharded WAL in %s: %d bytes truncated, %d segments removed",
+			d.Dir, rec.TruncatedBytes, rec.SegmentsRemoved)
+	}
+	if d.SnapshotEvery > 0 && rec.RecordsReplayed >= d.SnapshotEvery {
+		e.writeSnapshots()
+	}
+	return e, nil
+}
+
+// appendWAL logs one flushed second to every shard at the same sequence
+// number (called under ingestMu, before the second is applied). A failure
+// part-way leaves a ragged tail that recovery truncates; the sticky error
+// fail-stops ingestion either way.
+func (e *Sharded) appendWAL(t model.Time, parts [][]model.RawReading) {
+	wm, _ := e.reorder.Watermark()
+	ms, _ := e.reorder.MaxSeen()
+	if wm != t {
+		e.failWAL(fmt.Errorf("engine: flush watermark %d disagrees with flushed second %d", wm, t))
+		return
+	}
+	forced := e.reorder.ForcedFlushes()
+	drops := e.reorder.Drops()
+	for i, l := range e.wals {
+		b := wal.Batch{
+			Time:     t,
+			MaxSeen:  ms,
+			Forced:   forced,
+			Drops:    drops,
+			Readings: parts[i],
+		}
+		e.walBuf = b.Encode(e.walBuf[:0])
+		if err := l.Append(e.walSeq+1, e.walBuf); err != nil {
+			e.failWAL(err)
+			return
+		}
+	}
+	e.walSeq++
+	e.sinceSnap++
+	e.tel.walRecords.Inc()
+}
+
+// syncWAL applies the fsync policy across every shard log; the first error
+// is sticky. Called under ingestMu.
+func (e *Sharded) syncWAL(force bool) error {
+	if e.wals == nil || e.walErr != nil {
+		return e.walErr
+	}
+	switch e.cfg.Durability.Fsync {
+	case wal.SyncOff:
+		if !force {
+			return nil
+		}
+	case wal.SyncInterval:
+		if !force && time.Since(e.lastSync) < e.cfg.Durability.fsyncInterval() {
+			return nil
+		}
+	}
+	for _, l := range e.wals {
+		if err := l.Sync(); err != nil {
+			e.failWAL(err)
+			return e.walErr
+		}
+	}
+	e.lastSync = time.Now()
+	e.tel.walSyncs.Inc()
+	return nil
+}
+
+func (e *Sharded) failWAL(err error) {
+	if e.walErr == nil {
+		e.walErr = fmt.Errorf("engine: WAL failed, ingestion stopped: %w", err)
+		e.tel.walErrors.Inc()
+		log.Printf("%v", e.walErr)
+	}
+}
+
+// maybeSnapshot schedules the snapshot barrier once enough seconds
+// accumulated. Called under ingestMu from flushSecond.
+func (e *Sharded) maybeSnapshot() {
+	if e.wals == nil || e.walErr != nil {
+		return
+	}
+	if n := e.cfg.Durability.SnapshotEvery; n > 0 && e.sinceSnap >= n {
+		e.writeSnapshots()
+	}
+}
+
+// writeSnapshots writes the snapshot barrier: all logs synced, then the
+// router snapshot and every shard snapshot at the same sequence. Failures
+// are logged and counted but not sticky — the WALs still hold everything; a
+// partial barrier just never enters recovery's intersection. Called under
+// ingestMu.
+func (e *Sharded) writeSnapshots() {
+	wm, started := e.reorder.Watermark()
+	ms, _ := e.reorder.MaxSeen()
+	rsnap := routerSnap{
+		RangeQueries:   int(e.rangeQ.Load()),
+		KNNQueries:     int(e.knnQ.Load()),
+		Events:         e.eventLog,
+		EventOff:       e.eventOff,
+		ReorderStarted: started,
+		Watermark:      wm,
+		MaxSeen:        ms,
+		Drops:          e.reorder.Drops(),
+		Forced:         e.reorder.ForcedFlushes(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rsnap); err != nil {
+		e.tel.walSnapshotErrors.Inc()
+		log.Printf("engine: encode router snapshot: %v", err)
+		return
+	}
+	// An unsynced tail record would let a surviving snapshot claim coverage
+	// of a second a log lost; sync first so the claim is always true.
+	if err := e.syncWAL(true); err != nil {
+		return
+	}
+	if _, err := wal.WriteSnapshot(e.cfg.Durability.Dir, e.streamID, e.walSeq, buf.Bytes()); err != nil {
+		e.tel.walSnapshotErrors.Inc()
+		log.Printf("engine: write router snapshot: %v", err)
+		return
+	}
+	for i, sh := range e.shards {
+		e.shardMu[i].Lock()
+		hits, misses := sh.cache.Stats()
+		ssnap := shardSnap{
+			Stats:        sh.stats,
+			Collector:    sh.col.Snapshot(),
+			CacheEntries: sh.cache.Dump(),
+			CacheHits:    hits,
+			CacheMisses:  misses,
+		}
+		e.shardMu[i].Unlock()
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(&ssnap); err != nil {
+			e.tel.walSnapshotErrors.Inc()
+			log.Printf("engine: encode shard %d snapshot: %v", i, err)
+			return
+		}
+		if _, err := wal.WriteSnapshot(shardDir(e.cfg.Durability.Dir, i), e.streamID, e.walSeq, buf.Bytes()); err != nil {
+			e.tel.walSnapshotErrors.Inc()
+			log.Printf("engine: write shard %d snapshot: %v", i, err)
+			return
+		}
+	}
+	e.sinceSnap = 0
+	e.tel.walSnapshots.Inc()
+	if _, _, err := wal.PruneSnapshots(e.cfg.Durability.Dir, e.cfg.Durability.keepSnapshots()); err != nil {
+		log.Printf("engine: prune router snapshots: %v", err)
+		return
+	}
+	for i, l := range e.wals {
+		oldest, _, err := wal.PruneSnapshots(shardDir(e.cfg.Durability.Dir, i), e.cfg.Durability.keepSnapshots())
+		if err != nil {
+			log.Printf("engine: prune shard %d snapshots: %v", i, err)
+			return
+		}
+		if _, err := l.PruneSegments(oldest); err != nil {
+			log.Printf("engine: prune shard %d segments: %v", i, err)
+		}
+	}
+}
+
+// Close shuts the durability layer down cleanly, mirroring System.Close:
+// buffered seconds flushed and logged, a final snapshot barrier, all logs
+// synced and closed. No-op for engines built with NewSharded.
+func (e *Sharded) Close() error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if e.wals == nil {
+		return nil
+	}
+	e.reorder.FlushAll()
+	if e.walErr == nil {
+		e.writeSnapshots()
+	}
+	syncErr := e.syncWAL(true)
+	var closeErr error
+	for _, l := range e.wals {
+		if err := l.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
+	e.wals = nil
+	if e.walErr != nil && syncErr == nil {
+		syncErr = e.walErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -114,17 +114,9 @@ func (a *admission) acquire() (release func(), ok bool) {
 	if a == nil {
 		return func() {}, true
 	}
-	start := time.Now()
-	rel := func() {
-		<-a.slots
-		a.inflight.Set(float64(len(a.slots)))
-		a.observeLatency(time.Since(start))
-	}
 	select {
 	case a.slots <- struct{}{}:
-		a.admitted.Inc()
-		a.inflight.Set(float64(len(a.slots)))
-		return rel, true
+		return a.admit(), true
 	default:
 	}
 	// No free slot: join the bounded wait queue.
@@ -140,14 +132,46 @@ func (a *admission) acquire() (release func(), ok bool) {
 	}()
 	timer := time.NewTimer(a.cfg.MaxWait)
 	defer timer.Stop()
+	if a.awaitSlot(timer.C) {
+		return a.admit(), true
+	}
+	a.noteShed(time.Now())
+	return nil, false
+}
+
+// admit records one admission and returns the release closure. The service
+// clock starts here — at slot acquisition, not at arrival — so the EWMA
+// behind Retry-After measures how long an admitted query holds its slot,
+// not how long it also sat in the queue. Folding the queue wait in would
+// inflate every congested estimate with MaxWait-sized stalls and feed the
+// inflation back into ever-longer Retry-After advice.
+func (a *admission) admit() (release func()) {
+	a.admitted.Inc()
+	a.inflight.Set(float64(len(a.slots)))
+	at := time.Now()
+	return func() {
+		<-a.slots
+		a.inflight.Set(float64(len(a.slots)))
+		a.observeLatency(time.Since(at))
+	}
+}
+
+// awaitSlot blocks until a slot frees or the timeout fires. When both
+// channels are ready, select picks one at random — without the re-check a
+// request could be shed even though a slot was free the instant the timer
+// fired. Timing out therefore sheds only if a non-blocking retry still
+// finds every slot taken.
+func (a *admission) awaitSlot(timeout <-chan time.Time) bool {
 	select {
 	case a.slots <- struct{}{}:
-		a.admitted.Inc()
-		a.inflight.Set(float64(len(a.slots)))
-		return rel, true
-	case <-timer.C:
-		a.noteShed(time.Now())
-		return nil, false
+		return true
+	case <-timeout:
+		select {
+		case a.slots <- struct{}{}:
+			return true
+		default:
+			return false
+		}
 	}
 }
 

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAwaitSlotPrefersFreeSlotOverFiredTimer is the white-box regression
+// test for the shed race: when the wait timer has already fired AND a slot
+// is free, a bare select picks at random and used to shed about half the
+// time. awaitSlot must re-check the slot after the timeout and admit every
+// single time.
+func TestAwaitSlotPrefersFreeSlotOverFiredTimer(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.MaxInFlight = 1
+	a := newAdmission(cfg, obs.NewRegistry())
+	for i := 0; i < 200; i++ {
+		fired := make(chan time.Time, 1)
+		fired <- time.Time{} // the timer has already fired
+		if !a.awaitSlot(fired) {
+			t.Fatalf("iteration %d: shed with a free slot and a fired timer", i)
+		}
+		<-a.slots // release for the next iteration
+	}
+}
+
+// TestAwaitSlotTimesOutWhenFull pins the other side: with every slot taken,
+// a fired timer must shed (awaitSlot returns false) rather than block.
+func TestAwaitSlotTimesOutWhenFull(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.MaxInFlight = 1
+	a := newAdmission(cfg, obs.NewRegistry())
+	a.slots <- struct{}{} // occupy the only slot
+	fired := make(chan time.Time, 1)
+	fired <- time.Time{}
+	if a.awaitSlot(fired) {
+		t.Fatal("admitted past a full slot table")
+	}
+}
+
+// TestAdmissionLatencyExcludesQueueWait is the regression test for the
+// Retry-After estimate: the EWMA must measure how long an admitted query
+// holds its slot, starting at slot acquisition — not at arrival. A queued
+// request that waits far longer than it runs must still record only its
+// service time.
+func TestAdmissionLatencyExcludesQueueWait(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.MaxInFlight = 1
+	cfg.MaxWait = 5 * time.Second
+	a := newAdmission(cfg, obs.NewRegistry())
+
+	a.slots <- struct{}{} // occupy the slot so the request queues
+	const (
+		queueWait = 150 * time.Millisecond
+		service   = 20 * time.Millisecond
+	)
+	done := make(chan bool)
+	go func() {
+		release, ok := a.acquire()
+		if !ok {
+			done <- false
+			return
+		}
+		time.Sleep(service)
+		release()
+		done <- true
+	}()
+	time.Sleep(queueWait)
+	<-a.slots // free the slot; the queued request is admitted about now
+	if !<-done {
+		t.Fatal("queued request was shed")
+	}
+	got := time.Duration(a.latencyNs.Load())
+	if got <= 0 {
+		t.Fatal("no latency observed")
+	}
+	// The observation must be on the order of the service time; anywhere
+	// near queueWait+service means the queue wait leaked into the clock.
+	if got >= queueWait {
+		t.Fatalf("EWMA latency %v includes the %v queue wait (service was %v)", got, queueWait, service)
+	}
+}
+
+// TestRetryAfterSeconds pins the backoff math: EWMA latency times the
+// backlog (held slots plus queued waiters) spread over the slot count,
+// rounded up, floored at one second.
+func TestRetryAfterSeconds(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.MaxInFlight = 4
+	a := newAdmission(cfg, obs.NewRegistry())
+
+	// Idle controller, no history: the floor of one second applies.
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("idle retryAfterSeconds = %d, want 1", got)
+	}
+
+	// 2s EWMA, all four slots held, four queued: 2 * (4+4) / 4 = 4 seconds.
+	a.latencyNs.Store(int64(2 * time.Second))
+	for i := 0; i < 4; i++ {
+		a.slots <- struct{}{}
+	}
+	a.queued.Add(4)
+	if got := a.retryAfterSeconds(); got != 4 {
+		t.Errorf("loaded retryAfterSeconds = %d, want 4", got)
+	}
+	if got := a.retryAfterHeader(); got != "4" {
+		t.Errorf("retryAfterHeader = %q, want \"4\"", got)
+	}
+}

@@ -18,11 +18,13 @@
 //	GET  /debug/slowqueries         recent queries over the slow threshold
 //	GET  /debug/pprof/              net/http/pprof (opt-in via HandlerConfig)
 //
-// The System is not safe for concurrent use; the server serializes access
-// with a mutex, which matches the one-writer reality of a reading stream.
-// Handlers compute their answer under the lock and encode it to the client
-// after releasing it, so one slow reader cannot head-of-line block the
-// ingestion path.
+// The single-shard engine.System is not safe for concurrent use; the server
+// serializes access with a mutex, which matches the one-writer reality of a
+// reading stream. An engine that synchronizes internally (engine.Sharded)
+// reports it via SelfSynchronizing and the server skips its lock, letting
+// ingestion and queries overlap. Handlers compute their answer under the
+// lock and encode it to the client after releasing it, so one slow reader
+// cannot head-of-line block the ingestion path.
 package server
 
 import (
@@ -41,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/anchor"
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -50,14 +53,53 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rfid"
 	"repro/internal/viz"
+	"repro/internal/walkgraph"
 )
 
-// Server wraps a System with an HTTP API.
+// Engine is the query-evaluation surface the server drives: implemented by
+// the single-shard *engine.System and the sharded *engine.Sharded.
+type Engine interface {
+	Ingest(t model.Time, raws []model.RawReading) error
+	Now() model.Time
+	KnownObjects() []model.ObjectID
+	RangeQuery(window geom.Rect) model.ResultSet
+	RangeQueryAt(window geom.Rect, t model.Time) model.ResultSet
+	RangeQueryContext(ctx context.Context, window geom.Rect) (model.ResultSet, error)
+	KNNQuery(q geom.Point, k int) model.ResultSet
+	KNNQueryAt(q geom.Point, k int, t model.Time) model.ResultSet
+	KNNQueryContext(ctx context.Context, q geom.Point, k int) (model.ResultSet, error)
+	Localize(obj model.ObjectID) (engine.Localization, bool)
+	Occupancy() []engine.RoomOdds
+	Preprocess(candidates []model.ObjectID) *anchor.Table
+	Stats() engine.Stats
+	CacheStats() (hits, misses int)
+	Graph() *walkgraph.Graph
+	AnchorIndex() *anchor.Index
+	Telemetry() *engine.Telemetry
+	SyncMetrics()
+	SetParticleBudget(n int)
+	NoteOversizedBody()
+	HealthMonitorEnabled() bool
+	ReaderHealth() []health.ReaderHealth
+	WALError() error
+	Recovery() engine.RecoveryInfo
+	Close() error
+}
+
+// selfSynchronizing is implemented by engines that do their own locking;
+// the server then skips its serialization mutex.
+type selfSynchronizing interface {
+	SelfSynchronizing() bool
+}
+
+// Server wraps an Engine with an HTTP API.
 type Server struct {
-	mu   sync.Mutex
-	sys  *engine.System
-	plan *floorplan.Plan
-	dep  *rfid.Deployment
+	mu sync.Mutex
+	// noLock skips the mutex for engines that synchronize internally.
+	noLock bool
+	sys    Engine
+	plan   *floorplan.Plan
+	dep    *rfid.Deployment
 
 	// adm is the query admission controller (nil: admission disabled);
 	// maxIngestBytes caps POST /ingest bodies.
@@ -103,12 +145,12 @@ const DefaultMaxIngestBytes = 8 << 20
 // starts ready: engine.Open completes recovery before returning, so by the
 // time a Server exists the system can take traffic. SetReady(false) begins a
 // drain.
-func New(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
+func New(sys Engine, plan *floorplan.Plan, dep *rfid.Deployment) *Server {
 	return NewWith(sys, plan, dep, Config{})
 }
 
 // NewWith builds a Server with an explicit resilience configuration.
-func NewWith(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) *Server {
+func NewWith(sys Engine, plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) *Server {
 	r := sys.Telemetry().Registry()
 	maxBytes := cfg.MaxIngestBytes
 	if maxBytes == 0 {
@@ -135,6 +177,9 @@ func NewWith(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment, cfg
 		s.degradedTransitions = r.Counter("repro_degraded_transitions_total",
 			"Degraded-mode enter/leave transitions.")
 	}
+	if ss, ok := sys.(selfSynchronizing); ok && ss.SelfSynchronizing() {
+		s.noLock = true
+	}
 	s.ready.Store(true)
 	return s
 }
@@ -144,14 +189,29 @@ func NewWith(sys *engine.System, plan *floorplan.Plan, dep *rfid.Deployment, cfg
 // closes.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
+// lock and unlock serialize engine access, unless the engine synchronizes
+// itself (noLock): then ingest and queries run concurrently and the engine's
+// internal sharding is what provides the parallelism.
+func (s *Server) lock() {
+	if !s.noLock {
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) unlock() {
+	if !s.noLock {
+		s.mu.Unlock()
+	}
+}
+
 // Close drains the server for shutdown: /readyz goes unready, then the
 // engine's durability layer flushes, snapshots, and closes under the
 // serialization lock. Safe to call once in-flight requests finished (i.e.
 // after http.Server.Shutdown returned).
 func (s *Server) Close() error {
 	s.ready.Store(false)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return s.sys.Close()
 }
 
@@ -160,8 +220,8 @@ func (s *Server) Close() error {
 // logged and land in the same Stats().Ingest.LateBatches counter that backs
 // the HTTP 409 path, so /stats and /metrics agree no matter the entry point.
 func (s *Server) IngestDirect(t model.Time, raws []model.RawReading) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	err := s.sys.Ingest(t, raws)
 	var ie *ingest.Error
 	if errors.As(err, &ie) && ie.Rejected {
@@ -313,9 +373,9 @@ func (s *Server) updateDegraded() {
 	if degraded {
 		budget = s.adm.cfg.DegradedParticles
 	}
-	s.mu.Lock()
+	s.lock()
 	s.sys.SetParticleBudget(budget)
-	s.mu.Unlock()
+	s.unlock()
 	if degraded {
 		s.degradedMode.Set(1)
 		log.Printf("server: sustained overload, degrading particle budget to %d", budget)
@@ -330,11 +390,11 @@ func (s *Server) updateDegraded() {
 // maintains: state, silence, smoothed detection rate, and accrued missed
 // evidence per reader.
 func (s *Server) handleReaders(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.lock()
 	enabled := s.sys.HealthMonitorEnabled()
 	readers := s.sys.ReaderHealth()
 	now := s.sys.Now()
-	s.mu.Unlock()
+	s.unlock()
 	if readers == nil {
 		readers = []health.ReaderHealth{}
 	}
@@ -360,10 +420,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	walErr := s.sys.WALError()
 	rec := s.sys.Recovery()
-	s.mu.Unlock()
+	s.unlock()
 	if walErr != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -436,9 +496,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &mbe) {
 			// Refused undecoded: the loss is counted at batch granularity so
 			// the drop accounting stays complete (Stats().Ingest).
-			s.mu.Lock()
+			s.lock()
 			s.sys.NoteOversizedBody()
-			s.mu.Unlock()
+			s.unlock()
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"body exceeds %d-byte ingest cap; split the delivery", s.maxIngestBytes)
 			return
@@ -458,10 +518,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			req.Readings[i].Time = req.Time
 		}
 	}
-	s.mu.Lock()
+	s.lock()
 	err := s.sys.Ingest(req.Time, req.Readings)
 	now := s.sys.Now()
-	s.mu.Unlock()
+	s.unlock()
 	var ie *ingest.Error
 	if errors.As(err, &ie) && ie.Rejected {
 		httpError(w, http.StatusConflict, "%v", ie)
@@ -521,7 +581,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	win := geom.RectWH(x, y, ww, h)
-	s.mu.Lock()
+	s.lock()
 	var rs model.ResultSet
 	var qerr error
 	switch {
@@ -534,7 +594,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	default:
 		rs = s.sys.RangeQuery(win)
 	}
-	s.mu.Unlock()
+	s.unlock()
 	resp := map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)}
 	addPartial(resp, qerr)
 	s.writeJSON(w, resp)
@@ -558,7 +618,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad deadline_ms: %v", err)
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	var rs model.ResultSet
 	var qerr error
 	switch {
@@ -571,7 +631,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	default:
 		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
 	}
-	s.mu.Unlock()
+	s.unlock()
 	resp := map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)}
 	addPartial(resp, qerr)
 	s.writeJSON(w, resp)
@@ -618,10 +678,10 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "route needs float params x1, y1, x2, y2")
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	g := s.sys.Graph()
 	pts, dist := g.Route(g.NearestLocation(geom.Pt(x1, y1)), g.NearestLocation(geom.Pt(x2, y2)))
-	s.mu.Unlock()
+	s.unlock()
 	poly := make([][2]float64, len(pts))
 	for i, p := range pts {
 		poly[i] = [2]float64{p.X, p.Y}
@@ -635,9 +695,9 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "localize needs integer param object")
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	loc, ok := s.sys.Localize(model.ObjectID(id))
-	s.mu.Unlock()
+	s.unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "object %d has no readings", id)
 		return
@@ -660,9 +720,9 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 		Room string  `json:"room"`
 		P    float64 `json:"p"`
 	}
-	s.mu.Lock()
+	s.lock()
 	occ := s.sys.Occupancy()
-	s.mu.Unlock()
+	s.unlock()
 	// Non-nil so an empty answer encodes as [] rather than null.
 	out := []entry{}
 	for _, ro := range occ {
@@ -676,9 +736,9 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	objs := s.sys.Collector().KnownObjects()
-	s.mu.Unlock()
+	s.lock()
+	objs := s.sys.KnownObjects()
+	s.unlock()
 	if objs == nil {
 		objs = []model.ObjectID{}
 	}
@@ -686,11 +746,11 @@ func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.lock()
 	hits, misses := s.sys.CacheStats()
 	st := s.sys.Stats()
 	now := s.sys.Now()
-	s.mu.Unlock()
+	s.unlock()
 	s.writeJSON(w, map[string]any{
 		"now":         now,
 		"work":        st,
@@ -708,17 +768,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.lock()
 	c := viz.NewCanvas(s.plan, 10)
 	c.DrawPlan(s.plan)
 	c.DrawDeployment(s.dep)
-	tab := s.sys.Preprocess(s.sys.Collector().KnownObjects())
+	tab := s.sys.Preprocess(s.sys.KnownObjects())
 	colors := []string{"#d62728", "#ff7f0e", "#9467bd", "#17becf", "#bcbd22", "#e377c2"}
 	for i, obj := range tab.Objects() {
 		c.DrawDistribution(s.sys.AnchorIndex(), tab.DistributionOf(obj), colors[i%len(colors)])
 	}
 	svg := c.SVG()
-	s.mu.Unlock()
+	s.unlock()
 	w.Header().Set("Content-Type", "image/svg+xml")
 	fmt.Fprint(w, svg)
 }
@@ -728,9 +788,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // renders into a buffer (atomics need no lock), so a stalled scraper never
 // blocks ingestion.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.lock()
 	s.sys.SyncMetrics()
-	s.mu.Unlock()
+	s.unlock()
 	var buf bytes.Buffer
 	if _, err := s.sys.Telemetry().Registry().WriteTo(&buf); err != nil {
 		httpError(w, http.StatusInternalServerError, "render metrics: %v", err)

@@ -464,3 +464,93 @@ func SegmentInfos(dir string) ([]SegmentInfo, error) {
 	}
 	return out, nil
 }
+
+// TruncateTo discards every record with sequence number greater than seq,
+// leaving the log positioned so the next Append continues at seq+1. The
+// sharded engine uses it to even out ragged shard logs after a crash
+// between the per-shard appends of one flushed second: the shards that got
+// further are cut back to the last second every shard holds. It returns the
+// number of bytes removed.
+func (l *Log) TruncateTo(seq uint64) (int64, error) {
+	if l.closed {
+		return 0, fmt.Errorf("wal: truncate on closed log")
+	}
+	if seq >= l.lastSeq {
+		return 0, nil
+	}
+	// Close the append handle; it is re-opened on the surviving tail.
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync before truncate: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return 0, fmt.Errorf("wal: close before truncate: %w", err)
+		}
+		l.f = nil
+	}
+	var removed int64
+	// Only the last surviving segment can straddle seq (any earlier one ends
+	// before its successor's firstSeq <= seq), so walk backwards: drop whole
+	// segments past seq, then cut the straddling one at the record boundary.
+	for len(l.segments) > 0 {
+		ref := l.segments[len(l.segments)-1]
+		var cut int64
+		var lastKept uint64
+		scan, err := ScanSegment(ref.path, func(r Rec) error {
+			if r.Seq > seq {
+				return errStopScan
+			}
+			cut = r.End
+			lastKept = r.Seq
+			return nil
+		})
+		if err != nil {
+			return removed, err
+		}
+		if lastKept == 0 {
+			// No record at or below seq survives here; remove the segment
+			// (header included — the whole file leaves the disk).
+			removed += scan.FileSize
+			if err := os.Remove(ref.path); err != nil {
+				return removed, fmt.Errorf("wal: remove segment: %w", err)
+			}
+			l.segments = l.segments[:len(l.segments)-1]
+			continue
+		}
+		if cut < scan.FileSize {
+			removed += scan.FileSize - cut
+			if err := os.Truncate(ref.path, cut); err != nil {
+				return removed, fmt.Errorf("wal: truncate segment: %w", err)
+			}
+		}
+		l.lastSeq = lastKept
+		break
+	}
+	if len(l.segments) == 0 {
+		// Everything after seq is gone and nothing before it remains on
+		// disk (snapshots cover it); appends continue from seq.
+		l.lastSeq = seq
+		l.size = 0
+		l.dirty = false
+		return removed, nil
+	}
+	// Re-open the append handle at the end of the surviving segment.
+	path := l.segments[len(l.segments)-1].path
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return removed, fmt.Errorf("wal: open active segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return removed, fmt.Errorf("wal: stat active segment: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return removed, fmt.Errorf("wal: seek active segment: %w", err)
+	}
+	l.f = f
+	l.size = st.Size()
+	l.dirty = false
+	return removed, nil
+}

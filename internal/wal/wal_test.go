@@ -380,3 +380,107 @@ func TestSyncPolicyParse(t *testing.T) {
 		t.Fatal("bad policy parsed without error")
 	}
 }
+
+// TestTruncateTo drops a ragged tail at every possible cut point of a
+// multi-segment log and verifies the surviving prefix replays exactly, the
+// reported byte count matches the on-disk shrinkage, and the log stays
+// appendable from the cut.
+func TestTruncateTo(t *testing.T) {
+	const n = 10
+	payload := bytes.Repeat([]byte("p"), 40)
+	for cut := uint64(0); cut <= n; cut++ {
+		dir := t.TempDir()
+		opts := Options{StreamID: 9, SegmentBytes: 128}
+		l, _, _ := collect(t, dir, opts)
+		for seq := uint64(1); seq <= n; seq++ {
+			if err := l.Append(seq, payload); err != nil {
+				t.Fatalf("Append(%d): %v", seq, err)
+			}
+		}
+		sizeBefore := dirBytes(t, dir)
+		removed, err := l.TruncateTo(cut)
+		if err != nil {
+			t.Fatalf("TruncateTo(%d): %v", cut, err)
+		}
+		if got := l.LastSeq(); got != cut {
+			t.Fatalf("TruncateTo(%d): LastSeq = %d", cut, got)
+		}
+		if want := sizeBefore - dirBytes(t, dir); removed != want {
+			t.Fatalf("TruncateTo(%d): reported %d bytes removed, disk shrank by %d", cut, removed, want)
+		}
+		if cut < n && removed <= 0 {
+			t.Fatalf("TruncateTo(%d): removed %d bytes, want > 0", cut, removed)
+		}
+		// The log must accept the next sequence straight away...
+		if err := l.Append(cut+1, []byte("resume")); err != nil {
+			t.Fatalf("Append(%d) after truncate: %v", cut+1, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// ...and a reopen must see the prefix plus the resumed record.
+		l2, rep, recs := collect(t, dir, opts)
+		if rep.Corrupt {
+			t.Fatalf("cut=%d: reopen reports corruption: %+v", cut, rep)
+		}
+		if rep.LastSeq != cut+1 {
+			t.Fatalf("cut=%d: reopen LastSeq = %d, want %d", cut, rep.LastSeq, cut+1)
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i)+1 {
+				t.Fatalf("cut=%d: record %d has seq %d", cut, i, r.Seq)
+			}
+			want := payload
+			if r.Seq == cut+1 {
+				want = []byte("resume")
+			}
+			if !bytes.Equal(r.Payload, want) {
+				t.Fatalf("cut=%d: record seq %d payload %q", cut, r.Seq, r.Payload)
+			}
+		}
+		if len(recs) != int(cut)+1 {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(recs), cut+1)
+		}
+		l2.Close()
+	}
+}
+
+// TestTruncateToNoop verifies TruncateTo at or past the tail changes nothing.
+func TestTruncateToNoop(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{StreamID: 9}
+	l, _, _ := collect(t, dir, opts)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(seq, []byte("x")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	for _, cut := range []uint64{3, 4, 100} {
+		removed, err := l.TruncateTo(cut)
+		if err != nil || removed != 0 {
+			t.Fatalf("TruncateTo(%d) = (%d, %v), want no-op", cut, removed, err)
+		}
+	}
+	if l.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d after no-op truncations", l.LastSeq())
+	}
+	l.Close()
+}
+
+// dirBytes sums the size of every file under dir.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		total += info.Size()
+	}
+	return total
+}
