@@ -42,18 +42,18 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x ./internal/...
 
 # Run the hot-path benchmarks (indexed coverage index vs. geometric
-# reference, plus the 1k-object engine step) and record the parsed results,
-# the indexed/geometric speedups, and the speedups over the checked-in
-# pre-SoA baseline BENCH_1.json.
+# reference, the engine step benchmarks, and the tracing-overhead pair) and
+# record the parsed results plus the speedups over the checked-in
+# pre-tracing baseline BENCH_3.json.
 bench-json:
-	go run ./cmd/benchjson -out BENCH_2.json -baseline BENCH_1.json
+	go run ./cmd/benchjson -out BENCH_4.json -baseline BENCH_3.json
 
 # Regression gate: re-run the hot-path benchmarks and fail loudly if the
-# indexed FilterStep or the single-engine 1k-object step is more than 20%
-# slower than the checked-in BENCH_2.json. Writes nothing; used by CI next
-# to bench-smoke.
+# indexed FilterStep, the single-engine 1k-object step, or the one-shard
+# router step is more than 20% slower than the checked-in BENCH_3.json.
+# Writes nothing; used by CI next to bench-smoke.
 bench-diff:
-	go run ./cmd/benchjson -out '' -baseline BENCH_2.json -maxregress 0.20
+	go run ./cmd/benchjson -out '' -baseline BENCH_3.json -maxregress 0.20
 
 # Record the sharded-engine scaling report: the hot-path benchmarks plus the
 # EngineStep benchmarks at shards 1/4/16, with speedups over the pre-sharding

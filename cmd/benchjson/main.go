@@ -34,9 +34,11 @@ import (
 const benchPattern = "BenchmarkFilterStep|BenchmarkNegativeUpdate|BenchmarkInitAt|BenchmarkReweight"
 
 // enginePattern selects the engine-level population benchmarks: the
-// single-engine 1k-object step (no sub-benchmark path) and its sharded-router
-// variant (shards=N sub-benchmarks showing scaling with the shard count).
-const enginePattern = "BenchmarkEngineStep"
+// single-engine 1k-object step (no sub-benchmark path), its sharded-router
+// variant (shards=N sub-benchmarks showing scaling with the shard count), and
+// the tracing-overhead pair (enabled/disabled sub-benchmarks pinning the cost
+// of the request tracer on the filter step).
+const enginePattern = "BenchmarkEngineStep|BenchmarkFilterStepTraced"
 
 // result is one parsed benchmark line.
 type result struct {
@@ -240,7 +242,8 @@ func parseLine(line string) (result, bool) {
 		full = full[:i]
 	}
 	name, path, ok := strings.Cut(strings.TrimPrefix(full, "Benchmark"), "/")
-	if ok && path != "indexed" && path != "geometric" && !strings.HasPrefix(path, "shards=") {
+	if ok && path != "indexed" && path != "geometric" && path != "enabled" &&
+		path != "disabled" && !strings.HasPrefix(path, "shards=") {
 		return result{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/health"
+	"repro/internal/obs/trace"
 	"repro/internal/rfid"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -55,6 +56,7 @@ func run() error {
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQ    = flag.Duration("slow-query", 100*time.Millisecond, "slow-query log threshold (0 disables the log)")
 		shards   = flag.Int("shards", 1, "engine shards; >1 partitions objects across independently locked shards")
+		traceSmp = flag.Float64("trace-sample", 0.01, "probability an unremarkable request trace is kept at /debug/traces (slow/shed/deadline/errored traces are always kept; negative disables tracing)")
 
 		healthOn    = flag.Bool("reader-health", true, "infer per-reader liveness and compensate the sensing model for SUSPECT/DEAD readers")
 		maxInFlight = flag.Int("max-inflight", 4, "concurrent queries admitted (0 disables admission control and overload shedding)")
@@ -123,6 +125,11 @@ func run() error {
 	srv := server.NewWith(sys, plan, dep, server.Config{
 		Admission:      adm,
 		MaxIngestBytes: *ingestBytes,
+		Trace: trace.Config{
+			Sample: *traceSmp,
+			Slow:   *slowQ,
+			Seed:   *seed,
+		},
 	})
 	if rec := sys.Recovery(); rec.Enabled {
 		fmt.Printf("durability: data-dir=%s fsync=%s; recovered snapshot seq=%d, replayed %d records (%d readings)",
@@ -169,7 +176,7 @@ func run() error {
 
 	fmt.Printf("indoor query server on %s (%d rooms, %d readers)\n",
 		*addr, len(plan.Rooms()), dep.NumReaders())
-	fmt.Printf("telemetry: /metrics and /debug/filtertrace")
+	fmt.Printf("telemetry: /metrics, /debug/filtertrace and /debug/traces")
 	if *pprofOn {
 		fmt.Printf(", pprof on /debug/pprof/")
 	}

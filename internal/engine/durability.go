@@ -286,10 +286,13 @@ func (s *System) syncWAL(force bool) error {
 			return nil
 		}
 	}
+	fstart := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		s.failWAL(err)
 		return s.walErr
 	}
+	s.shardTel.walFsync.Observe(time.Since(fstart).Seconds())
+	s.curTrace.Since("wal-fsync", s.shardID, fstart)
 	s.lastSync = time.Now()
 	s.tel.walSyncs.Inc()
 	return nil

@@ -27,6 +27,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/particle"
 	"repro/internal/query"
 	"repro/internal/rfid"
@@ -188,6 +189,16 @@ type System struct {
 	// layer (oversized bodies) that never reach the reorder buffer.
 	monitor    *health.Monitor
 	extraDrops ingest.Drops
+
+	// shardID is this engine's position in a sharded router (0 standalone);
+	// it labels filter traces, spans, and the shardTel metric handles.
+	// curTrace is the request trace of the in-flight IngestContext call, read
+	// by the reorder sink so flush-time work (WAL append/fsync, collect)
+	// attributes to the delivery that triggered it. Both are written under
+	// the same exclusion the rest of the System requires.
+	shardID  int
+	shardTel *shardMetrics
+	curTrace *trace.Context
 	// eventLog retains ENTER/LEAVE events for registry consumers (bounded).
 	eventLog []model.Event
 	eventOff int
@@ -284,6 +295,7 @@ func New(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, error
 	s.tel = newTelemetry(cfg)
 	s.filter.Instrument(s.tel.filterMetrics())
 	s.cache.Instrument(s.tel.cacheHits, s.tel.cacheMisses, s.tel.cacheEvictions)
+	s.shardTel = s.tel.shardMetrics(0)
 	return s, nil
 }
 
@@ -344,7 +356,9 @@ func (s *System) Ingest(t model.Time, raws []model.RawReading) error {
 	if s.walErr != nil {
 		return s.walErr
 	}
+	rstart := time.Now()
 	err := s.reorder.Offer(t, raws)
+	s.curTrace.Since("reorder", s.shardID, rstart)
 	if serr := s.syncWAL(false); serr != nil {
 		return serr
 	}
@@ -353,6 +367,16 @@ func (s *System) Ingest(t model.Time, raws []model.RawReading) error {
 		return s.walErr
 	}
 	return err
+}
+
+// IngestContext is Ingest carrying a request trace: flush-time spans
+// (reorder, WAL append/fsync, collect) recorded while this delivery is in
+// flight attach to the trace in ctx. Callers provide the same exclusion
+// Ingest requires, so stashing the trace in the System is race-free.
+func (s *System) IngestContext(ctx context.Context, t model.Time, raws []model.RawReading) error {
+	s.curTrace = trace.From(ctx)
+	defer func() { s.curTrace = nil }()
+	return s.Ingest(t, raws)
 }
 
 // FlushIngest drains every second still buffered in the reorder buffer,
@@ -369,10 +393,22 @@ func (s *System) FlushIngest() {
 // reorder buffer's position and drop accounting, so recovery restores
 // Stats exactly — then applies it, then schedules a snapshot when due.
 func (s *System) ingestSecond(t model.Time, raws []model.RawReading) {
-	if s.wal != nil && s.walErr == nil {
-		s.appendWAL(t, raws)
+	if maxSeen, ok := s.reorder.MaxSeen(); ok && maxSeen > t {
+		s.tel.reorderLag.Observe(float64(maxSeen - t))
+	} else {
+		s.tel.reorderLag.Observe(0)
 	}
+	if s.wal != nil && s.walErr == nil {
+		wstart := time.Now()
+		s.appendWAL(t, raws)
+		s.shardTel.walAppend.Observe(time.Since(wstart).Seconds())
+		s.curTrace.Since("wal-append", s.shardID, wstart)
+	}
+	astart := time.Now()
 	s.applySecond(t, raws)
+	s.shardTel.step.Observe(time.Since(astart).Seconds())
+	s.shardTel.queueDepth.Set(float64(len(raws)))
+	s.curTrace.Since("collect", s.shardID, astart)
 	s.maybeSnapshot()
 }
 
@@ -474,6 +510,7 @@ func (s *System) PreprocessContext(ctx context.Context, candidates []model.Objec
 func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID) (*anchor.Table, error) {
 	tab := anchor.NewTable()
 	now := s.col.Now()
+	tr := trace.From(ctx)
 	sorted := append([]model.ObjectID(nil), candidates...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
@@ -551,6 +588,10 @@ func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID)
 					return
 				}
 				t := &tasks[i]
+				var callStart time.Time
+				if tr != nil {
+					callStart = time.Now()
+				}
 				src := rng.Derive(s.cfg.Seed, int64(t.obj), int64(t.entries[len(t.entries)-1].Time))
 				if t.cached != nil {
 					t.st = t.cached
@@ -568,6 +609,9 @@ func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID)
 				t.dist = t.st.AnchorDistribution(s.idx)
 				t.snap = time.Since(snapStart)
 				s.tel.stageSnap.Observe(t.snap.Seconds())
+				if tr != nil {
+					s.recordStageSpans(tr, callStart, t.obj, t.st.LastRun, t.snap)
+				}
 			}
 		}
 	}
@@ -590,7 +634,7 @@ func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID)
 			s.stats.FiltersRun++
 			s.tel.runsFull.Inc()
 		}
-		s.tel.recordTrace(t.st, t.snap, t.cached != nil)
+		s.tel.recordTrace(s.shardID, t.st, t.snap, t.cached != nil)
 		if s.cfg.UseCache {
 			s.cache.Put(t.st, t.dj)
 		}
@@ -600,6 +644,23 @@ func (s *System) preprocessCtx(ctx context.Context, candidates []model.ObjectID)
 		return tab, &query.DeadlineError{Stage: "preprocess", Err: ctx.Err()}
 	}
 	return tab, nil
+}
+
+// recordStageSpans reconstructs one filter call's per-stage spans from the
+// particle.RunStats the instrumented filter left behind, laid consecutively
+// from the call start. The filter kernel itself is never touched — its
+// zero-allocation contract stays intact — and untraced calls skip this
+// entirely (the tr != nil guard at the call site).
+func (s *System) recordStageSpans(tr *trace.Context, callStart time.Time, obj model.ObjectID, rs particle.RunStats, snap time.Duration) {
+	attr := trace.Attr{Key: "object", Value: fmt.Sprint(obj)}
+	at := callStart
+	tr.Add("predict", s.shardID, at, rs.Predict, attr)
+	at = at.Add(rs.Predict)
+	tr.Add("reweight", s.shardID, at, rs.Reweight, attr)
+	at = at.Add(rs.Reweight)
+	tr.Add("resample", s.shardID, at, rs.Resample, attr)
+	at = at.Add(rs.Resample)
+	tr.Add("snap", s.shardID, at, snap, attr)
 }
 
 // RangeCandidates applies the query aware optimization for range queries,
@@ -638,7 +699,7 @@ func (s *System) RangeQuery(window geom.Rect) model.ResultSet {
 	tab := s.Preprocess(cands)
 	rs := s.RangeQueryOn(tab, window)
 	s.observeQuery("range", rangeDetail(window.Min.X, window.Min.Y,
-		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start)
+		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start, nil)
 	return rs
 }
 
@@ -656,7 +717,7 @@ func (s *System) KNNQuery(q geom.Point, k int) model.ResultSet {
 	cands := s.KNNCandidates(q, k)
 	tab := s.Preprocess(cands)
 	rs := s.KNNQueryOn(tab, q, k)
-	s.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start)
+	s.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start, nil)
 	return rs
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/query"
 )
 
@@ -68,10 +69,14 @@ func (s *System) NoteOversizedBody() {
 // means the result is complete and identical to RangeQuery's.
 func (s *System) RangeQueryContext(ctx context.Context, window geom.Rect) (model.ResultSet, error) {
 	start := time.Now()
+	tr := trace.From(ctx)
 	now := s.col.Now()
+	gstart := time.Now()
 	infos := s.objectInfos()
+	tr.Since("gather", trace.RouterShard, gstart)
 	var cands []model.ObjectID
 	var perr error
+	pstart := time.Now()
 	if s.cfg.UsePruning {
 		// An expired prune fails open (all objects admitted); preprocessing
 		// below will cut the work short instead.
@@ -79,13 +84,20 @@ func (s *System) RangeQueryContext(ctx context.Context, window geom.Rect) (model
 	} else {
 		cands = infosToIDs(infos)
 	}
+	tr.Since("prune", trace.RouterShard, pstart)
+	estart := time.Now()
 	tab, terr := s.preprocessCtx(ctx, cands)
+	s.shardTel.evaluate.Observe(time.Since(estart).Seconds())
+	tr.Since("evaluate", s.shardID, estart)
 	s.stats.RangeQueries++
+	mstart := time.Now()
 	rs, eerr := s.eval.RangeContext(ctx, tab, window)
+	tr.Since("merge", trace.RouterShard, mstart)
 	s.observeQuery("range", rangeDetail(window.Min.X, window.Min.Y,
-		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start)
+		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start, tr)
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		s.tel.deadlineExceeded.Inc()
+		tr.SetDeadline()
 		return rs, err
 	}
 	return rs, nil
@@ -95,21 +107,32 @@ func (s *System) RangeQueryContext(ctx context.Context, window geom.Rect) (model
 // deadline; see RangeQueryContext for the partial-result contract.
 func (s *System) KNNQueryContext(ctx context.Context, q geom.Point, k int) (model.ResultSet, error) {
 	start := time.Now()
+	tr := trace.From(ctx)
 	now := s.col.Now()
+	gstart := time.Now()
 	infos := s.objectInfos()
+	tr.Since("gather", trace.RouterShard, gstart)
 	var cands []model.ObjectID
 	var perr error
+	pstart := time.Now()
 	if s.cfg.UsePruning {
 		cands, perr = s.pruner.KNNCandidatesContext(ctx, infos, q, k, now)
 	} else {
 		cands = infosToIDs(infos)
 	}
+	tr.Since("prune", trace.RouterShard, pstart)
+	estart := time.Now()
 	tab, terr := s.preprocessCtx(ctx, cands)
+	s.shardTel.evaluate.Observe(time.Since(estart).Seconds())
+	tr.Since("evaluate", s.shardID, estart)
 	s.stats.KNNQueries++
+	mstart := time.Now()
 	rs, eerr := s.eval.KNNContext(ctx, tab, q, k)
-	s.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start)
+	tr.Since("merge", trace.RouterShard, mstart)
+	s.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start, tr)
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		s.tel.deadlineExceeded.Inc()
+		tr.SetDeadline()
 		return rs, err
 	}
 	return rs, nil

@@ -17,6 +17,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/particle"
 	"repro/internal/query"
 	"repro/internal/rfid"
@@ -76,6 +77,10 @@ type Sharded struct {
 	eventLog   []model.Event
 	eventOff   int
 	extraDrops ingest.Drops
+
+	// curTrace is the trace of the in-flight IngestContext call, read by the
+	// reorder sink and the WAL/apply paths it triggers. Guarded by ingestMu.
+	curTrace *trace.Context
 
 	// healthMu fences the unhealthy-reader set and the particle budget:
 	// queries hold it for read so a concurrent flush cannot swap the
@@ -165,6 +170,13 @@ func NewSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Sharde
 		sh.filter.Instrument(e.tel.filterMetrics())
 		sh.cache.Instrument(e.tel.cacheHits, e.tel.cacheMisses, e.tel.cacheEvictions)
 	}
+	// Per-shard identity and labeled metric children. Set after the adoption
+	// loop: each shard's New() resolved shardTel against its private registry,
+	// so the handles must be re-resolved against the shared telemetry.
+	for i, sh := range e.shards {
+		sh.shardID = i
+		sh.shardTel = e.tel.shardMetrics(i)
+	}
 	e.reorder = ingest.NewReorder(cfg.Ingest, e.flushSecond)
 	if cfg.Health.Enabled {
 		m, err := health.NewMonitor(cfg.Health, dep.NumReaders())
@@ -223,10 +235,27 @@ func (e *Sharded) Now() model.Time {
 func (e *Sharded) Ingest(t model.Time, raws []model.RawReading) error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
+	return e.ingestLocked(t, raws)
+}
+
+// IngestContext is Ingest carrying a request trace: the reorder wait, the
+// per-shard WAL appends and fsyncs, and the per-shard apply work of any
+// second this delivery flushes all land as spans on the caller's trace.
+func (e *Sharded) IngestContext(ctx context.Context, t model.Time, raws []model.RawReading) error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.curTrace = trace.From(ctx)
+	defer func() { e.curTrace = nil }()
+	return e.ingestLocked(t, raws)
+}
+
+func (e *Sharded) ingestLocked(t model.Time, raws []model.RawReading) error {
 	if e.walErr != nil {
 		return e.walErr
 	}
+	rstart := time.Now()
 	err := e.reorder.Offer(t, raws)
+	e.curTrace.Since("reorder", trace.RouterShard, rstart)
 	if serr := e.syncWAL(false); serr != nil {
 		return serr
 	}
@@ -249,6 +278,11 @@ func (e *Sharded) FlushIngest() {
 // second is partitioned once; with durability on, one WAL record per shard
 // is appended before anything is applied.
 func (e *Sharded) flushSecond(t model.Time, raws []model.RawReading) {
+	var lag model.Time
+	if ms, ok := e.reorder.MaxSeen(); ok && ms > t {
+		lag = ms - t
+	}
+	e.tel.reorderLag.Observe(float64(lag))
 	parts := e.partition(raws)
 	if e.wals != nil && e.walErr == nil {
 		e.appendWAL(t, parts)
@@ -283,10 +317,12 @@ func (e *Sharded) applyParts(t model.Time, parts [][]model.RawReading, raws []mo
 		e.refreshHealth()
 	}
 	evs := make([][]model.Event, e.n)
+	tr := e.curTrace // captured before the scatter; nil during recovery replay
 	apply := func(i int) {
 		sh := e.shards[i]
 		e.shardMu[i].Lock()
 		defer e.shardMu[i].Unlock()
+		astart := time.Now()
 		dropped := sh.col.Drops().Readings()
 		sh.col.IngestSecond(t, parts[i])
 		sh.stats.ReadingsIngested += len(parts[i]) - (sh.col.Drops().Readings() - dropped)
@@ -296,6 +332,9 @@ func (e *Sharded) applyParts(t model.Time, parts [][]model.RawReading, raws []mo
 				sh.cache.Invalidate(ev.Object, ev.Reader)
 			}
 		}
+		sh.shardTel.step.Observe(time.Since(astart).Seconds())
+		sh.shardTel.queueDepth.Set(float64(len(parts[i])))
+		tr.Since("collect", i, astart)
 	}
 	if e.n == 1 {
 		apply(0)
@@ -389,10 +428,15 @@ func (e *Sharded) preprocess(cands []model.ObjectID) *anchor.Table {
 }
 
 func (e *Sharded) preprocessCtx(ctx context.Context, cands []model.ObjectID) (*anchor.Table, error) {
+	tr := trace.From(ctx)
 	if e.n == 1 {
 		e.shardMu[0].Lock()
 		defer e.shardMu[0].Unlock()
-		return e.shards[0].preprocessCtx(ctx, cands)
+		estart := time.Now()
+		tab, err := e.shards[0].preprocessCtx(ctx, cands)
+		e.shards[0].shardTel.evaluate.Observe(time.Since(estart).Seconds())
+		tr.Since("evaluate", 0, estart)
+		return tab, err
 	}
 	parts := make([][]model.ObjectID, e.n)
 	for _, obj := range cands {
@@ -404,6 +448,9 @@ func (e *Sharded) preprocessCtx(ctx context.Context, cands []model.ObjectID) (*a
 	var wg sync.WaitGroup
 	for i := range e.shards {
 		if len(parts[i]) == 0 {
+			// A zero-duration span still attributes the shard's (absent) share
+			// of the scatter, so a trace always shows all n shards.
+			tr.Add("evaluate", i, time.Now(), 0)
 			continue
 		}
 		wg.Add(1)
@@ -411,7 +458,10 @@ func (e *Sharded) preprocessCtx(ctx context.Context, cands []model.ObjectID) (*a
 			defer wg.Done()
 			e.shardMu[i].Lock()
 			defer e.shardMu[i].Unlock()
+			estart := time.Now()
 			tabs[i], errs[i] = e.shards[i].preprocessCtx(ctx, parts[i])
+			e.shards[i].shardTel.evaluate.Observe(time.Since(estart).Seconds())
+			tr.Since("evaluate", i, estart)
 		}(i)
 	}
 	wg.Wait()
@@ -452,7 +502,7 @@ func (e *Sharded) RangeQuery(window geom.Rect) model.ResultSet {
 	e.rangeQ.Add(1)
 	rs := e.shards[0].eval.Range(tab, window)
 	e.observeQuery("range", rangeDetail(window.Min.X, window.Min.Y,
-		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start)
+		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start, nil)
 	return rs
 }
 
@@ -471,7 +521,7 @@ func (e *Sharded) KNNQuery(q geom.Point, k int) model.ResultSet {
 	tab := e.preprocess(cands)
 	e.knnQ.Add(1)
 	rs := e.shards[0].eval.KNN(tab, q, k)
-	e.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start)
+	e.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start, nil)
 	return rs
 }
 
@@ -479,23 +529,31 @@ func (e *Sharded) KNNQuery(q geom.Point, k int) model.ResultSet {
 // contract over the sharded scatter.
 func (e *Sharded) RangeQueryContext(ctx context.Context, window geom.Rect) (model.ResultSet, error) {
 	start := time.Now()
+	tr := trace.From(ctx)
 	e.healthMu.RLock()
 	defer e.healthMu.RUnlock()
+	gstart := time.Now()
 	infos := e.gatherInfos()
+	tr.Since("gather", trace.RouterShard, gstart)
 	var cands []model.ObjectID
 	var perr error
+	pstart := time.Now()
 	if e.cfg.UsePruning {
 		cands, perr = e.shards[0].pruner.RangeCandidatesContext(ctx, infos, []geom.Rect{window}, e.Now())
 	} else {
 		cands = infosToIDs(infos)
 	}
+	tr.Since("prune", trace.RouterShard, pstart)
 	tab, terr := e.preprocessCtx(ctx, cands)
 	e.rangeQ.Add(1)
+	mstart := time.Now()
 	rs, eerr := e.shards[0].eval.RangeContext(ctx, tab, window)
+	tr.Since("merge", trace.RouterShard, mstart)
 	e.observeQuery("range", rangeDetail(window.Min.X, window.Min.Y,
-		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start)
+		window.Max.X-window.Min.X, window.Max.Y-window.Min.Y), len(cands), start, tr)
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		e.tel.deadlineExceeded.Inc()
+		tr.SetDeadline()
 		return rs, err
 	}
 	return rs, nil
@@ -504,22 +562,30 @@ func (e *Sharded) RangeQueryContext(ctx context.Context, window geom.Rect) (mode
 // KNNQueryContext mirrors System.KNNQueryContext.
 func (e *Sharded) KNNQueryContext(ctx context.Context, q geom.Point, k int) (model.ResultSet, error) {
 	start := time.Now()
+	tr := trace.From(ctx)
 	e.healthMu.RLock()
 	defer e.healthMu.RUnlock()
+	gstart := time.Now()
 	infos := e.gatherInfos()
+	tr.Since("gather", trace.RouterShard, gstart)
 	var cands []model.ObjectID
 	var perr error
+	pstart := time.Now()
 	if e.cfg.UsePruning {
 		cands, perr = e.shards[0].pruner.KNNCandidatesContext(ctx, infos, q, k, e.Now())
 	} else {
 		cands = infosToIDs(infos)
 	}
+	tr.Since("prune", trace.RouterShard, pstart)
 	tab, terr := e.preprocessCtx(ctx, cands)
 	e.knnQ.Add(1)
+	mstart := time.Now()
 	rs, eerr := e.shards[0].eval.KNNContext(ctx, tab, q, k)
-	e.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start)
+	tr.Since("merge", trace.RouterShard, mstart)
+	e.observeQuery("knn", knnDetail(q.X, q.Y, k), len(cands), start, tr)
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		e.tel.deadlineExceeded.Inc()
+		tr.SetDeadline()
 		return rs, err
 	}
 	return rs, nil
@@ -748,7 +814,7 @@ func (e *Sharded) SyncMetrics() {
 }
 
 // observeQuery mirrors System.observeQuery against the shared telemetry.
-func (e *Sharded) observeQuery(kind, detail string, candidates int, start time.Time) {
+func (e *Sharded) observeQuery(kind, detail string, candidates int, start time.Time, tr *trace.Context) {
 	elapsed := time.Since(start)
 	t := e.tel
 	h := t.queryRange
@@ -759,11 +825,13 @@ func (e *Sharded) observeQuery(kind, detail string, candidates int, start time.T
 	if thr := e.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
 		t.slowQueries.Inc()
 		t.Slow.Add(SlowQuery{
-			Kind:       kind,
-			Detail:     detail,
-			SimTime:    int64(e.Now()),
-			Candidates: candidates,
-			Micros:     elapsed.Microseconds(),
+			Kind:        kind,
+			Detail:      detail,
+			SimTime:     int64(e.Now()),
+			Candidates:  candidates,
+			Micros:      elapsed.Microseconds(),
+			TraceID:     tr.IDString(),
+			ShardMicros: tr.DurationsOf("evaluate", e.n),
 		})
 		log.Printf("engine: slow %s query (%s, %d candidates): %v", kind, detail, candidates, elapsed)
 	}

@@ -358,10 +358,13 @@ func (e *Sharded) appendWAL(t model.Time, parts [][]model.RawReading) {
 			Readings: parts[i],
 		}
 		e.walBuf = b.Encode(e.walBuf[:0])
+		wstart := time.Now()
 		if err := l.Append(e.walSeq+1, e.walBuf); err != nil {
 			e.failWAL(err)
 			return
 		}
+		e.shards[i].shardTel.walAppend.Observe(time.Since(wstart).Seconds())
+		e.curTrace.Since("wal-append", i, wstart)
 	}
 	e.walSeq++
 	e.sinceSnap++
@@ -384,11 +387,14 @@ func (e *Sharded) syncWAL(force bool) error {
 			return nil
 		}
 	}
-	for _, l := range e.wals {
+	for i, l := range e.wals {
+		fstart := time.Now()
 		if err := l.Sync(); err != nil {
 			e.failWAL(err)
 			return e.walErr
 		}
+		e.shards[i].shardTel.walFsync.Observe(time.Since(fstart).Seconds())
+		e.curTrace.Since("wal-fsync", i, fstart)
 	}
 	e.lastSync = time.Now()
 	e.tel.walSyncs.Inc()

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"log"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/particle"
 )
 
@@ -71,6 +73,47 @@ type Telemetry struct {
 	walSnapshotsSkipped *obs.Counter
 	walLastSeq          *obs.Gauge
 	walSegments         *obs.Gauge
+
+	// Per-shard families (shard-labeled). Children are resolved once per
+	// shard through shardMetrics and cached, so the hot paths record through
+	// plain handles.
+	shardStep       *obs.HistogramVec
+	shardEvaluate   *obs.HistogramVec
+	shardWALAppend  *obs.HistogramVec
+	shardWALFsync   *obs.HistogramVec
+	shardQueueDepth *obs.GaugeVec
+	reorderLag      *obs.Histogram
+
+	shardMu sync.Mutex
+	shardM  []*shardMetrics
+}
+
+// shardMetrics are one shard's resolved per-shard metric handles.
+type shardMetrics struct {
+	step       *obs.Histogram
+	evaluate   *obs.Histogram
+	walAppend  *obs.Histogram
+	walFsync   *obs.Histogram
+	queueDepth *obs.Gauge
+}
+
+// shardMetrics returns (creating on first use) the cached handles for shard
+// i. The sharded router resolves every shard's handles at construction; a
+// standalone System resolves shard 0.
+func (t *Telemetry) shardMetrics(i int) *shardMetrics {
+	t.shardMu.Lock()
+	defer t.shardMu.Unlock()
+	for len(t.shardM) <= i {
+		label := strconv.Itoa(len(t.shardM))
+		t.shardM = append(t.shardM, &shardMetrics{
+			step:       t.shardStep.With(label),
+			evaluate:   t.shardEvaluate.With(label),
+			walAppend:  t.shardWALAppend.With(label),
+			walFsync:   t.shardWALFsync.With(label),
+			queueDepth: t.shardQueueDepth.With(label),
+		})
+	}
+	return t.shardM[i]
 }
 
 // SlowQuery is one slow-query log record.
@@ -84,6 +127,13 @@ type SlowQuery struct {
 	Candidates int `json:"candidates"`
 	// Micros is the query's wall time in microseconds.
 	Micros int64 `json:"micros"`
+	// TraceID links the entry to its request trace at /debug/traces (empty
+	// when the query ran untraced).
+	TraceID string `json:"traceId,omitempty"`
+	// ShardMicros is the per-shard evaluate wall time in microseconds,
+	// indexed by shard, taken from the trace's scatter spans. Present only
+	// for traced queries.
+	ShardMicros []int64 `json:"shardMicros,omitempty"`
 }
 
 // newTelemetry builds the registry and registers the full metric inventory
@@ -174,6 +224,19 @@ func newTelemetry(cfg Config) *Telemetry {
 			"Last WAL sequence number appended or recovered."),
 		walSegments: r.Gauge("repro_wal_segments",
 			"Live WAL segment files."),
+		shardStep: r.HistogramVec("repro_shard_step_seconds",
+			"Wall time one shard spent applying a flushed ingest second.", nil, "shard"),
+		shardEvaluate: r.HistogramVec("repro_shard_evaluate_seconds",
+			"Wall time one shard spent preprocessing its partition of a query's candidates.", nil, "shard"),
+		shardWALAppend: r.HistogramVec("repro_shard_wal_append_seconds",
+			"Wall time of one WAL record append, per shard log.", nil, "shard"),
+		shardWALFsync: r.HistogramVec("repro_shard_wal_fsync_seconds",
+			"Wall time of one WAL fsync, per shard log (stalls show as tail mass).", nil, "shard"),
+		shardQueueDepth: r.GaugeVec("repro_shard_queue_depth",
+			"Raw readings routed to the shard in the most recently flushed second.", "shard"),
+		reorderLag: r.Histogram("repro_ingest_reorder_lag_seconds",
+			"Stream seconds the flushed second trailed the newest delivered one (router-owned reorder buffer, so no shard label).",
+			[]float64{0, 1, 2, 3, 5, 8, 13, 21}),
 	}
 	t.particleBudget.Set(float64(cfg.Particle.Ns))
 	return t
@@ -238,10 +301,11 @@ func (s *System) SyncMetrics() {
 
 // recordTrace appends one filter run to the trace ring, combining the
 // filter's own stage breakdown with the engine-side snap timing.
-func (t *Telemetry) recordTrace(st *particle.State, snap time.Duration, resumed bool) {
+func (t *Telemetry) recordTrace(shard int, st *particle.State, snap time.Duration, resumed bool) {
 	rs := st.LastRun
 	t.Trace.Add(obs.FilterTrace{
 		Object:         int64(st.Object),
+		Shard:          shard,
 		SimFrom:        int64(rs.From),
 		SimTo:          int64(rs.To),
 		Steps:          rs.Steps,
@@ -258,8 +322,10 @@ func (t *Telemetry) recordTrace(st *particle.State, snap time.Duration, resumed 
 }
 
 // observeQuery records one snapshot query: latency into the per-kind
-// histogram and, past the slow threshold, a slow-query log entry.
-func (s *System) observeQuery(kind, detail string, candidates int, start time.Time) {
+// histogram and, past the slow threshold, a slow-query log entry. tr is the
+// request trace (nil for untraced queries); a slow entry links back to it by
+// ID and carries the per-shard evaluate timings from its scatter spans.
+func (s *System) observeQuery(kind, detail string, candidates int, start time.Time, tr *trace.Context) {
 	elapsed := time.Since(start)
 	t := s.tel
 	h := t.queryRange
@@ -270,11 +336,13 @@ func (s *System) observeQuery(kind, detail string, candidates int, start time.Ti
 	if thr := s.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
 		t.slowQueries.Inc()
 		t.Slow.Add(SlowQuery{
-			Kind:       kind,
-			Detail:     detail,
-			SimTime:    int64(s.col.Now()),
-			Candidates: candidates,
-			Micros:     elapsed.Microseconds(),
+			Kind:        kind,
+			Detail:      detail,
+			SimTime:     int64(s.col.Now()),
+			Candidates:  candidates,
+			Micros:      elapsed.Microseconds(),
+			TraceID:     tr.IDString(),
+			ShardMicros: tr.DurationsOf("evaluate", s.shardID+1),
 		})
 		log.Printf("engine: slow %s query (%s, %d candidates): %v", kind, detail, candidates, elapsed)
 	}

@@ -38,6 +38,20 @@ var DefLatencyBuckets = []float64{
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	collectMu  sync.Mutex
+	collectors []func()
+}
+
+// OnCollect registers fn to run at the start of every WriteTo, before any
+// family renders. It exists for metrics that are expensive or pointless to
+// keep current continuously (Go runtime stats): they refresh lazily at
+// scrape time instead of on a ticker. Hooks run without the registry lock
+// held, so they may freely Set gauges and Observe histograms.
+func (r *Registry) OnCollect(fn func()) {
+	r.collectMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collectMu.Unlock()
 }
 
 // family is one named metric family: HELP/TYPE emitted once, then every
@@ -408,6 +422,14 @@ func formatFloat(v float64) string {
 // WriteTo renders every family in Prometheus text format, families sorted
 // by name and children by label string, so output is deterministic.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.collectMu.Lock()
+	fns := make([]func(), len(r.collectors))
+	copy(fns, r.collectors)
+	r.collectMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	fams := make([]*family, 0, len(r.families))

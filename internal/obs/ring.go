@@ -67,6 +67,9 @@ func (r *Ring[T]) Cap() int { return len(r.buf) }
 type FilterTrace struct {
 	// Object is the filtered object's ID.
 	Object int64 `json:"object"`
+	// Shard is the engine shard that ran the filter (0 for a single-shard
+	// system), so a trace entry attributes to a partition of the object space.
+	Shard int `json:"shard"`
 	// SimFrom and SimTo bound the simulated seconds the run advanced over.
 	SimFrom int64 `json:"simFrom"`
 	SimTo   int64 `json:"simTo"`

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// gcPauseBuckets span 100ns to 100ms: Go's concurrent collector keeps
+// stop-the-world pauses in the tens of microseconds, so the default latency
+// buckets (which start at 10µs) would collapse most pauses into two buckets.
+var gcPauseBuckets = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}
+
+// RegisterRuntimeMetrics adds Go runtime visibility to the registry:
+// goroutine count, heap in-use bytes, a GC pause histogram, and a
+// repro_build_info gauge carrying the toolchain version and VCS revision.
+// The values refresh lazily on each scrape via an OnCollect hook —
+// runtime.ReadMemStats briefly stops the world, so it runs only when someone
+// is actually looking, never on a ticker.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("repro_go_goroutines",
+		"Goroutines at the time of the last scrape.")
+	heap := r.Gauge("repro_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans at the time of the last scrape.")
+	pause := r.Histogram("repro_go_gc_pause_seconds",
+		"Stop-the-world GC pause durations, accumulated between scrapes.", gcPauseBuckets)
+	build := r.GaugeVec("repro_build_info",
+		"Always 1; the labels carry the Go toolchain version and VCS revision.",
+		"goversion", "revision")
+
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	build.With(runtime.Version(), revision).Set(1)
+
+	// lastGC tracks which GC cycles were already observed into the pause
+	// histogram; MemStats.PauseNs is a 256-entry ring indexed by cycle.
+	var mu sync.Mutex
+	var lastGC uint32
+	r.OnCollect(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapInuse))
+		from := lastGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			// More cycles than the ring holds since the last scrape: the
+			// older pauses are gone, observe what survived.
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for n := from; n < ms.NumGC; n++ {
+			pause.Observe(float64(ms.PauseNs[n%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+		lastGC = ms.NumGC
+	})
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChrome renders completed traces in Chrome trace-event format (the
+// JSON-array flavor consumed by chrome://tracing and Perfetto). Each trace
+// becomes one process (pid = position in the ring, 1-based) so concurrent
+// requests stay visually separate; within a trace, request-scoped spans land
+// on thread 0 ("router") and shard-scoped spans on thread shard+1
+// ("shard N"), which renders a scatter/gather fan-out as a per-shard
+// timeline. Timestamps are microseconds relative to each trace's start.
+//
+// The output is deterministic for a given input: metadata events first
+// (process name, then thread names in tid order), then the duration events in
+// recorded span order.
+func WriteChrome(w io.Writer, traces []Done) error {
+	bw := &chromeWriter{w: w}
+	bw.raw("{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.raw(",\n")
+		}
+		first = false
+	}
+	for i, tr := range traces {
+		pid := i + 1
+		sep()
+		bw.event(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pid, quote(fmt.Sprintf("%s %s", tr.Kind, tr.TraceID)))
+		// One thread-name event per tid present in this trace.
+		tids := map[int]bool{}
+		for _, sp := range tr.Spans {
+			tids[tidOf(sp.Shard)] = true
+		}
+		order := make([]int, 0, len(tids))
+		for tid := range tids {
+			order = append(order, tid)
+		}
+		sort.Ints(order)
+		for _, tid := range order {
+			name := "router"
+			if tid > 0 {
+				name = fmt.Sprintf("shard %d", tid-1)
+			}
+			sep()
+			bw.event(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				pid, tid, quote(name))
+		}
+		for _, sp := range tr.Spans {
+			sep()
+			bw.event(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"ts":%d,"dur":%d%s}`,
+				pid, tidOf(sp.Shard), quote(sp.Name), sp.StartMicros, sp.Micros, argsOf(sp.Attrs))
+		}
+	}
+	bw.raw("]}\n")
+	return bw.err
+}
+
+// tidOf maps a span's shard to a Chrome thread ID: the router timeline is
+// thread 0, shard k is thread k+1.
+func tidOf(shard int) int {
+	if shard < 0 {
+		return 0
+	}
+	return shard + 1
+}
+
+// argsOf renders span attributes as a trace-event args object, preserving
+// the recorded attribute order.
+func argsOf(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := `,"args":{`
+	for i, a := range attrs {
+		if i > 0 {
+			out += ","
+		}
+		out += quote(a.Key) + ":" + quote(a.Value)
+	}
+	return out + "}"
+}
+
+// quote JSON-escapes a string. json.Marshal on a string cannot fail.
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// chromeWriter accumulates the first write error so the happy path needs no
+// per-event error checks.
+type chromeWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *chromeWriter) raw(s string) {
+	if c.err == nil {
+		_, c.err = io.WriteString(c.w, s)
+	}
+}
+
+func (c *chromeWriter) event(format string, args ...any) {
+	c.raw(fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestWriteChromeGolden pins the Chrome trace-event rendering byte for byte:
+// metadata events first (process name, thread names in tid order), then
+// duration events in recorded span order, with microsecond timestamps
+// relative to the trace start. The fixture is a two-shard kNN scatter next
+// to a single-span ingest, exercising router and shard timelines, attrs, and
+// multi-trace pid separation.
+func TestWriteChromeGolden(t *testing.T) {
+	traces := []Done{
+		{
+			TraceID: "00000000deadbeef",
+			Kind:    "knn",
+			Micros:  900,
+			Spans: []SpanOut{
+				{Name: "gather", Shard: RouterShard, StartMicros: 0, Micros: 100},
+				{Name: "evaluate", Shard: 0, StartMicros: 100, Micros: 400,
+					Attrs: []Attr{{Key: "object", Value: "7"}}},
+				{Name: "evaluate", Shard: 1, StartMicros: 100, Micros: 300},
+				{Name: "merge", Shard: RouterShard, StartMicros: 500, Micros: 50},
+			},
+		},
+		{
+			TraceID: "0000000000c0ffee",
+			Kind:    "ingest",
+			Micros:  120,
+			Spans: []SpanOut{
+				{Name: "reorder", Shard: RouterShard, StartMicros: 0, Micros: 120},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[{"ph":"M","pid":1,"name":"process_name","args":{"name":"knn 00000000deadbeef"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"router"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"shard 0"}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"shard 1"}},
+{"ph":"X","pid":1,"tid":0,"name":"gather","ts":0,"dur":100},
+{"ph":"X","pid":1,"tid":1,"name":"evaluate","ts":100,"dur":400,"args":{"object":"7"}},
+{"ph":"X","pid":1,"tid":2,"name":"evaluate","ts":100,"dur":300},
+{"ph":"X","pid":1,"tid":0,"name":"merge","ts":500,"dur":50},
+{"ph":"M","pid":2,"name":"process_name","args":{"name":"ingest 0000000000c0ffee"}},
+{"ph":"M","pid":2,"tid":0,"name":"thread_name","args":{"name":"router"}},
+{"ph":"X","pid":2,"tid":0,"name":"reorder","ts":0,"dur":120}]}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("chrome output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The output must be valid JSON with the documented shape.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 11 {
+		t.Errorf("traceEvents length = %d, want 11", len(doc.TraceEvents))
+	}
+}
+
+// TestWriteChromeEmpty renders a valid, empty document with no traces.
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"traceEvents\":[]}\n" {
+		t.Errorf("empty chrome output = %q", got)
+	}
+}
+
+// TestWriteChromeLiveTracer renders a trace produced by the real
+// Context/Tracer pipeline, ensuring the exporter agrees with the recorder
+// about offsets (negative clamped to zero) and shard-to-tid mapping.
+func TestWriteChromeLiveTracer(t *testing.T) {
+	tr := New(Config{Sample: 1, Seed: 9})
+	tc := tr.Start("range")
+	tc.Add("early", RouterShard, time.Now().Add(-time.Hour), time.Millisecond) // clamps to offset 0
+	tc.Since("evaluate", 3, time.Now())
+	tr.Finish(tc)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"ts":0`, `"tid":4`, `"name":"shard 3"`, `"name":"router"`} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("chrome output missing %s:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilContextSafe pins the disabled-tracing contract: every method is a
+// no-op on a nil *Context, and With/From pass nil through untouched.
+func TestNilContextSafe(t *testing.T) {
+	var c *Context
+	c.Add("x", 0, time.Now(), time.Millisecond)
+	c.Since("y", RouterShard, time.Now())
+	c.SetDeadline()
+	c.SetShed()
+	c.SetError()
+	if c.ID() != 0 || c.IDString() != "" {
+		t.Errorf("nil context ID = %d %q, want 0 \"\"", c.ID(), c.IDString())
+	}
+	if d := c.DurationsOf("x", 4); d != nil {
+		t.Errorf("nil context DurationsOf = %v, want nil", d)
+	}
+	ctx := context.Background()
+	if With(ctx, nil) != ctx {
+		t.Error("With(ctx, nil) must return ctx unchanged")
+	}
+	if From(ctx) != nil || From(nil) != nil {
+		t.Error("From without a trace must return nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(Config{Sample: 1, Seed: 7})
+	tc := tr.Start("knn")
+	if tc == nil {
+		t.Fatal("Start returned nil on an enabled tracer")
+	}
+	ctx := With(context.Background(), tc)
+	if From(ctx) != tc {
+		t.Fatal("From did not recover the context's trace")
+	}
+	if len(tc.IDString()) != 16 {
+		t.Fatalf("IDString %q, want 16 hex digits", tc.IDString())
+	}
+}
+
+// TestTailSampling checks every keep rule: slow, deadline, shed, errored
+// traces survive regardless of the sample rate; unremarkable traces follow
+// the probabilistic coin.
+func TestTailSampling(t *testing.T) {
+	mark := []struct {
+		name string
+		set  func(*Context)
+		get  func(Done) bool
+	}{
+		{"deadline", (*Context).SetDeadline, func(d Done) bool { return d.Deadline }},
+		{"shed", (*Context).SetShed, func(d Done) bool { return d.Shed }},
+		{"error", (*Context).SetError, func(d Done) bool { return d.Error }},
+	}
+	for _, m := range mark {
+		tr := New(Config{Sample: 0, Seed: 3})
+		tc := tr.Start("range")
+		m.set(tc)
+		tr.Finish(tc)
+		got := tr.Snapshot()
+		if len(got) != 1 || !m.get(got[0]) {
+			t.Errorf("%s-marked trace: kept %d with flag %v, want 1 kept and flagged", m.name, len(got), got)
+		}
+	}
+
+	// Sample 0 and no flags: dropped.
+	tr := New(Config{Sample: 0, Seed: 3})
+	tr.Finish(tr.Start("range"))
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Errorf("unremarkable trace at sample 0: kept %d, want 0", n)
+	}
+
+	// Sample 1: everything kept, marked as probabilistically sampled.
+	tr = New(Config{Sample: 1, Seed: 3})
+	tr.Finish(tr.Start("range"))
+	got := tr.Snapshot()
+	if len(got) != 1 || !got[0].Sampled {
+		t.Errorf("sample-1 trace: %+v, want 1 kept with Sampled", got)
+	}
+
+	// Slow rule: a 1ns threshold marks any real request slow.
+	tr = New(Config{Sample: 0, Slow: time.Nanosecond, Seed: 3})
+	tc := tr.Start("range")
+	time.Sleep(time.Microsecond)
+	tr.Finish(tc)
+	got = tr.Snapshot()
+	if len(got) != 1 || !got[0].Slow {
+		t.Errorf("slow trace: %+v, want 1 kept with Slow", got)
+	}
+
+	// Negative sample disables the tracer entirely.
+	if New(Config{Sample: -1}) != nil {
+		t.Error("New with negative Sample must return nil")
+	}
+	var nilT *Tracer
+	if nilT.Start("x") != nil || nilT.Capacity() != 0 || nilT.Total() != 0 {
+		t.Error("nil tracer must hand out nil contexts and zero stats")
+	}
+	if s := nilT.Snapshot(); s == nil || len(s) != 0 {
+		t.Error("nil tracer Snapshot must be empty, not nil")
+	}
+}
+
+func TestSpanCapAndDrop(t *testing.T) {
+	tr := New(Config{Sample: 1, Seed: 1})
+	tc := tr.Start("ingest")
+	at := time.Now()
+	for i := 0; i < MaxSpans+10; i++ {
+		tc.Add("s", 0, at, time.Microsecond)
+	}
+	tr.Finish(tc)
+	got := tr.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(got))
+	}
+	if len(got[0].Spans) != MaxSpans || got[0].DroppedSpans != 10 {
+		t.Errorf("spans=%d dropped=%d, want %d and 10", len(got[0].Spans), got[0].DroppedSpans, MaxSpans)
+	}
+}
+
+func TestDurationsOf(t *testing.T) {
+	tr := New(Config{Sample: 1, Seed: 1})
+	tc := tr.Start("knn")
+	at := time.Now()
+	tc.Add("evaluate", 0, at, 5*time.Millisecond)
+	tc.Add("evaluate", 2, at, 3*time.Millisecond)
+	tc.Add("evaluate", 2, at, 1*time.Millisecond)
+	tc.Add("gather", RouterShard, at, time.Millisecond) // router span: excluded
+	got := tc.DurationsOf("evaluate", 4)
+	want := []int64{5000, 0, 4000, 0}
+	if len(got) != len(want) {
+		t.Fatalf("DurationsOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DurationsOf = %v, want %v", got, want)
+		}
+	}
+	if d := tc.DurationsOf("missing", 4); d != nil {
+		t.Errorf("DurationsOf(missing) = %v, want nil", d)
+	}
+}
+
+// TestTraceIDsDeterministic pins the ID stream to the seed: two tracers with
+// the same seed hand out the same IDs, different seeds diverge.
+func TestTraceIDsDeterministic(t *testing.T) {
+	a, b, c := New(Config{Seed: 42}), New(Config{Seed: 42}), New(Config{Seed: 43})
+	ida, idb, idc := a.Start("x").ID(), b.Start("x").ID(), c.Start("x").ID()
+	if ida != idb {
+		t.Errorf("same seed produced different trace IDs: %x vs %x", ida, idb)
+	}
+	if ida == idc {
+		t.Errorf("different seeds produced the same trace ID: %x", ida)
+	}
+	if strings.Repeat("0", 16) == a.Start("x").IDString() {
+		t.Error("trace ID stream stuck at zero")
+	}
+}

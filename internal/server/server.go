@@ -16,6 +16,7 @@
 //	GET  /metrics                   Prometheus text-format telemetry
 //	GET  /debug/filtertrace         recent particle-filter runs with stage timings
 //	GET  /debug/slowqueries         recent queries over the slow threshold
+//	GET  /debug/traces              tail-sampled request traces (?format=chrome)
 //	GET  /debug/pprof/              net/http/pprof (opt-in via HandlerConfig)
 //
 // The single-shard engine.System is not safe for concurrent use; the server
@@ -51,6 +52,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/rfid"
 	"repro/internal/viz"
 	"repro/internal/walkgraph"
@@ -60,6 +62,7 @@ import (
 // the single-shard *engine.System and the sharded *engine.Sharded.
 type Engine interface {
 	Ingest(t model.Time, raws []model.RawReading) error
+	IngestContext(ctx context.Context, t model.Time, raws []model.RawReading) error
 	Now() model.Time
 	KnownObjects() []model.ObjectID
 	RangeQuery(window geom.Rect) model.ResultSet
@@ -111,12 +114,18 @@ type Server struct {
 	// drain before the listener closes.
 	ready atomic.Bool
 
+	// tracer tail-samples request traces into the /debug/traces ring; nil
+	// when tracing is disabled (Config.Trace.Sample < 0).
+	tracer *trace.Tracer
+
 	// Per-endpoint telemetry, registered into the system's registry so one
-	// /metrics scrape covers every layer.
+	// /metrics scrape covers every layer. Encode errors and panics are
+	// labeled by route pattern: the statusWriter pins the path before the
+	// ResponseWriter is handed off, so even streamed handlers attribute.
 	httpRequests *obs.CounterVec
 	httpLatency  *obs.HistogramVec
-	encodeErrors *obs.Counter
-	httpPanics   *obs.Counter
+	encodeErrors *obs.CounterVec
+	httpPanics   *obs.CounterVec
 
 	// Degraded-mode telemetry (registered only with admission control on).
 	degradedMode        *obs.Gauge
@@ -132,6 +141,10 @@ type Config struct {
 	// get 413 and are counted in the ingest drop accounting. 0 selects
 	// DefaultMaxIngestBytes; negative disables the cap.
 	MaxIngestBytes int64
+	// Trace configures request tracing. The zero value keeps only
+	// remarkable traces (slow, deadline-exceeded, shed, errored); a
+	// negative Sample disables tracing entirely.
+	Trace trace.Config
 }
 
 // DefaultMaxIngestBytes bounds one ingest delivery. A reading encodes to a
@@ -162,15 +175,17 @@ func NewWith(sys Engine, plan *floorplan.Plan, dep *rfid.Deployment, cfg Config)
 		dep:            dep,
 		adm:            newAdmission(cfg.Admission, r),
 		maxIngestBytes: maxBytes,
+		tracer:         trace.New(cfg.Trace),
 		httpRequests: r.CounterVec("repro_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "path", "code"),
 		httpLatency: r.HistogramVec("repro_http_request_seconds",
 			"HTTP request wall time, by route pattern.", nil, "path"),
-		encodeErrors: r.Counter("repro_http_encode_errors_total",
-			"JSON responses whose encoding failed mid-write (client gone or marshal error)."),
-		httpPanics: r.Counter("repro_http_panics_total",
-			"Handler panics converted to 500 responses by the recovery middleware."),
+		encodeErrors: r.CounterVec("repro_http_encode_errors_total",
+			"JSON responses whose encoding failed mid-write (client gone or marshal error), by route pattern.", "path"),
+		httpPanics: r.CounterVec("repro_http_panics_total",
+			"Handler panics converted to 500 responses by the recovery middleware, by route pattern.", "path"),
 	}
+	obs.RegisterRuntimeMetrics(r)
 	if s.adm != nil {
 		s.degradedMode = r.Gauge("repro_degraded_mode",
 			"1 while the server runs with a reduced particle budget under overload.")
@@ -252,9 +267,9 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	}
 	// Query routes go through the admission controller (a no-op when
 	// admission is disabled); ingest, health, and debug routes never shed.
-	route("POST /ingest", "/ingest", s.handleIngest)
-	route("GET /range", "/range", s.admit(s.handleRange))
-	route("GET /knn", "/knn", s.admit(s.handleKNN))
+	route("POST /ingest", "/ingest", s.traced("ingest", s.handleIngest))
+	route("GET /range", "/range", s.traced("range", s.admit(s.handleRange)))
+	route("GET /knn", "/knn", s.traced("knn", s.admit(s.handleKNN)))
 	route("GET /localize", "/localize", s.admit(s.handleLocalize))
 	route("GET /occupancy", "/occupancy", s.admit(s.handleOccupancy))
 	route("GET /objects", "/objects", s.handleObjects)
@@ -268,6 +283,7 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	route("GET /readyz", "/readyz", s.handleReadyz)
 	route("GET /debug/filtertrace", "/debug/filtertrace", s.handleFilterTrace)
 	route("GET /debug/slowqueries", "/debug/slowqueries", s.handleSlowQueries)
+	route("GET /debug/traces", "/debug/traces", s.handleTraces)
 	route("GET /{$}", "/", s.handleUI)
 	if cfg.EnablePProf {
 		// pprof handlers do their own method checks and serve GET only.
@@ -281,10 +297,15 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 }
 
 // statusWriter records the status code a handler sent (200 when it never
-// called WriteHeader explicitly).
+// called WriteHeader explicitly). It also pins the route pattern and the
+// request trace so downstream code holding only the ResponseWriter — the
+// writeJSON encode path, the trace middleware — can attribute without
+// re-deriving either from the request.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	path string
+	tc   *trace.Context
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -310,14 +331,14 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.httpLatency.With(path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		sw := &statusWriter{ResponseWriter: w, path: path}
 		defer func() {
 			rec := recover()
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
 			if rec != nil {
-				s.httpPanics.Inc()
+				s.httpPanics.With(path).Inc()
 				log.Printf("server: panic in %s %s: %v\n%s", r.Method, path, rec, debug.Stack())
 				if sw.code == 0 {
 					sw.Header().Set("Content-Type", "application/json")
@@ -336,17 +357,50 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// traced opens a request trace around a handler and carries it via the
+// request context and the statusWriter. The deferred Finish applies the
+// tail-sampling decision; it runs before instrument's panic recovery, so a
+// panicking handler leaves sw.code at 0 — treated as an error alongside
+// 5xx responses. With tracing disabled the handler is returned unwrapped.
+func (s *Server) traced(kind string, h http.HandlerFunc) http.HandlerFunc {
+	if s.tracer == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tc := s.tracer.Start(kind)
+		sw, _ := w.(*statusWriter)
+		if sw != nil {
+			sw.tc = tc
+		}
+		defer func() {
+			if sw != nil && (sw.code == 0 || sw.code >= 500) {
+				tc.SetError()
+			}
+			s.tracer.Finish(tc)
+		}()
+		h(w, r.WithContext(trace.With(r.Context(), tc)))
+	}
+}
+
 // admit gates a query handler behind the admission controller: shed
 // requests get 429 with a Retry-After estimated from the current backlog
 // and recent query latency. Admission state also drives the degraded-mode
 // controller. With admission disabled this is a transparent wrapper.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
-	if s.adm == nil {
-		return h
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
+		tc := trace.From(r.Context())
+		if s.adm == nil {
+			// Zero-duration span: the trace still shows the request cleared
+			// admission, just with nothing to wait on.
+			tc.Add("admission", trace.RouterShard, time.Now(), 0)
+			h(w, r)
+			return
+		}
+		astart := time.Now()
 		release, ok := s.adm.acquire()
+		tc.Since("admission", trace.RouterShard, astart)
 		if !ok {
+			tc.SetShed()
 			s.updateDegraded()
 			retry := s.adm.retryAfterHeader()
 			w.Header().Set("Retry-After", retry)
@@ -486,12 +540,16 @@ func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
 type ingestRequest = model.Batch
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tc := trace.From(r.Context())
 	body := r.Body
 	if s.maxIngestBytes > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
 	}
 	var req ingestRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dstart := time.Now()
+	err := json.NewDecoder(body).Decode(&req)
+	tc.Since("decode", trace.RouterShard, dstart)
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			// Refused undecoded: the loss is counted at batch granularity so
@@ -519,7 +577,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.lock()
-	err := s.sys.Ingest(req.Time, req.Readings)
+	err = s.sys.IngestContext(r.Context(), req.Time, req.Readings)
 	now := s.sys.Now()
 	s.unlock()
 	var ie *ingest.Error
@@ -591,6 +649,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), deadline)
 		rs, qerr = s.sys.RangeQueryContext(ctx, win)
 		cancel()
+	case trace.From(r.Context()) != nil:
+		// Traced but deadline-free: the Context variant threads the trace
+		// through the engine; without a deadline it cannot expire.
+		rs, qerr = s.sys.RangeQueryContext(r.Context(), win)
 	default:
 		rs = s.sys.RangeQuery(win)
 	}
@@ -628,6 +690,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), deadline)
 		rs, qerr = s.sys.KNNQueryContext(ctx, geom.Pt(x, y), k)
 		cancel()
+	case trace.From(r.Context()) != nil:
+		rs, qerr = s.sys.KNNQueryContext(r.Context(), geom.Pt(x, y), k)
 	default:
 		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
 	}
@@ -830,6 +894,31 @@ func (s *Server) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTraces serves the tail-sampled request-trace ring as JSON, or as
+// Chrome trace-event format (load into chrome://tracing or Perfetto) with
+// ?format=chrome. 404 when tracing is disabled.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled (trace sample rate is negative)")
+		return
+	}
+	traces := s.tracer.Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChrome(w, traces); err != nil {
+			s.encodeErrors.With("/debug/traces").Inc()
+			log.Printf("server: encode chrome trace: %v", err)
+		}
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"capacity": s.tracer.Capacity(),
+		"total":    s.tracer.Total(),
+		"sample":   s.tracer.SampleRate(),
+		"traces":   traces,
+	})
+}
+
 func queryFloat(r *http.Request, name string) (float64, error) {
 	return strconv.ParseFloat(r.URL.Query().Get(name), 64)
 }
@@ -846,11 +935,23 @@ func queryTime(r *http.Request, name string) (model.Time, bool, error) {
 
 // writeJSON encodes v to the client with the Content-Type committed before
 // the first body byte. Encode failures (client gone mid-write, or a value
-// that cannot marshal) are counted and logged rather than swallowed.
+// that cannot marshal) are counted and logged rather than swallowed. The
+// route pattern and request trace ride on the statusWriter, so streamed
+// encodes still attribute to their path after the handler returned the
+// ResponseWriter.
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	path := "unknown"
+	var tc *trace.Context
+	if sw, ok := w.(*statusWriter); ok {
+		path, tc = sw.path, sw.tc
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.encodeErrors.Inc()
+	estart := time.Now()
+	err := json.NewEncoder(w).Encode(v)
+	tc.Since("encode", trace.RouterShard, estart)
+	if err != nil {
+		tc.SetError()
+		s.encodeErrors.With(path).Inc()
 		log.Printf("server: encode response: %v", err)
 	}
 }

@@ -510,7 +510,7 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil || body.Error == "" {
 		t.Fatalf("panicking handler body: %q (decode err %v)", rec.Body.String(), err)
 	}
-	if got := srv.httpPanics.Value(); got != 1 {
+	if got := srv.httpPanics.With("/boom").Value(); got != 1 {
 		t.Fatalf("repro_http_panics_total = %d, want 1", got)
 	}
 
