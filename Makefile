@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-smoke bench-json bench-diff bench-sharded check experiments examples vet vuln profile
+.PHONY: build test race bench bench-smoke bench-json bench-diff bench-sharded chaos check experiments examples vet vuln profile
 
 build:
 	go build ./...
@@ -32,6 +32,14 @@ check:
 	$(MAKE) vuln
 	go test -race ./...
 	$(MAKE) bench-smoke
+
+# Chaos scenarios in short mode: crash-at-random-points and per-shard
+# disk-fault schedules (quarantine + heal) diffed against unfaulted oracles.
+# On failure, each scenario writes its conservation ledger to $(CHAOS_LEDGER)
+# (default chaos-ledger.txt) so CI can upload it as an artifact.
+CHAOS_LEDGER ?= chaos-ledger.txt
+chaos:
+	CHAOS_LEDGER=$(CHAOS_LEDGER) go test -short -race ./internal/sim/chaos/
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -3,6 +3,13 @@
 // works at the framing layer the wal package defines, decoding batch payloads
 // opportunistically for display.
 //
+// Both layouts are understood: a single engine's flat directory, and a
+// sharded engine's root (detected by its SHARDS guard file), which holds
+// router snapshots, optional quarantine markers, and one shard-NNNN/
+// subdirectory per shard. inspect and verify walk every shard of a sharded
+// root; truncate and dump operate on one log, so point them at a shard
+// subdirectory.
+//
 // Usage:
 //
 //	walctl inspect <dir>            # list segments and snapshots with seq ranges
@@ -21,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/wal"
 )
@@ -40,6 +49,10 @@ func main() {
 	case "verify":
 		err = verify(dir)
 	case "truncate":
+		if n := shardCount(dir); n > 0 {
+			err = fmt.Errorf("%s is a sharded data directory (%d shards); truncate one log at a time: walctl truncate %s", dir, n, filepath.Join(dir, "shard-0000"))
+			break
+		}
 		err = truncate(dir)
 	case "dump":
 		n := 10
@@ -48,6 +61,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "walctl: bad record count %q\n", flag.Arg(2))
 				os.Exit(2)
 			}
+		}
+		if sc := shardCount(dir); sc > 0 {
+			err = fmt.Errorf("%s is a sharded data directory (%d shards); dump one log at a time: walctl dump %s", dir, sc, filepath.Join(dir, "shard-0000"))
+			break
 		}
 		err = dump(dir, n)
 	default:
@@ -64,22 +81,81 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: walctl <command> <data-dir> [args]
 
 commands:
-  inspect   list segments and snapshots with sequence ranges (read-only)
-  verify    scan every record CRC, report damage; exit 1 if any (read-only)
-  truncate  repair torn/corrupt tails in place
-  dump      print the last N records' decoded batches (default 10)
+  inspect   list segments and snapshots with sequence ranges (read-only;
+            walks every shard of a sharded directory)
+  verify    scan every record CRC, report damage; exit 1 if any (read-only;
+            walks every shard of a sharded directory)
+  truncate  repair torn/corrupt tails in place (one log: for sharded
+            directories point at a shard-NNNN subdirectory)
+  dump      print the last N records' decoded batches (default 10; one log)
 `)
+}
+
+// shardCount reads the SHARDS guard file a sharded engine pins its data
+// directory with. 0 means a flat (single-engine) directory.
+func shardCount(dir string) int {
+	data, err := os.ReadFile(filepath.Join(dir, "SHARDS"))
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// quarantinedShards lists the shard indexes with a quarantine marker, with
+// the seq each marker records.
+func quarantinedShards(dir string, n int) map[int]string {
+	out := make(map[int]string)
+	for i := 0; i < n; i++ {
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("quarantine-%04d", i)))
+		if err != nil {
+			continue
+		}
+		out[i] = strings.TrimSpace(string(data))
+	}
+	return out
 }
 
 // inspect lists segments (with a scan per segment for seq ranges) and
 // snapshots. It is read-only and tolerant: damaged segments are listed with
-// their damage, not skipped.
+// their damage, not skipped. Sharded directories are walked shard by shard.
 func inspect(dir string) error {
+	n := shardCount(dir)
+	if n == 0 {
+		return inspectDir(dir, "")
+	}
+	fmt.Printf("sharded data directory: %d shard(s)\n", n)
+	quar := quarantinedShards(dir, n)
+	snaps, err := wal.ListSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d router snapshot(s)\n", len(snaps))
+	for _, sn := range snaps {
+		fmt.Printf("  %-28s %8d bytes  seq=%d\n", filepath.Base(sn.Path), sn.Size, sn.Seq)
+	}
+	for i := 0; i < n; i++ {
+		state := ""
+		if seq, ok := quar[i]; ok {
+			state = fmt.Sprintf("  QUARANTINED at seq %s", seq)
+		}
+		fmt.Printf("shard %d%s\n", i, state)
+		if err := inspectDir(filepath.Join(dir, fmt.Sprintf("shard-%04d", i)), "  "); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func inspectDir(dir, indent string) error {
 	segs, err := wal.SegmentInfos(dir)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d segment(s) in %s\n", len(segs), dir)
+	fmt.Printf("%s%d segment(s) in %s\n", indent, len(segs), dir)
 	total := 0
 	for _, seg := range segs {
 		scan, err := wal.ScanSegment(seg.Path, func(wal.Rec) error { return nil })
@@ -87,8 +163,8 @@ func inspect(dir string) error {
 			return fmt.Errorf("%s: %w", seg.Path, err)
 		}
 		total += scan.Records
-		fmt.Printf("  %-28s %8d bytes  records=%-6d seq=[%d..%d]  stream=%016x",
-			filepath.Base(seg.Path), scan.FileSize, scan.Records, scan.FirstSeq, scan.LastSeq, scan.StreamID)
+		fmt.Printf("%s  %-28s %8d bytes  records=%-6d seq=[%d..%d]  stream=%016x",
+			indent, filepath.Base(seg.Path), scan.FileSize, scan.Records, scan.FirstSeq, scan.LastSeq, scan.StreamID)
 		if scan.Tail > 0 {
 			fmt.Printf("  TAIL=%d bytes (%s)", scan.Tail, scan.Reason)
 		}
@@ -98,53 +174,99 @@ func inspect(dir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d snapshot(s)\n", len(snaps))
+	fmt.Printf("%s%d snapshot(s)\n", indent, len(snaps))
 	for _, sn := range snaps {
-		fmt.Printf("  %-28s %8d bytes  seq=%d\n", filepath.Base(sn.Path), sn.Size, sn.Seq)
+		fmt.Printf("%s  %-28s %8d bytes  seq=%d\n", indent, filepath.Base(sn.Path), sn.Size, sn.Seq)
 	}
-	fmt.Printf("total valid records: %d\n", total)
+	fmt.Printf("%stotal valid records: %d\n", indent, total)
 	return nil
 }
 
 // verify scans every record of every segment and reports CRC/framing damage
 // and inter-segment sequence gaps. Exit status 1 (via a returned error) when
-// anything is wrong, so it scripts cleanly.
+// anything is wrong, so it scripts cleanly. On a sharded directory every
+// shard is verified and its seq range reported; a quarantined shard's log
+// legitimately ends early, so raggedness across shards is informational,
+// not damage.
 func verify(dir string) error {
-	segs, err := wal.SegmentInfos(dir)
+	n := shardCount(dir)
+	if n == 0 {
+		segs, snaps, lastSeq, damaged, err := verifyDir(dir, "")
+		if err != nil {
+			return err
+		}
+		if damaged > 0 {
+			return fmt.Errorf("damage found: %d issue(s)", damaged)
+		}
+		fmt.Printf("ok: %d segment(s), %d snapshot(s), last seq %d\n", segs, snaps, lastSeq)
+		return nil
+	}
+	fmt.Printf("sharded data directory: %d shard(s)\n", n)
+	quar := quarantinedShards(dir, n)
+	totalDamage := 0
+	rsnaps, err := wal.ListSnapshots(dir)
 	if err != nil {
 		return err
 	}
-	var (
-		damaged  int
-		lastSeq  uint64
-		haveSeqs bool
-	)
+	totalDamage += verifySnapshots(dir, rsnaps, "")
+	for i := 0; i < n; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+		segs, snaps, lastSeq, damaged, err := verifyDir(sub, "  ")
+		if err != nil {
+			return err
+		}
+		totalDamage += damaged
+		state := ""
+		if seq, ok := quar[i]; ok {
+			state = fmt.Sprintf("  QUARANTINED at seq %s", seq)
+		}
+		fmt.Printf("shard %d: %d segment(s), %d snapshot(s), last seq %d%s\n",
+			i, segs, snaps, lastSeq, state)
+	}
+	if totalDamage > 0 {
+		return fmt.Errorf("damage found: %d issue(s)", totalDamage)
+	}
+	fmt.Printf("ok: %d router snapshot(s), %d shard(s)\n", len(rsnaps), n)
+	return nil
+}
+
+func verifyDir(dir, indent string) (segCount, snapCount int, lastSeq uint64, damaged int, err error) {
+	segs, err := wal.SegmentInfos(dir)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	haveSeqs := false
 	for _, seg := range segs {
-		scan, err := wal.ScanSegment(seg.Path, func(r wal.Rec) error {
+		scan, serr := wal.ScanSegment(seg.Path, func(r wal.Rec) error {
 			if _, derr := wal.DecodeBatch(r.Payload); derr != nil {
 				return fmt.Errorf("seq %d: undecodable batch payload: %w", r.Seq, derr)
 			}
 			if haveSeqs && r.Seq != lastSeq+1 {
-				fmt.Printf("  %s: seq gap: %d follows %d\n", filepath.Base(seg.Path), r.Seq, lastSeq)
+				fmt.Printf("%s%s: seq gap: %d follows %d\n", indent, filepath.Base(seg.Path), r.Seq, lastSeq)
 				damaged++
 			}
 			lastSeq, haveSeqs = r.Seq, true
 			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", seg.Path, err)
+		if serr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("%s: %w", seg.Path, serr)
 		}
 		if scan.BadRecord || scan.Tail > 0 {
-			fmt.Printf("  %s: %d tail byte(s) after %d valid record(s): %s\n",
-				filepath.Base(seg.Path), scan.Tail, scan.Records, scan.Reason)
+			fmt.Printf("%s%s: %d tail byte(s) after %d valid record(s): %s\n",
+				indent, filepath.Base(seg.Path), scan.Tail, scan.Records, scan.Reason)
 			damaged++
 		}
 	}
-	var snapBad int
 	snaps, err := wal.ListSnapshots(dir)
 	if err != nil {
-		return err
+		return 0, 0, 0, 0, err
 	}
+	damaged += verifySnapshots(dir, snaps, indent)
+	return len(segs), len(snaps), lastSeq, damaged, nil
+}
+
+func verifySnapshots(dir string, snaps []wal.SnapshotInfo, indent string) int {
+	bad := 0
 	for _, sn := range snaps {
 		// Stream ID 0 is never assigned, so pass the snapshot's own header
 		// check but treat a mismatch report as "unknown stream", not damage:
@@ -155,15 +277,11 @@ func verify(dir string) error {
 			if errors.As(rerr, &mm) {
 				continue
 			}
-			fmt.Printf("  %s: %v\n", filepath.Base(sn.Path), rerr)
-			snapBad++
+			fmt.Printf("%s%s: %v\n", indent, filepath.Base(sn.Path), rerr)
+			bad++
 		}
 	}
-	if damaged > 0 || snapBad > 0 {
-		return fmt.Errorf("damage found: %d log issue(s), %d corrupt snapshot(s)", damaged, snapBad)
-	}
-	fmt.Printf("ok: %d segment(s), %d snapshot(s), last seq %d\n", len(segs), len(snaps), lastSeq)
-	return nil
+	return bad
 }
 
 // truncate performs the same tail repair the server performs on startup, by

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+	"repro/internal/sim/errfs"
+	"repro/internal/wal"
+)
+
+// buildShardedDir grows a real 4-shard durable data directory with shard 2
+// quarantined partway through (its marker left on disk), then closes the
+// engine cleanly. walctl must read it purely from the files.
+func buildShardedDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	fsys := errfs.New(nil, 3)
+	cfg := engine.DefaultConfig()
+	cfg.Seed = 41
+	cfg.Shards = 4
+	cfg.Particle.Ns = 16
+	cfg.Durability = engine.DurabilityConfig{
+		Dir:           dir,
+		Fsync:         wal.SyncAlways,
+		FS:            fsys,
+		SnapshotEvery: 5,
+		HealBaseDelay: time.Hour,
+		HealMaxDelay:  time.Hour,
+	}
+	sys, err := engine.OpenSharded(plan, dep, cfg)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 12
+	tc.DwellMin, tc.DwellMax = 2, 6
+	world := sim.MustNew(sys.Graph(), rfid.NewSensor(dep), tc, 99)
+	for i := 0; i < 16; i++ {
+		if i == 10 {
+			fsys.Fail(errfs.Rule{Ops: errfs.OpWrite, Path: "shard-0002"})
+		}
+		tm, raws := world.Step()
+		sys.Ingest(tm, raws) // quarantined drops are expected after the fault
+	}
+	sys.FlushIngest()
+	fsys.Clear()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), ferr
+}
+
+func TestInspectShardedDir(t *testing.T) {
+	dir := buildShardedDir(t)
+	if n := shardCount(dir); n != 4 {
+		t.Fatalf("shardCount = %d, want 4", n)
+	}
+	quar := quarantinedShards(dir, 4)
+	if len(quar) != 1 || quar[2] == "" {
+		t.Fatalf("quarantinedShards = %v, want a marker for shard 2", quar)
+	}
+
+	out, err := captureStdout(t, func() error { return inspect(dir) })
+	if err != nil {
+		t.Fatalf("inspect: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sharded data directory: 4 shard(s)",
+		"router snapshot(s)",
+		"shard 0\n", "shard 1\n", "shard 3\n",
+		"shard 2  QUARANTINED at seq " + quar[2],
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyShardedDir(t *testing.T) {
+	dir := buildShardedDir(t)
+	out, err := captureStdout(t, func() error { return verify(dir) })
+	if err != nil {
+		t.Fatalf("verify found damage in a cleanly closed directory: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sharded data directory: 4 shard(s)",
+		"shard 0:", "shard 1:", "shard 3:",
+		"QUARANTINED at seq",
+		"ok:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verify output missing %q:\n%s", want, out)
+		}
+	}
+	// The quarantined shard's log legitimately ends early; every line still
+	// reports a seq range without flagging damage.
+	if strings.Contains(out, "damage") {
+		t.Errorf("verify reported damage:\n%s", out)
+	}
+}
+
+func TestVerifyFlagsDamagedShard(t *testing.T) {
+	dir := buildShardedDir(t)
+	segs, err := wal.SegmentInfos(dir + "/shard-0001")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments for shard 1: %v", err)
+	}
+	// Flip a byte mid-file: CRC damage verify must catch and count.
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0].Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return verify(dir) })
+	if err == nil {
+		t.Fatalf("verify missed the corrupted shard log:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "damage") {
+		t.Errorf("verify error %q does not mention damage", err)
+	}
+}
+
+func TestTruncateAndDumpRefuseShardedRoot(t *testing.T) {
+	dir := buildShardedDir(t)
+	// main() routes sharded roots away from truncate/dump; the guard lives
+	// there, so reproduce its check directly.
+	if n := shardCount(dir); n == 0 {
+		t.Fatal("sharded root not detected")
+	}
+	// A shard subdirectory is a plain log: dump must work on it.
+	out, err := captureStdout(t, func() error { return dump(dir+"/shard-0000", 3) })
+	if err != nil {
+		t.Fatalf("dump on shard subdir: %v", err)
+	}
+	if !strings.Contains(out, "seq") {
+		t.Errorf("dump printed no records:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/ingest"
 	"repro/internal/model"
+	"repro/internal/obs/trace"
 	"repro/internal/rfid"
 	"repro/internal/wal"
 )
@@ -41,6 +42,72 @@ type DurabilityConfig struct {
 	// KeepSnapshots is how many snapshots to retain; older ones (and the
 	// segments only they need) are pruned. 0 means 2.
 	KeepSnapshots int
+	// Retry bounds the transient-error retries on WAL appends and fsyncs.
+	// Only transient failures (wal.IsTransient) are retried; permanent ones
+	// fail stop immediately (single engine) or quarantine the shard
+	// (sharded engine).
+	Retry RetryConfig
+	// FS is the filesystem every WAL and snapshot byte goes through. nil
+	// means the real OS filesystem; tests inject fault-wrapped filesystems
+	// (internal/sim/errfs).
+	FS wal.FS
+	// HealBaseDelay and HealMaxDelay pace the sharded engine's background
+	// self-heal loop: attempts to re-open a quarantined shard back off
+	// exponentially between them. 0 means 500ms and 15s.
+	HealBaseDelay time.Duration
+	HealMaxDelay  time.Duration
+}
+
+// RetryConfig bounds the exponential-backoff retry of transient WAL errors.
+type RetryConfig struct {
+	// Max is the number of re-attempts after the first failure. 0 means the
+	// default (3); negative disables retries.
+	Max int
+	// BaseDelay is the wait before the first retry, doubled per attempt up
+	// to MaxDelay, with deterministic ±50% jitter. 0 means 2ms and 100ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (rc RetryConfig) max() int {
+	if rc.Max < 0 {
+		return 0
+	}
+	if rc.Max == 0 {
+		return 3
+	}
+	return rc.Max
+}
+
+// delay returns the backoff before retry attempt (0-based). salt
+// deterministically perturbs the wait so lockstep retries across shards
+// spread out, without any global randomness source.
+func (rc RetryConfig) delay(attempt int, salt uint64) time.Duration {
+	base, cap := rc.BaseDelay, rc.MaxDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// splitmix64 over (salt, attempt) → jitter in [d/2, d).
+	x := salt + uint64(attempt)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if d > 1 {
+		d = d/2 + time.Duration(x%uint64(d))/2
+	}
+	return d
 }
 
 // Enabled reports whether durability is configured at all.
@@ -58,6 +125,57 @@ func (d DurabilityConfig) keepSnapshots() int {
 		return 2
 	}
 	return d.KeepSnapshots
+}
+
+func (d DurabilityConfig) fsys() wal.FS {
+	if d.FS == nil {
+		return wal.OS
+	}
+	return d.FS
+}
+
+func (d DurabilityConfig) healBaseDelay() time.Duration {
+	if d.HealBaseDelay <= 0 {
+		return 500 * time.Millisecond
+	}
+	return d.HealBaseDelay
+}
+
+func (d DurabilityConfig) healMaxDelay() time.Duration {
+	if d.HealMaxDelay <= 0 {
+		return 15 * time.Second
+	}
+	return d.HealMaxDelay
+}
+
+// snapFailBackoff is how many consecutive snapshot failures are retried on
+// the very next flushed second before the schedule backs off a full
+// SnapshotEvery window (bounded retry: a persistently failing snapshot store
+// must not turn every flush into a doomed write).
+const snapFailBackoff = 3
+
+// retryTransient runs op, retrying transient failures (wal.IsTransient) with
+// bounded exponential backoff and deterministic jitter. reset (nil ok) runs
+// before each re-attempt to undo partial on-disk effects of the failure —
+// Log.ResetTail for appends. Every wait is counted and traced so retries are
+// visible, never silent. The returned error is the last attempt's (nil on
+// success); permanent errors return immediately.
+func retryTransient(rc RetryConfig, tel *Telemetry, tr *trace.Context, shard int, salt uint64,
+	reset func() error, op func() error) error {
+	err := op()
+	for attempt, max := 0, rc.max(); err != nil && attempt < max && wal.IsTransient(err); attempt++ {
+		wstart := time.Now()
+		time.Sleep(rc.delay(attempt, salt))
+		tel.walRetries.Inc()
+		tr.Since("wal-retry", shard, wstart)
+		if reset != nil {
+			if rerr := reset(); rerr != nil {
+				return err
+			}
+		}
+		err = op()
+	}
+	return err
 }
 
 // RecoveryInfo describes what Open found and did in the data directory.
@@ -161,7 +279,7 @@ func Open(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, erro
 	s.streamID = sid
 	rec := RecoveryInfo{Enabled: true}
 
-	snapSeq, payload, ok, skipped, err := wal.ReadLatestSnapshot(d.Dir, sid)
+	snapSeq, payload, ok, skipped, err := wal.ReadLatestSnapshotFS(d.fsys(), d.Dir, sid)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +300,7 @@ func Open(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*System, erro
 	// records some other way than a torn tail and must not pretend otherwise.
 	var lastBatch *wal.Batch
 	expected := snapSeq + 1
-	l, report, err := wal.Open(d.Dir, wal.Options{StreamID: sid, SegmentBytes: d.SegmentBytes},
+	l, report, err := wal.Open(d.Dir, wal.Options{StreamID: sid, SegmentBytes: d.SegmentBytes, FS: d.FS},
 		func(seq uint64, payload []byte) error {
 			if seq <= snapSeq {
 				return nil
@@ -261,7 +379,11 @@ func (s *System) appendWAL(t model.Time, raws []model.RawReading) {
 		return
 	}
 	s.walBuf = b.Encode(s.walBuf[:0])
-	if err := s.wal.Append(s.walSeq+1, s.walBuf); err != nil {
+	err := retryTransient(s.cfg.Durability.Retry, s.tel, s.curTrace, s.shardID,
+		s.streamID^s.walSeq, s.wal.ResetTail, func() error {
+			return s.wal.Append(s.walSeq+1, s.walBuf)
+		})
+	if err != nil {
 		s.failWAL(err)
 		return
 	}
@@ -287,7 +409,9 @@ func (s *System) syncWAL(force bool) error {
 		}
 	}
 	fstart := time.Now()
-	if err := s.wal.Sync(); err != nil {
+	err := retryTransient(s.cfg.Durability.Retry, s.tel, s.curTrace, s.shardID,
+		s.streamID^s.walSeq, nil, s.wal.Sync)
+	if err != nil {
 		s.failWAL(err)
 		return s.walErr
 	}
@@ -341,8 +465,7 @@ func (s *System) writeSnapshot() {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
-		s.tel.walSnapshotErrors.Inc()
-		log.Printf("engine: encode snapshot: %v", err)
+		s.snapFailed(fmt.Errorf("engine: encode snapshot: %w", err))
 		return
 	}
 	// An unsynced tail record would let a surviving snapshot claim coverage
@@ -350,14 +473,16 @@ func (s *System) writeSnapshot() {
 	if err := s.syncWAL(true); err != nil {
 		return
 	}
-	if _, err := wal.WriteSnapshot(s.cfg.Durability.Dir, s.streamID, s.walSeq, buf.Bytes()); err != nil {
-		s.tel.walSnapshotErrors.Inc()
-		log.Printf("engine: write snapshot: %v", err)
+	d := s.cfg.Durability
+	_, err := wal.WriteSnapshotFS(d.fsys(), d.Dir, s.streamID, s.walSeq, buf.Bytes())
+	if err != nil {
+		s.snapFailed(fmt.Errorf("engine: write snapshot: %w", err))
 		return
 	}
 	s.sinceSnap = 0
+	s.snapFails = 0
 	s.tel.walSnapshots.Inc()
-	oldest, _, err := wal.PruneSnapshots(s.cfg.Durability.Dir, s.cfg.Durability.keepSnapshots())
+	oldest, _, err := wal.PruneSnapshotsFS(d.fsys(), d.Dir, d.keepSnapshots())
 	if err != nil {
 		log.Printf("engine: prune snapshots: %v", err)
 		return
@@ -365,6 +490,22 @@ func (s *System) writeSnapshot() {
 	if _, err := s.wal.PruneSegments(oldest); err != nil {
 		log.Printf("engine: prune segments: %v", err)
 	}
+}
+
+// snapFailed counts one failed snapshot attempt and paces retries: the next
+// few flushed seconds retry immediately (sinceSnap stays over the threshold),
+// then the schedule backs off a full SnapshotEvery window so a persistently
+// broken snapshot store doesn't turn every flush into a doomed write. The WAL
+// still has everything, so nothing is sticky — recovery just replays more.
+func (s *System) snapFailed(err error) {
+	s.tel.walSnapshotErrors.Inc()
+	s.tel.snapshotFailures.Inc()
+	s.snapFails++
+	if s.snapFails >= snapFailBackoff {
+		s.sinceSnap = 0
+		s.snapFails = 0
+	}
+	log.Printf("%v", err)
 }
 
 // restoreSnap replaces the engine's mutable state with the snapshot's.

@@ -220,7 +220,10 @@ type System struct {
 	lastSync time.Time
 	// sinceSnap counts acked seconds since the last snapshot; replaying
 	// counts as true so recovery never re-replays an unbounded log.
+	// snapFails counts consecutive snapshot-write failures, pacing retries
+	// (see snapFailed).
 	sinceSnap int
+	snapFails int
 	recovery  RecoveryInfo
 }
 

@@ -110,7 +110,23 @@ type Sharded struct {
 	streamID  uint64
 	lastSync  time.Time
 	sinceSnap int
+	snapFails int
 	recovery  RecoveryInfo
+
+	// Fault isolation (sharded_heal.go): per-shard quarantine state. The
+	// states are atomics so query paths read them lock-free; transitions
+	// and the quar book-keeping happen under ingestMu.
+	shardState []atomic.Int32
+	quar       []*quarInfo
+	// rejoining names the shard a heal is committing (its snapshot joins the
+	// barrier even though its state is still HEALING — LIVE flips only after
+	// the barrier is durable, so lock-free readers never see an uncommitted
+	// rejoin). -1 outside tryHeal.
+	rejoining int
+	healKick  chan struct{}
+	healStop  chan struct{}
+	healDone  chan struct{}
+	healerOn  bool
 }
 
 // NewSharded assembles a sharded engine. cfg.Shards selects the shard count
@@ -145,12 +161,15 @@ func NewSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Sharde
 	}
 
 	e := &Sharded{
-		cfg:      cfg,
-		n:        n,
-		shards:   make([]*System, n),
-		shardMu:  make([]sync.Mutex, n),
-		src:      rng.New(cfg.Seed),
-		histPool: particle.NewPool(),
+		cfg:        cfg,
+		n:          n,
+		shards:     make([]*System, n),
+		shardMu:    make([]sync.Mutex, n),
+		src:        rng.New(cfg.Seed),
+		histPool:   particle.NewPool(),
+		shardState: make([]atomic.Int32, n),
+		quar:       make([]*quarInfo, n),
+		rejoining:  -1,
 	}
 	for i := range e.shards {
 		sh, err := New(plan, dep, shardCfg)
@@ -253,6 +272,7 @@ func (e *Sharded) ingestLocked(t model.Time, raws []model.RawReading) error {
 	if e.walErr != nil {
 		return e.walErr
 	}
+	qBefore := e.extraDrops.QuarantinedReadings
 	rstart := time.Now()
 	err := e.reorder.Offer(t, raws)
 	e.curTrace.Since("reorder", trace.RouterShard, rstart)
@@ -261,6 +281,15 @@ func (e *Sharded) ingestLocked(t model.Time, raws []model.RawReading) error {
 	}
 	if e.walErr != nil {
 		return e.walErr
+	}
+	if err == nil {
+		// Readings routed to a quarantined shard were accepted by the reorder
+		// buffer but can reach no WAL; report them as a typed partial drop so
+		// senders see the degradation instead of a silent ack.
+		if dq := e.extraDrops.QuarantinedReadings - qBefore; dq > 0 {
+			wm, _ := e.reorder.Watermark()
+			return &ingest.Error{Kind: ingest.KindQuarantined, Time: t, Watermark: wm, Dropped: dq}
+		}
 	}
 	return err
 }
@@ -285,6 +314,7 @@ func (e *Sharded) flushSecond(t model.Time, raws []model.RawReading) {
 	e.tel.reorderLag.Observe(float64(lag))
 	parts := e.partition(raws)
 	if e.wals != nil && e.walErr == nil {
+		e.dropQuarantined(t, parts)
 		e.appendWAL(t, parts)
 	}
 	e.applyParts(t, parts, raws)
@@ -309,12 +339,27 @@ func (e *Sharded) partition(raws []model.RawReading) [][]model.RawReading {
 	return parts
 }
 
-// applyParts applies one flushed second to every shard. It is the recovery
-// replay path too, so it must not touch the WAL. raws is the full second
-// (the concatenation of parts) for the order-insensitive health monitor.
+// applyParts applies one flushed second to every live shard (quarantined
+// shards' state is frozen at their cut sequence; healing fast-forwards them).
+// It is the recovery replay path too, so it must not touch the WAL. raws is
+// the full second (the concatenation of parts) for the order-insensitive
+// health monitor.
 func (e *Sharded) applyParts(t model.Time, parts [][]model.RawReading, raws []model.RawReading) {
+	e.applyPartsMasked(t, parts, raws, nil)
+}
+
+// applyPartsMasked is applyParts with an explicit shard mask; a nil mask
+// means "every shard in the LIVE state". Recovery replay uses the mask to
+// include a recovering shard only for the seconds its own log covers.
+func (e *Sharded) applyPartsMasked(t model.Time, parts [][]model.RawReading, raws []model.RawReading, active []bool) {
 	if e.monitor != nil && e.monitor.ObserveSecond(t, raws) {
 		e.refreshHealth()
+	}
+	include := func(i int) bool {
+		if active != nil {
+			return active[i]
+		}
+		return e.shardState[i].Load() == shardLive
 	}
 	evs := make([][]model.Event, e.n)
 	tr := e.curTrace // captured before the scatter; nil during recovery replay
@@ -337,11 +382,16 @@ func (e *Sharded) applyParts(t model.Time, parts [][]model.RawReading, raws []mo
 		tr.Since("collect", i, astart)
 	}
 	if e.n == 1 {
-		apply(0)
+		if include(0) {
+			apply(0)
+		}
 	} else {
 		var wg sync.WaitGroup
-		wg.Add(e.n)
 		for i := 0; i < e.n; i++ {
+			if !include(i) {
+				continue
+			}
+			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				apply(i)
@@ -396,12 +446,18 @@ func (e *Sharded) EventsSince(seq int) (events []model.Event, next int, truncate
 // ---------------------------------------------------------------------------
 // Queries: gather candidates, prune once, scatter preprocessing, merge, eval.
 
-// gatherInfos merges every shard's candidate summaries in ascending object
-// order — identical to the single engine's objectInfos because KnownObjects
-// is sorted and shards hold disjoint objects. Callers hold healthMu.
+// gatherInfos merges every live shard's candidate summaries in ascending
+// object order — identical to the single engine's objectInfos because
+// KnownObjects is sorted and shards hold disjoint objects. Quarantined
+// shards are excluded: their state is frozen mid-quarantine and answering
+// from it would mix epochs; callers surface the gap via quarantineErr.
+// Callers hold healthMu.
 func (e *Sharded) gatherInfos() []query.ObjectInfo {
 	per := make([][]query.ObjectInfo, e.n)
 	for i, sh := range e.shards {
+		if e.shardState[i].Load() != shardLive {
+			continue
+		}
 		e.shardMu[i].Lock()
 		per[i] = sh.objectInfos()
 		e.shardMu[i].Unlock()
@@ -412,6 +468,9 @@ func (e *Sharded) gatherInfos() []query.ObjectInfo {
 func (e *Sharded) gatherInfosAt(t model.Time) []query.ObjectInfo {
 	per := make([][]query.ObjectInfo, e.n)
 	for i, sh := range e.shards {
+		if e.shardState[i].Load() != shardLive {
+			continue
+		}
 		e.shardMu[i].Lock()
 		per[i] = sh.objectInfosAt(t)
 		e.shardMu[i].Unlock()
@@ -430,6 +489,9 @@ func (e *Sharded) preprocess(cands []model.ObjectID) *anchor.Table {
 func (e *Sharded) preprocessCtx(ctx context.Context, cands []model.ObjectID) (*anchor.Table, error) {
 	tr := trace.From(ctx)
 	if e.n == 1 {
+		if e.shardState[0].Load() != shardLive {
+			return anchor.NewTable(), nil
+		}
 		e.shardMu[0].Lock()
 		defer e.shardMu[0].Unlock()
 		estart := time.Now()
@@ -447,7 +509,7 @@ func (e *Sharded) preprocessCtx(ctx context.Context, cands []model.ObjectID) (*a
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup
 	for i := range e.shards {
-		if len(parts[i]) == 0 {
+		if len(parts[i]) == 0 || e.shardState[i].Load() != shardLive {
 			// A zero-duration span still attributes the shard's (absent) share
 			// of the scatter, so a trace always shows all n shards.
 			tr.Add("evaluate", i, time.Now(), 0)
@@ -554,9 +616,9 @@ func (e *Sharded) RangeQueryContext(ctx context.Context, window geom.Rect) (mode
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		e.tel.deadlineExceeded.Inc()
 		tr.SetDeadline()
-		return rs, err
+		return rs, joinPartial(err, e.quarantineErr())
 	}
-	return rs, nil
+	return rs, e.quarantineErr()
 }
 
 // KNNQueryContext mirrors System.KNNQueryContext.
@@ -586,9 +648,9 @@ func (e *Sharded) KNNQueryContext(ctx context.Context, q geom.Point, k int) (mod
 	if err := firstDeadline(perr, terr, eerr); err != nil {
 		e.tel.deadlineExceeded.Inc()
 		tr.SetDeadline()
-		return rs, err
+		return rs, joinPartial(err, e.quarantineErr())
 	}
-	return rs, nil
+	return rs, e.quarantineErr()
 }
 
 // RangeQueryAt answers a historical range query. The filter runs consume
@@ -630,6 +692,9 @@ func (e *Sharded) preprocessAt(cands []model.ObjectID, t model.Time) *anchor.Tab
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for _, obj := range sorted {
 		i := shardmap.Of(obj, e.n)
+		if e.shardState[i].Load() != shardLive {
+			continue
+		}
 		e.shardMu[i].Lock()
 		entries := append([]model.AggregatedReading(nil), e.shards[i].col.AggregatedUpTo(obj, t)...)
 		e.shardMu[i].Unlock()
@@ -651,6 +716,9 @@ func (e *Sharded) Localize(obj model.ObjectID) (Localization, bool) {
 	e.healthMu.RLock()
 	defer e.healthMu.RUnlock()
 	i := shardmap.Of(obj, e.n)
+	if e.shardState[i].Load() != shardLive {
+		return Localization{}, false
+	}
 	e.shardMu[i].Lock()
 	defer e.shardMu[i].Unlock()
 	return e.shards[i].Localize(obj)
@@ -664,6 +732,24 @@ func (e *Sharded) Occupancy() []RoomOdds {
 	defer e.healthMu.RUnlock()
 	tab := e.preprocess(infosToIDs(e.gatherInfos()))
 	return occupancyOn(e.shards[0].idx, tab)
+}
+
+// OccupancyContext is Occupancy under a caller deadline and the quarantine
+// partial-result contract: rooms are computed over the live shards' objects,
+// and a degraded engine returns the typed QuarantineError alongside them.
+func (e *Sharded) OccupancyContext(ctx context.Context) ([]RoomOdds, error) {
+	e.healthMu.RLock()
+	defer e.healthMu.RUnlock()
+	tab, terr := e.preprocessCtx(ctx, infosToIDs(e.gatherInfos()))
+	if tab == nil {
+		tab = anchor.NewTable()
+	}
+	odds := occupancyOn(e.shards[0].idx, tab)
+	if terr != nil {
+		e.tel.deadlineExceeded.Inc()
+		trace.From(ctx).SetDeadline()
+	}
+	return odds, joinPartial(terr, e.quarantineErr())
 }
 
 // ---------------------------------------------------------------------------
@@ -789,7 +875,9 @@ func (e *Sharded) SyncMetrics() {
 		t.walLastSeq.Set(float64(e.walSeq))
 		segs := 0
 		for _, l := range e.wals {
-			segs += l.Segments()
+			if l != nil { // quarantined shards have no open log
+				segs += l.Segments()
+			}
 		}
 		t.walSegments.Set(float64(segs))
 	}

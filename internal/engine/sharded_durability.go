@@ -28,19 +28,28 @@ import (
 //
 //	SHARDS            guard file: the shard count the directory was written with
 //	snap-*.snap       router snapshots (merged event log, reorder position, query counters)
+//	quarantine-NNNN   marker: shard NNNN was quarantined at the recorded seq
 //	shard-0000/       shard 0's WAL segments and snapshots
 //	shard-0001/       ...
 //
-// Every flushed second appends one record to EVERY shard's log at the same
-// sequence number — empty subsets included — carrying the router's reorder
-// metadata redundantly. Lockstep sequences make recovery simple and exact:
-// the highest snapshot sequence readable in the router AND every shard is
-// restored, then the shard logs are replayed second by second through the
-// same applyParts path live ingestion uses. A crash between the per-shard
-// appends of one second leaves a ragged tail; recovery replays to the
-// shortest log's last sequence and truncates the shards that got further
-// (wal.TruncateTo), which is exactly the all-or-nothing cut the single
-// engine's torn-tail repair makes.
+// Every flushed second appends one record to EVERY live shard's log at the
+// same sequence number — empty subsets included — carrying the router's
+// reorder metadata redundantly. Lockstep sequences make recovery simple and
+// exact: the highest snapshot sequence readable in the router AND every
+// (non-quarantined) shard is restored, then the shard logs are replayed
+// second by second through the same applyParts path live ingestion uses. A
+// crash between the per-shard appends of one second leaves a ragged tail;
+// recovery replays to the shortest live log's last sequence and truncates
+// the shards that got further (wal.TruncateTo), which is exactly the
+// all-or-nothing cut the single engine's torn-tail repair makes.
+//
+// A quarantine marker changes the reading of a short log: the marked shard
+// is legitimately behind (its log was cut when the shard fail-stopped), so
+// its length is excluded from the lockstep cut — without the marker, one
+// quarantined shard would truncate every healthy shard back to its seq and
+// lose acked data. Marked shards are restored from their own snapshots, ride
+// the lockstep replay for the seconds their log covers, and come back
+// quarantined with the self-heal loop scheduled (sharded_heal.go).
 
 // shardGuardFile names the file pinning the directory's shard count.
 const shardGuardFile = "SHARDS"
@@ -52,14 +61,14 @@ func shardDir(dir string, i int) string {
 // checkShardGuard pins dir to one shard count. The shard map is a pure
 // function of (object, count), so opening a directory with a different
 // count would scatter recovered objects across the wrong shards.
-func checkShardGuard(dir string, n int) error {
+func checkShardGuard(fsys wal.FS, dir string, n int) error {
 	path := filepath.Join(dir, shardGuardFile)
-	data, err := os.ReadFile(path)
+	data, err := wal.ReadFileFS(fsys, path)
 	if errors.Is(err, os.ErrNotExist) {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("engine: create data dir: %w", err)
 		}
-		if err := os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+		if err := wal.WriteFileFS(fsys, path, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
 			return fmt.Errorf("engine: write shard guard: %w", err)
 		}
 		return nil
@@ -77,6 +86,17 @@ func checkShardGuard(dir string, n int) error {
 	return nil
 }
 
+// quarRecord is a quarantined shard's entry in the router snapshot. It
+// carries what the marker file cannot afford to: the full list of flushed
+// seconds the shard has missed so far, so a crash during a quarantine that
+// outlived a snapshot barrier still heals with exact fast-forward times.
+type quarRecord struct {
+	Shard          int
+	Seq            uint64
+	Missed         []model.Time
+	SplicedThrough int
+}
+
 // routerSnap is the router's share of a sharded snapshot: everything the
 // shards do not own. The per-shard shardSnap carries the rest.
 type routerSnap struct {
@@ -89,6 +109,9 @@ type routerSnap struct {
 	MaxSeen        model.Time
 	Drops          ingest.Drops
 	Forced         int
+	// Quarantined lists the shards out of lockstep when the barrier was
+	// written (absent in snapshots from engines that never quarantined).
+	Quarantined []quarRecord
 }
 
 // shardSnap is one shard's share of a sharded snapshot.
@@ -110,7 +133,9 @@ func (e *Sharded) DurabilityEnabled() bool {
 	return e.wals != nil
 }
 
-// WALError returns the sticky WAL failure, or nil while the logs are healthy.
+// WALError returns the sticky WAL failure, or nil while at least one shard
+// log is healthy. Single-shard quarantines are NOT engine failures — see
+// DegradedShards; walErr only becomes sticky when every shard is down.
 func (e *Sharded) WALError() error {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
@@ -120,7 +145,9 @@ func (e *Sharded) WALError() error {
 // OpenSharded assembles a Sharded engine like NewSharded and, when
 // durability is enabled, recovers it from the data directory. The recovered
 // state is bit-for-bit identical to the single engine's recovery over the
-// same acked prefix, at any shard count.
+// same acked prefix, at any shard count. Shards with a quarantine marker
+// come back quarantined (their logs are exempt from the lockstep cut) and
+// the self-heal loop is scheduled for them.
 func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Sharded, error) {
 	e, err := NewSharded(plan, dep, cfg)
 	if err != nil {
@@ -135,26 +162,38 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 		return nil, err
 	}
 	e.streamID = sid
-	if err := checkShardGuard(d.Dir, e.n); err != nil {
+	fsys := d.fsys()
+	if err := checkShardGuard(fsys, d.Dir, e.n); err != nil {
+		return nil, err
+	}
+	markers, err := readQuarMarkers(fsys, d.Dir, e.n)
+	if err != nil {
 		return nil, err
 	}
 	rec := RecoveryInfo{Enabled: true}
 
 	// Pick the restore point: the highest snapshot sequence readable in the
-	// router directory AND every shard directory. A snapshot barrier writes
-	// all n+1 files at one sequence; a crash mid-barrier (or a corrupt
-	// file) simply drops that sequence out of the intersection and recovery
-	// replays more WAL. A stream-identity mismatch is fatal, not skippable.
-	routerSnaps, err := wal.ListSnapshots(d.Dir)
+	// router directory AND every non-quarantined shard directory. A snapshot
+	// barrier writes the router file plus one per live shard at one sequence;
+	// a crash mid-barrier (or a corrupt file) drops that sequence out of the
+	// intersection and recovery replays more WAL. Marked shards are exempt
+	// from the intersection — unless the shard holds its own snapshot at a
+	// barrier NEWER than its quarantine seq, which proves a heal completed
+	// its rejoin barrier and only the marker removal was lost (stale marker:
+	// the shard is treated as live). A stream-identity mismatch is fatal,
+	// not skippable.
+	routerSnaps, err := wal.ListSnapshotsFS(fsys, d.Dir)
 	if err != nil {
 		return nil, err
 	}
+	shardSnapLists := make([][]wal.SnapshotInfo, e.n)
 	shardSnapsAt := make([]map[uint64]string, e.n)
 	for i := range shardSnapsAt {
-		infos, err := wal.ListSnapshots(shardDir(d.Dir, i))
+		infos, err := wal.ListSnapshotsFS(fsys, shardDir(d.Dir, i))
 		if err != nil {
 			return nil, err
 		}
+		shardSnapLists[i] = infos
 		m := make(map[uint64]string, len(infos))
 		for _, si := range infos {
 			m[si.Seq] = si.Path
@@ -164,10 +203,12 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 	var (
 		snapSeq uint64
 		rsnap   routerSnap
-		ssnaps  []shardSnap
+		ssnaps  map[int]shardSnap
+		stale   map[int]bool
 	)
 	for ri := len(routerSnaps) - 1; ri >= 0 && !rec.SnapshotRestored; ri-- {
-		seq, payload, rerr := wal.ReadSnapshotFile(routerSnaps[ri].Path, sid)
+		seq := routerSnaps[ri].Seq
+		_, payload, rerr := wal.ReadSnapshotFileFS(fsys, routerSnaps[ri].Path, sid)
 		if rerr != nil {
 			var mm *wal.MismatchError
 			if errors.As(rerr, &mm) {
@@ -181,34 +222,61 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 			rec.SnapshotsSkipped++
 			continue
 		}
-		candidates := make([]shardSnap, e.n)
+		candidates := make(map[int]shardSnap, e.n)
+		staleHere := make(map[int]bool)
 		complete := true
 		for i := 0; i < e.n && complete; i++ {
+			qi, marked := markers[i]
+			if marked && seq <= qi {
+				continue // barrier predates the quarantine; shard exempt here
+			}
 			path, ok := shardSnapsAt[i][seq]
 			if !ok {
+				if marked {
+					continue // quarantined when this barrier was written
+				}
 				complete = false
 				break
 			}
-			_, spayload, serr := wal.ReadSnapshotFile(path, sid)
+			_, spayload, serr := wal.ReadSnapshotFileFS(fsys, path, sid)
 			if serr != nil {
 				var mm *wal.MismatchError
 				if errors.As(serr, &mm) {
 					return nil, serr
 				}
+				if marked {
+					continue
+				}
 				complete = false
 				break
 			}
-			if derr := gob.NewDecoder(bytes.NewReader(spayload)).Decode(&candidates[i]); derr != nil {
+			var ss shardSnap
+			if derr := gob.NewDecoder(bytes.NewReader(spayload)).Decode(&ss); derr != nil {
+				if marked {
+					continue
+				}
 				complete = false
+				break
+			}
+			candidates[i] = ss
+			if marked {
+				staleHere[i] = true // own snapshot past the quarantine seq: heal finished
 			}
 		}
 		if !complete {
 			rec.SnapshotsSkipped++
 			continue
 		}
-		snapSeq, rsnap, ssnaps = seq, rs, candidates
+		snapSeq, rsnap, ssnaps, stale = seq, rs, candidates, staleHere
 		rec.SnapshotRestored = true
 		rec.SnapshotSeq = seq
+	}
+	for i := range stale {
+		log.Printf("engine: shard %d: stale quarantine marker (heal completed at or before seq %d); treating as live", i, snapSeq)
+		if err := removeQuarMarker(fsys, d.Dir, i); err != nil {
+			log.Printf("engine: remove stale quarantine marker for shard %d: %v", i, err)
+		}
+		delete(markers, i)
 	}
 	if rec.SnapshotRestored {
 		e.rangeQ.Store(int64(rsnap.RangeQueries))
@@ -216,16 +284,25 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 		e.eventLog = rsnap.Events
 		e.eventOff = rsnap.EventOff
 		for i, sh := range e.shards {
-			sh.stats = ssnaps[i].Stats
-			sh.col.Restore(ssnaps[i].Collector)
-			sh.cache.RestoreEntries(ssnaps[i].CacheEntries)
-			sh.cache.RestoreStats(ssnaps[i].CacheHits, ssnaps[i].CacheMisses)
+			ss, ok := ssnaps[i]
+			if !ok {
+				continue // marked shard: restored from its own base below
+			}
+			sh.stats = ss.Stats
+			sh.col.Restore(ss.Collector)
+			sh.cache.RestoreEntries(ss.CacheEntries)
+			sh.cache.RestoreStats(ss.CacheHits, ss.CacheMisses)
 		}
 		e.walSeq = snapSeq
 	}
 
-	// Open every shard log, collecting the decoded batches above the
-	// snapshot; above it each shard's sequence must be gapless.
+	// Open every shard log, collecting decoded batches above each shard's
+	// own base: the barrier seq for live shards, the shard's newest readable
+	// snapshot at or below min(barrier, quarantine seq) for marked shards.
+	// Above its base each log must be gapless. A marked shard whose log
+	// cannot be opened stays quarantined (frozen empty in memory) instead of
+	// failing the whole engine — its disk may still be broken, and healing
+	// retries from disk anyway.
 	closeAll := func() {
 		for _, l := range e.wals {
 			if l != nil {
@@ -236,17 +313,57 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 	}
 	e.wals = make([]*wal.Log, e.n)
 	batches := make([][]wal.Batch, e.n)
+	base := make([]uint64, e.n)
+	qcause := make(map[int]error)
 	for i := 0; i < e.n; i++ {
-		expected := snapSeq + 1
+		base[i] = snapSeq
+		qi, marked := markers[i]
+		if marked {
+			// Find the marked shard's own restore base and load it now; the
+			// solo catch-up and lockstep participation below bring it to qi.
+			limit := snapSeq
+			if qi < limit {
+				limit = qi
+			}
+			base[i] = 0
+			found := false
+			lists := shardSnapLists[i]
+			for k := len(lists) - 1; k >= 0 && !found; k-- {
+				if lists[k].Seq > limit {
+					continue
+				}
+				_, spayload, serr := wal.ReadSnapshotFileFS(fsys, lists[k].Path, sid)
+				if serr != nil {
+					var mm *wal.MismatchError
+					if errors.As(serr, &mm) {
+						return nil, serr
+					}
+					continue
+				}
+				var ss shardSnap
+				if derr := gob.NewDecoder(bytes.NewReader(spayload)).Decode(&ss); derr != nil {
+					continue
+				}
+				sh := e.shards[i]
+				sh.stats = ss.Stats
+				sh.col.Restore(ss.Collector)
+				sh.cache.RestoreEntries(ss.CacheEntries)
+				sh.cache.RestoreStats(ss.CacheHits, ss.CacheMisses)
+				base[i] = lists[k].Seq
+				found = true
+			}
+		}
+		shardBase := base[i]
+		expected := shardBase + 1
 		l, report, oerr := wal.Open(shardDir(d.Dir, i),
-			wal.Options{StreamID: sid, SegmentBytes: d.SegmentBytes},
+			wal.Options{StreamID: sid, SegmentBytes: d.SegmentBytes, FS: d.FS},
 			func(seq uint64, payload []byte) error {
-				if seq <= snapSeq {
+				if seq <= shardBase {
 					return nil
 				}
 				if seq != expected {
-					return fmt.Errorf("engine: shard %d WAL gap: snapshot covers seq %d but next record is %d (want %d)",
-						i, snapSeq, seq, expected)
+					return fmt.Errorf("engine: shard %d WAL gap: restore base is seq %d but next record is %d (want %d)",
+						i, shardBase, seq, expected)
 				}
 				b, derr := wal.DecodeBatch(payload)
 				if derr != nil {
@@ -257,8 +374,25 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 				return nil
 			})
 		if oerr != nil {
+			if marked {
+				log.Printf("engine: shard %d: cannot open quarantined log (%v); shard stays quarantined", i, oerr)
+				qcause[i] = oerr
+				batches[i] = nil
+				continue
+			}
 			closeAll()
 			return nil, oerr
+		}
+		if marked && l.LastSeq() > qi {
+			// The log extends past the recorded quarantine point but no
+			// rejoin barrier survived: the shard's base state for those
+			// records is unrecoverable. Keep the shard quarantined and its
+			// log untouched for inspection (walctl) rather than guessing.
+			log.Printf("engine: shard %d: log ends at seq %d, past its quarantine seq %d, with no readable rejoin barrier; shard stays quarantined", i, l.LastSeq(), qi)
+			qcause[i] = fmt.Errorf("engine: shard %d log past quarantine seq %d with no rejoin barrier", i, qi)
+			batches[i] = nil
+			l.Close()
+			continue
 		}
 		e.wals[i] = l
 		rec.Corrupt = rec.Corrupt || report.Corrupt
@@ -266,40 +400,135 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 		rec.SegmentsRemoved += report.RemovedSegments
 	}
 
-	// Replay in lockstep to the shortest log. Each replayed sequence is one
-	// flushed second, applied through the same path live ingestion uses.
-	minAhead := len(batches[0])
-	for _, bs := range batches[1:] {
-		if len(bs) < minAhead {
-			minAhead = len(bs)
+	// The lockstep cut: live shards replay to the shortest LIVE log. Marked
+	// shards are exempt — their effective quarantine seq is capped to both
+	// their actual log end (an unsynced tail may have torn off) and the cut.
+	liveMin := -1
+	for i := 0; i < e.n; i++ {
+		if _, marked := markers[i]; marked {
+			continue
+		}
+		if liveMin < 0 || len(batches[i]) < liveMin {
+			liveMin = len(batches[i])
 		}
 	}
-	var lastMeta *wal.Batch
-	for k := 0; k < minAhead; k++ {
-		t := batches[0][k].Time
-		parts := make([][]model.RawReading, e.n)
-		var raws []model.RawReading
-		for i := range batches {
-			b := &batches[i][k]
-			if b.Time != t {
-				closeAll()
-				return nil, fmt.Errorf("engine: shard WALs disagree at seq %d: shard 0 holds second %d, shard %d holds %d",
-					snapSeq+uint64(k)+1, t, i, b.Time)
+	if liveMin < 0 {
+		liveMin = 0 // every shard marked: nothing to replay in lockstep
+	}
+	walSeqFinal := snapSeq + uint64(liveMin)
+	qeff := make(map[int]uint64)
+	for i, qi := range markers {
+		eff := qi
+		if e.wals[i] != nil {
+			if ls := e.wals[i].LastSeq(); ls < eff {
+				eff = ls
 			}
-			parts[i] = b.Readings
-			raws = append(raws, b.Readings...)
+		} else {
+			eff = base[i] // unopenable log: frozen at its restored base
+		}
+		if walSeqFinal < eff {
+			eff = walSeqFinal
+		}
+		qeff[i] = eff
+	}
+
+	// Solo catch-up: marked shards replay their own records up to
+	// min(barrier, qeff) alone. Events are discarded (the router snapshot's
+	// event log already covers them) but the cache still invalidates on
+	// ENTER, exactly like the live path.
+	for i := range markers {
+		limit := snapSeq
+		if qeff[i] < limit {
+			limit = qeff[i]
+		}
+		sh := e.shards[i]
+		for k := range batches[i] {
+			seq := base[i] + uint64(k) + 1
+			if seq > limit {
+				break
+			}
+			b := &batches[i][k]
+			dropped := sh.col.Drops().Readings()
+			sh.col.IngestSecond(b.Time, b.Readings)
+			sh.stats.ReadingsIngested += len(b.Readings) - (sh.col.Drops().Readings() - dropped)
+			for _, ev := range sh.col.DrainEvents() {
+				if ev.Kind == model.Enter {
+					sh.cache.Invalidate(ev.Object, ev.Reader)
+				}
+			}
 			rec.ReadingsReplayed += len(b.Readings)
 		}
-		e.applyParts(t, parts, raws)
-		lastMeta = &batches[0][k]
+	}
+
+	// Lockstep replay: each sequence is one flushed second, applied through
+	// the same path live ingestion uses. Marked shards participate for the
+	// seconds their log covers (seq <= qeff); beyond that the second goes on
+	// their missed list for healing to fast-forward.
+	missed := make(map[int][]model.Time)
+	var lastMeta *wal.Batch
+	for k := 0; k < liveMin; k++ {
+		seq := snapSeq + uint64(k) + 1
+		parts := make([][]model.RawReading, e.n)
+		active := make([]bool, e.n)
+		var raws []model.RawReading
+		var t model.Time
+		var ref *wal.Batch
+		for i := 0; i < e.n; i++ {
+			if _, marked := markers[i]; marked {
+				if seq > qeff[i] {
+					continue
+				}
+				idx := int(seq - base[i] - 1)
+				if idx < 0 || idx >= len(batches[i]) {
+					continue
+				}
+				b := &batches[i][idx]
+				if ref != nil && b.Time != ref.Time {
+					closeAll()
+					return nil, fmt.Errorf("engine: shard WALs disagree at seq %d: second %d vs shard %d's %d",
+						seq, ref.Time, i, b.Time)
+				}
+				parts[i], active[i] = b.Readings, true
+				if ref == nil {
+					ref, t = b, b.Time
+				}
+				raws = append(raws, b.Readings...)
+				rec.ReadingsReplayed += len(b.Readings)
+				continue
+			}
+			b := &batches[i][k]
+			if ref != nil && b.Time != ref.Time {
+				closeAll()
+				return nil, fmt.Errorf("engine: shard WALs disagree at seq %d: second %d vs shard %d's %d",
+					seq, ref.Time, i, b.Time)
+			}
+			parts[i], active[i] = b.Readings, true
+			if ref == nil {
+				ref, t = b, b.Time
+			}
+			raws = append(raws, b.Readings...)
+			rec.ReadingsReplayed += len(b.Readings)
+			lastMeta = b
+		}
+		if ref == nil {
+			continue
+		}
+		e.applyPartsMasked(t, parts, raws, active)
+		for i := range markers {
+			if seq > qeff[i] {
+				missed[i] = append(missed[i], t)
+			}
+		}
 		rec.RecordsReplayed++
 	}
-	e.walSeq = snapSeq + uint64(minAhead)
+	e.walSeq = walSeqFinal
 
 	// Cut ragged tails back to the common sequence so the next second
-	// appends cleanly everywhere.
+	// appends cleanly everywhere. Marked shards whose log outruns the live
+	// cut lose that tail too: those seconds were truncated from the live
+	// shards, so keeping a one-shard remnant would desynchronize the heal.
 	for i, l := range e.wals {
-		if l.LastSeq() <= e.walSeq {
+		if l == nil || l.LastSeq() <= e.walSeq {
 			continue
 		}
 		cut, terr := l.TruncateTo(e.walSeq)
@@ -321,6 +550,40 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 		e.reorder.Restore(rsnap.Watermark, rsnap.MaxSeen, rsnap.Drops, rsnap.Forced)
 	}
 
+	// Re-quarantine the marked shards: seal their logs, merge the missed
+	// lists (the router snapshot's record covers the window below the
+	// barrier; replay rebuilt everything above it), and schedule healing.
+	for i, qi := range markers {
+		q := &quarInfo{
+			seq:   qeff[i],
+			cause: fmt.Errorf("engine: recovered quarantine marker (seq %d)", qi),
+		}
+		if c, ok := qcause[i]; ok {
+			q.cause = c
+		}
+		for _, qr := range rsnap.Quarantined {
+			if qr.Shard == i && qr.Seq == qi {
+				q.missed = append(q.missed, qr.Missed...)
+				q.splicedThrough = qr.SplicedThrough
+				break
+			}
+		}
+		q.missed = append(q.missed, missed[i]...)
+		if l := e.wals[i]; l != nil {
+			l.Close()
+			e.wals[i] = nil
+		}
+		e.quar[i] = q
+		e.shardState[i].Store(shardQuarantined)
+		e.shards[i].shardTel.quarantined.Set(1)
+		if qeff[i] != qi {
+			if werr := writeQuarMarker(fsys, d.Dir, i, qeff[i]); werr != nil {
+				log.Printf("engine: rewrite quarantine marker for shard %d: %v", i, werr)
+			}
+		}
+		log.Printf("engine: shard %d recovered quarantined at seq %d (%d missed seconds); self-heal scheduled", i, qeff[i], len(q.missed))
+	}
+
 	e.recovery = rec
 	e.lastSync = time.Now()
 	e.tel.walReplayed.Set(uint64(rec.RecordsReplayed))
@@ -330,16 +593,29 @@ func OpenSharded(plan *floorplan.Plan, dep *rfid.Deployment, cfg Config) (*Shard
 		log.Printf("engine: repaired sharded WAL in %s: %d bytes truncated, %d segments removed",
 			d.Dir, rec.TruncatedBytes, rec.SegmentsRemoved)
 	}
+	if len(markers) > 0 {
+		if e.liveShards() == 0 {
+			e.failWAL(fmt.Errorf("all %d shards quarantined at recovery", e.n))
+		} else {
+			e.ingestMu.Lock()
+			e.startHealer()
+			e.kickHealer()
+			e.ingestMu.Unlock()
+		}
+	}
 	if d.SnapshotEvery > 0 && rec.RecordsReplayed >= d.SnapshotEvery {
+		e.ingestMu.Lock()
 		e.writeSnapshots()
+		e.ingestMu.Unlock()
 	}
 	return e, nil
 }
 
-// appendWAL logs one flushed second to every shard at the same sequence
-// number (called under ingestMu, before the second is applied). A failure
-// part-way leaves a ragged tail that recovery truncates; the sticky error
-// fail-stops ingestion either way.
+// appendWAL logs one flushed second to every live shard at the same sequence
+// number (called under ingestMu, before the second is applied). Transient
+// failures are retried with backoff; a shard whose append still fails is
+// quarantined — its part becomes a typed drop — and the remaining shards
+// continue. The sequence only advances if at least one shard got the record.
 func (e *Sharded) appendWAL(t model.Time, parts [][]model.RawReading) {
 	wm, _ := e.reorder.Watermark()
 	ms, _ := e.reorder.MaxSeen()
@@ -349,7 +625,11 @@ func (e *Sharded) appendWAL(t model.Time, parts [][]model.RawReading) {
 	}
 	forced := e.reorder.ForcedFlushes()
 	drops := e.reorder.Drops()
+	appended := false
 	for i, l := range e.wals {
+		if l == nil || e.shardState[i].Load() != shardLive {
+			continue
+		}
 		b := wal.Batch{
 			Time:     t,
 			MaxSeen:  ms,
@@ -359,20 +639,31 @@ func (e *Sharded) appendWAL(t model.Time, parts [][]model.RawReading) {
 		}
 		e.walBuf = b.Encode(e.walBuf[:0])
 		wstart := time.Now()
-		if err := l.Append(e.walSeq+1, e.walBuf); err != nil {
-			e.failWAL(err)
-			return
+		err := retryTransient(e.cfg.Durability.Retry, e.tel, e.curTrace, i,
+			e.streamID^e.walSeq^uint64(i)<<32, l.ResetTail, func() error {
+				return l.Append(e.walSeq+1, e.walBuf)
+			})
+		if err != nil {
+			e.quarantineShard(i, err)
+			e.dropPart(i, t, parts)
+			continue
 		}
 		e.shards[i].shardTel.walAppend.Observe(time.Since(wstart).Seconds())
 		e.curTrace.Since("wal-append", i, wstart)
+		appended = true
+	}
+	if !appended {
+		return
 	}
 	e.walSeq++
 	e.sinceSnap++
 	e.tel.walRecords.Inc()
 }
 
-// syncWAL applies the fsync policy across every shard log; the first error
-// is sticky. Called under ingestMu.
+// syncWAL applies the fsync policy across every live shard log. Transient
+// failures are retried; a shard whose fsync still fails is quarantined and
+// the rest continue. Only an all-shards-down engine reports an error.
+// Called under ingestMu.
 func (e *Sharded) syncWAL(force bool) error {
 	if e.wals == nil || e.walErr != nil {
 		return e.walErr
@@ -388,13 +679,23 @@ func (e *Sharded) syncWAL(force bool) error {
 		}
 	}
 	for i, l := range e.wals {
+		if l == nil || e.shardState[i].Load() != shardLive {
+			continue
+		}
 		fstart := time.Now()
-		if err := l.Sync(); err != nil {
-			e.failWAL(err)
-			return e.walErr
+		err := retryTransient(e.cfg.Durability.Retry, e.tel, e.curTrace, i,
+			e.streamID^e.walSeq^uint64(i)<<32, nil, l.Sync)
+		if err != nil {
+			// The appended second IS in this shard's log; quarantine at the
+			// current sequence with nothing missed yet.
+			e.quarantineShard(i, err)
+			continue
 		}
 		e.shards[i].shardTel.walFsync.Observe(time.Since(fstart).Seconds())
 		e.curTrace.Since("wal-fsync", i, fstart)
+	}
+	if e.walErr != nil {
+		return e.walErr
 	}
 	e.lastSync = time.Now()
 	e.tel.walSyncs.Inc()
@@ -420,12 +721,29 @@ func (e *Sharded) maybeSnapshot() {
 	}
 }
 
-// writeSnapshots writes the snapshot barrier: all logs synced, then the
-// router snapshot and every shard snapshot at the same sequence. Failures
-// are logged and counted but not sticky — the WALs still hold everything; a
-// partial barrier just never enters recovery's intersection. Called under
-// ingestMu.
-func (e *Sharded) writeSnapshots() {
+// snapFailed mirrors System.snapFailed: count the failure and pace the
+// retry schedule so a broken snapshot store doesn't turn every flush into a
+// doomed write.
+func (e *Sharded) snapFailed(err error) {
+	e.tel.walSnapshotErrors.Inc()
+	e.tel.snapshotFailures.Inc()
+	e.snapFails++
+	if e.snapFails >= snapFailBackoff {
+		e.sinceSnap = 0
+		e.snapFails = 0
+	}
+	log.Printf("%v", err)
+}
+
+// writeSnapshots writes the snapshot barrier: all live logs synced, then the
+// router snapshot and every live shard's snapshot at the same sequence.
+// Quarantined shards are skipped — the router snapshot records their seq and
+// missed seconds instead, so a crash mid-quarantine still heals exactly.
+// Failures are counted and paced but not sticky (the WALs still hold
+// everything; a partial barrier never enters recovery's intersection), and
+// pruning is frozen entirely while any shard is out: healing needs the
+// quarantined shard's old snapshots and segments. Called under ingestMu.
+func (e *Sharded) writeSnapshots() error {
 	wm, started := e.reorder.Watermark()
 	ms, _ := e.reorder.MaxSeen()
 	rsnap := routerSnap{
@@ -439,23 +757,43 @@ func (e *Sharded) writeSnapshots() {
 		Drops:          e.reorder.Drops(),
 		Forced:         e.reorder.ForcedFlushes(),
 	}
+	degraded := false
+	for i := 0; i < e.n; i++ {
+		if e.shardState[i].Load() == shardLive || i == e.rejoining {
+			continue
+		}
+		degraded = true
+		if q := e.quar[i]; q != nil {
+			rsnap.Quarantined = append(rsnap.Quarantined, quarRecord{
+				Shard:          i,
+				Seq:            q.seq,
+				Missed:         append([]model.Time(nil), q.missed...),
+				SplicedThrough: q.splicedThrough,
+			})
+		}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rsnap); err != nil {
-		e.tel.walSnapshotErrors.Inc()
-		log.Printf("engine: encode router snapshot: %v", err)
-		return
+		err = fmt.Errorf("engine: encode router snapshot: %w", err)
+		e.snapFailed(err)
+		return err
 	}
 	// An unsynced tail record would let a surviving snapshot claim coverage
 	// of a second a log lost; sync first so the claim is always true.
 	if err := e.syncWAL(true); err != nil {
-		return
+		return err
 	}
-	if _, err := wal.WriteSnapshot(e.cfg.Durability.Dir, e.streamID, e.walSeq, buf.Bytes()); err != nil {
-		e.tel.walSnapshotErrors.Inc()
-		log.Printf("engine: write router snapshot: %v", err)
-		return
+	d := e.cfg.Durability
+	fsys := d.fsys()
+	if _, err := wal.WriteSnapshotFS(fsys, d.Dir, e.streamID, e.walSeq, buf.Bytes()); err != nil {
+		err = fmt.Errorf("engine: write router snapshot: %w", err)
+		e.snapFailed(err)
+		return err
 	}
 	for i, sh := range e.shards {
+		if e.shardState[i].Load() != shardLive && i != e.rejoining {
+			continue
+		}
 		e.shardMu[i].Lock()
 		hits, misses := sh.cache.Stats()
 		ssnap := shardSnap{
@@ -468,38 +806,49 @@ func (e *Sharded) writeSnapshots() {
 		e.shardMu[i].Unlock()
 		buf.Reset()
 		if err := gob.NewEncoder(&buf).Encode(&ssnap); err != nil {
-			e.tel.walSnapshotErrors.Inc()
-			log.Printf("engine: encode shard %d snapshot: %v", i, err)
-			return
+			err = fmt.Errorf("engine: encode shard %d snapshot: %w", i, err)
+			e.snapFailed(err)
+			return err
 		}
-		if _, err := wal.WriteSnapshot(shardDir(e.cfg.Durability.Dir, i), e.streamID, e.walSeq, buf.Bytes()); err != nil {
-			e.tel.walSnapshotErrors.Inc()
-			log.Printf("engine: write shard %d snapshot: %v", i, err)
-			return
+		if _, err := wal.WriteSnapshotFS(fsys, shardDir(d.Dir, i), e.streamID, e.walSeq, buf.Bytes()); err != nil {
+			err = fmt.Errorf("engine: write shard %d snapshot: %w", i, err)
+			e.snapFailed(err)
+			return err
 		}
 	}
 	e.sinceSnap = 0
+	e.snapFails = 0
 	e.tel.walSnapshots.Inc()
-	if _, _, err := wal.PruneSnapshots(e.cfg.Durability.Dir, e.cfg.Durability.keepSnapshots()); err != nil {
+	if degraded {
+		return nil // freeze pruning: healing needs the history below the barrier
+	}
+	if _, _, err := wal.PruneSnapshotsFS(fsys, d.Dir, d.keepSnapshots()); err != nil {
 		log.Printf("engine: prune router snapshots: %v", err)
-		return
+		return nil
 	}
 	for i, l := range e.wals {
-		oldest, _, err := wal.PruneSnapshots(shardDir(e.cfg.Durability.Dir, i), e.cfg.Durability.keepSnapshots())
+		if l == nil {
+			continue
+		}
+		oldest, _, err := wal.PruneSnapshotsFS(fsys, shardDir(d.Dir, i), d.keepSnapshots())
 		if err != nil {
 			log.Printf("engine: prune shard %d snapshots: %v", i, err)
-			return
+			return nil
 		}
 		if _, err := l.PruneSegments(oldest); err != nil {
 			log.Printf("engine: prune shard %d segments: %v", i, err)
 		}
 	}
+	return nil
 }
 
 // Close shuts the durability layer down cleanly, mirroring System.Close:
-// buffered seconds flushed and logged, a final snapshot barrier, all logs
-// synced and closed. No-op for engines built with NewSharded.
+// the heal loop stopped, buffered seconds flushed and logged, a final
+// snapshot barrier, all live logs synced and closed. Quarantined shards'
+// markers stay on disk so the next OpenSharded resumes their healing.
+// No-op for engines built with NewSharded.
 func (e *Sharded) Close() error {
+	e.stopHealer()
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
 	if e.wals == nil {
@@ -512,6 +861,9 @@ func (e *Sharded) Close() error {
 	syncErr := e.syncWAL(true)
 	var closeErr error
 	for _, l := range e.wals {
+		if l == nil {
+			continue
+		}
 		if err := l.Close(); err != nil && closeErr == nil {
 			closeErr = err
 		}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"sync"
@@ -9,9 +11,12 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/rfid"
 	"repro/internal/sim"
+	"repro/internal/sim/errfs"
+	"repro/internal/wal"
 )
 
 // TestShardedConcurrentStress hammers a Sharded engine from several
@@ -128,6 +133,146 @@ func TestShardedConcurrentStress(t *testing.T) {
 
 	// Worker pools and query goroutines must all have exited; give the
 	// runtime a moment to reap them.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before stress, %d after", before, runtime.NumGoroutine())
+}
+
+// TestShardedQuarantineHealStress is the -race target for the fault-isolation
+// machinery: a durable 4-shard engine under concurrent ingest and query load
+// has one shard's disk fail mid-stream (quarantine) and recover (heal) while
+// queriers hammer the partial-answer surfaces and the background healer races
+// HealNow. The engine must never report an engine-wide WAL error, every
+// ingest refusal must be a typed quarantine drop, the shard must be live
+// again at the end, and no goroutines — healer included — may leak.
+func TestShardedQuarantineHealStress(t *testing.T) {
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	before := runtime.NumGoroutine()
+
+	fsys := errfs.New(nil, 29)
+	cfg := DefaultConfig()
+	cfg.Seed = 33
+	cfg.Shards = 4
+	cfg.UseCache = false
+	cfg.SlowQueryThreshold = 0
+	cfg.Durability = DurabilityConfig{
+		Dir:   t.TempDir(),
+		Fsync: wal.SyncAlways,
+		FS:    fsys,
+		Retry: RetryConfig{Max: 2, BaseDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond},
+		// An aggressive background healer on purpose: it must race the
+		// explicit HealNow calls below without tripping -race or double-heals.
+		HealBaseDelay: time.Millisecond,
+		HealMaxDelay:  4 * time.Millisecond,
+	}
+	sh, err := OpenSharded(plan, dep, cfg)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 40
+	tc.DwellMin, tc.DwellMax = 2, 8
+	world := sim.MustNew(sh.Graph(), rfid.NewSensor(dep), tc, 77)
+
+	const steps = 80
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < steps; i++ {
+			switch i {
+			case 30:
+				fsys.Fail(errfs.Rule{Ops: errfs.OpWrite, Path: "shard-0001"})
+			case 55:
+				fsys.Clear()
+			}
+			tm, raws := world.Step()
+			if err := sh.Ingest(tm, raws); err != nil {
+				var ie *ingest.Error
+				if !errors.As(err, &ie) || ie.Kind != ingest.KindQuarantined {
+					t.Errorf("Ingest: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if _, err := sh.RangeQueryContext(ctx, geom.RectWH(5, 9, 25, 14)); err != nil {
+					if _, ok := IsQuarantine(err); !ok {
+						t.Errorf("range query: %v", err)
+						return
+					}
+				}
+				sh.OccupancyContext(ctx)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				sh.KNNQuery(geom.Pt(20, 12), 10)
+				sh.DegradedShards()
+				sh.EventsSince(0)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				sh.HealNow()
+				sh.Stats()
+				sh.SyncMetrics()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	sh.FlushIngest()
+
+	if err := sh.WALError(); err != nil {
+		t.Fatalf("engine-wide WAL error under a single-shard fault: %v", err)
+	}
+	// The fault is long gone; any shard still down must heal on demand.
+	fsys.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sh.DegradedShards()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shards %v never healed", sh.DegradedShards())
+		}
+		if err := sh.HealNow(); err != nil {
+			t.Logf("HealNow: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sh.tel.shardQuarantines.Value() == 0 {
+		t.Error("fault never quarantined the shard; stress proved nothing")
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
 	for i := 0; i < 50; i++ {
 		if runtime.NumGoroutine() <= before+2 {
 			return

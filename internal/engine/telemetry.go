@@ -71,18 +71,23 @@ type Telemetry struct {
 	walReplayed         *obs.Counter
 	walTruncatedBytes   *obs.Counter
 	walSnapshotsSkipped *obs.Counter
+	walRetries          *obs.Counter
+	snapshotFailures    *obs.Counter
+	shardQuarantines    *obs.Counter
+	shardHeals          *obs.Counter
 	walLastSeq          *obs.Gauge
 	walSegments         *obs.Gauge
 
 	// Per-shard families (shard-labeled). Children are resolved once per
 	// shard through shardMetrics and cached, so the hot paths record through
 	// plain handles.
-	shardStep       *obs.HistogramVec
-	shardEvaluate   *obs.HistogramVec
-	shardWALAppend  *obs.HistogramVec
-	shardWALFsync   *obs.HistogramVec
-	shardQueueDepth *obs.GaugeVec
-	reorderLag      *obs.Histogram
+	shardStep        *obs.HistogramVec
+	shardEvaluate    *obs.HistogramVec
+	shardWALAppend   *obs.HistogramVec
+	shardWALFsync    *obs.HistogramVec
+	shardQueueDepth  *obs.GaugeVec
+	shardQuarantined *obs.GaugeVec
+	reorderLag       *obs.Histogram
 
 	shardMu sync.Mutex
 	shardM  []*shardMetrics
@@ -90,11 +95,12 @@ type Telemetry struct {
 
 // shardMetrics are one shard's resolved per-shard metric handles.
 type shardMetrics struct {
-	step       *obs.Histogram
-	evaluate   *obs.Histogram
-	walAppend  *obs.Histogram
-	walFsync   *obs.Histogram
-	queueDepth *obs.Gauge
+	step        *obs.Histogram
+	evaluate    *obs.Histogram
+	walAppend   *obs.Histogram
+	walFsync    *obs.Histogram
+	queueDepth  *obs.Gauge
+	quarantined *obs.Gauge
 }
 
 // shardMetrics returns (creating on first use) the cached handles for shard
@@ -106,11 +112,12 @@ func (t *Telemetry) shardMetrics(i int) *shardMetrics {
 	for len(t.shardM) <= i {
 		label := strconv.Itoa(len(t.shardM))
 		t.shardM = append(t.shardM, &shardMetrics{
-			step:       t.shardStep.With(label),
-			evaluate:   t.shardEvaluate.With(label),
-			walAppend:  t.shardWALAppend.With(label),
-			walFsync:   t.shardWALFsync.With(label),
-			queueDepth: t.shardQueueDepth.With(label),
+			step:        t.shardStep.With(label),
+			evaluate:    t.shardEvaluate.With(label),
+			walAppend:   t.shardWALAppend.With(label),
+			walFsync:    t.shardWALFsync.With(label),
+			queueDepth:  t.shardQueueDepth.With(label),
+			quarantined: t.shardQuarantined.With(label),
 		})
 	}
 	return t.shardM[i]
@@ -214,6 +221,14 @@ func newTelemetry(cfg Config) *Telemetry {
 			"Engine snapshots committed to the data directory."),
 		walSnapshotErrors: r.Counter("repro_wal_snapshot_errors_total",
 			"Snapshot encode/write failures (non-fatal; the WAL still covers the state)."),
+		walRetries: r.Counter("repro_wal_retries_total",
+			"WAL append/fsync attempts retried after a transient error."),
+		snapshotFailures: r.Counter("repro_snapshot_failures_total",
+			"Snapshot write attempts that failed; the schedule retries on the next flushed second."),
+		shardQuarantines: r.Counter("repro_shard_quarantines_total",
+			"Shards fail-stopped and quarantined after an unrecoverable WAL error."),
+		shardHeals: r.Counter("repro_shard_heals_total",
+			"Quarantined shards recovered and resumed by the self-heal loop."),
 		walReplayed: r.Counter("repro_wal_records_replayed_total",
 			"WAL records applied during the last recovery."),
 		walTruncatedBytes: r.Counter("repro_wal_truncated_bytes_total",
@@ -234,6 +249,8 @@ func newTelemetry(cfg Config) *Telemetry {
 			"Wall time of one WAL fsync, per shard log (stalls show as tail mass).", nil, "shard"),
 		shardQueueDepth: r.GaugeVec("repro_shard_queue_depth",
 			"Raw readings routed to the shard in the most recently flushed second.", "shard"),
+		shardQuarantined: r.GaugeVec("repro_shard_quarantined",
+			"1 while the shard is quarantined (or healing) after a WAL fail-stop, else 0.", "shard"),
 		reorderLag: r.Histogram("repro_ingest_reorder_lag_seconds",
 			"Stream seconds the flushed second trailed the newest delivered one (router-owned reorder buffer, so no shard label).",
 			[]float64{0, 1, 2, 3, 5, 8, 13, 21}),

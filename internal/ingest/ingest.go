@@ -39,12 +39,16 @@ const (
 	// reading count inside is unknown, so it is accounted at batch
 	// granularity only.
 	KindOversized
+	// KindQuarantined marks readings dropped because the shard owning their
+	// objects is quarantined after a WAL fail-stop (sharded engine only).
+	// The rest of the delivery is accepted; healthy shards are unaffected.
+	KindQuarantined
 )
 
 // ReadingKinds lists the kinds that classify dropped readings (KindGap is
 // excluded: gaps count missing seconds, not readings). The telemetry layer
 // iterates it to export one drop counter per kind.
-var ReadingKinds = []Kind{KindLate, KindDuplicate, KindMisstamped, KindInvalid}
+var ReadingKinds = []Kind{KindLate, KindDuplicate, KindMisstamped, KindInvalid, KindQuarantined}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -61,6 +65,8 @@ func (k Kind) String() string {
 		return "gap"
 	case KindOversized:
 		return "oversized"
+	case KindQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -123,11 +129,17 @@ type Drops struct {
 	// reading counts are unknowable, so like LateBatches this is batch-level
 	// accounting and excluded from Readings().
 	OversizedBatches int
+	// QuarantinedReadings counts readings dropped because their objects'
+	// shard was quarantined after a WAL fail-stop. Router-owned and volatile
+	// across a crash (like OversizedBatches): the readings never reach any
+	// WAL, so the count cannot be recovered from one.
+	QuarantinedReadings int
 }
 
 // Readings returns the total number of raw readings dropped.
 func (d Drops) Readings() int {
-	return d.LateReadings + d.DuplicateReadings + d.MisstampedReadings + d.InvalidReadings
+	return d.LateReadings + d.DuplicateReadings + d.MisstampedReadings +
+		d.InvalidReadings + d.QuarantinedReadings
 }
 
 // Of returns the reading count (or, for KindGap, the second count)
@@ -146,6 +158,8 @@ func (d Drops) Of(k Kind) int {
 		return d.GapSeconds
 	case KindOversized:
 		return d.OversizedBatches
+	case KindQuarantined:
+		return d.QuarantinedReadings
 	default:
 		return 0
 	}
@@ -161,4 +175,5 @@ func (d *Drops) Merge(o Drops) {
 	d.InvalidReadings += o.InvalidReadings
 	d.GapSeconds += o.GapSeconds
 	d.OversizedBatches += o.OversizedBatches
+	d.QuarantinedReadings += o.QuarantinedReadings
 }

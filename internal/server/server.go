@@ -73,6 +73,8 @@ type Engine interface {
 	KNNQueryContext(ctx context.Context, q geom.Point, k int) (model.ResultSet, error)
 	Localize(obj model.ObjectID) (engine.Localization, bool)
 	Occupancy() []engine.RoomOdds
+	OccupancyContext(ctx context.Context) ([]engine.RoomOdds, error)
+	DegradedShards() []int
 	Preprocess(candidates []model.ObjectID) *anchor.Table
 	Stats() engine.Stats
 	CacheStats() (hits, misses int)
@@ -465,8 +467,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: recovery is complete, no drain is in progress,
-// and the durability layer (when enabled) has not fail-stopped. 503 means
-// "route traffic elsewhere", and the body says why.
+// and the durability layer (when enabled) has not fail-stopped. Quarantined
+// shards degrade the answer but do not fail it — the node still serves
+// correct (partial-marked) results from its live shards, so 200 with
+// "status": "degraded" and the shard list; 503 means "route traffic
+// elsewhere" (draining, WAL fail-stopped, or every shard quarantined), and
+// the body says why.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		w.Header().Set("Content-Type", "application/json")
@@ -477,6 +483,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.lock()
 	walErr := s.sys.WALError()
 	rec := s.sys.Recovery()
+	degraded := s.sys.DegradedShards()
 	s.unlock()
 	if walErr != nil {
 		w.Header().Set("Content-Type", "application/json")
@@ -484,11 +491,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]string{"status": "wal failed", "error": walErr.Error()})
 		return
 	}
-	s.writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"status":     "ok",
 		"durability": rec.Enabled,
 		"recovery":   rec,
-	})
+	}
+	if len(degraded) > 0 {
+		resp["status"] = "degraded"
+		resp["quarantinedShards"] = len(degraded)
+		resp["degradedShards"] = degraded
+	}
+	s.writeJSON(w, resp)
 }
 
 // uiPage is a minimal live dashboard: the SVG snapshot refreshing every two
@@ -515,7 +528,7 @@ td, th { border: 1px solid #ddd; padding: 2px 8px; font-size: 13px; text-align: 
 <script>
 async function tick() {
   document.getElementById('snap').src = '/snapshot.svg?ts=' + Date.now();
-  const occ = await (await fetch('/occupancy')).json();
+  const occ = (await (await fetch('/occupancy')).json()).occupancy;
   const rows = occ.slice(0, 15).map(function(e) {
     return '<tr><td>' + e.room + '</td><td>' + e.p.toFixed(2) + '</td></tr>';
   }).join('');
@@ -649,12 +662,11 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), deadline)
 		rs, qerr = s.sys.RangeQueryContext(ctx, win)
 		cancel()
-	case trace.From(r.Context()) != nil:
-		// Traced but deadline-free: the Context variant threads the trace
-		// through the engine; without a deadline it cannot expire.
-		rs, qerr = s.sys.RangeQueryContext(r.Context(), win)
 	default:
-		rs = s.sys.RangeQuery(win)
+		// Deadline-free: the Context variant threads the trace (when one is
+		// attached) and still surfaces a quarantine-partial marker; without
+		// a deadline it cannot expire.
+		rs, qerr = s.sys.RangeQueryContext(r.Context(), win)
 	}
 	s.unlock()
 	resp := map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)}
@@ -690,10 +702,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), deadline)
 		rs, qerr = s.sys.KNNQueryContext(ctx, geom.Pt(x, y), k)
 		cancel()
-	case trace.From(r.Context()) != nil:
-		rs, qerr = s.sys.KNNQueryContext(r.Context(), geom.Pt(x, y), k)
 	default:
-		rs = s.sys.KNNQuery(geom.Pt(x, y), k)
+		rs, qerr = s.sys.KNNQueryContext(r.Context(), geom.Pt(x, y), k)
 	}
 	s.unlock()
 	resp := map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)}
@@ -717,10 +727,12 @@ func queryDeadline(r *http.Request) (time.Duration, error) {
 	return time.Duration(ms) * time.Millisecond, nil
 }
 
-// addPartial marks a response produced by a query that ran out of its
-// deadline: the result is a usable prefix, not the complete answer. The
-// request still succeeds (200) — a partial under deadline pressure is the
-// contract, not an error.
+// addPartial marks a response produced by a query that could not cover the
+// complete answer: a deadline overrun (the result is a usable prefix) or
+// quarantined shards (the result is complete over the live shards only).
+// The request still succeeds (200) — a partial under deadline pressure or
+// degraded durability is the contract, not an error. Both causes can apply
+// at once (engines join them with errors.Join); each contributes its field.
 func addPartial(resp map[string]any, qerr error) {
 	if qerr == nil {
 		return
@@ -728,6 +740,9 @@ func addPartial(resp map[string]any, qerr error) {
 	resp["partial"] = true
 	if de, ok := engine.IsDeadline(qerr); ok {
 		resp["deadline_stage"] = de.Stage
+	}
+	if qe, ok := engine.IsQuarantine(qerr); ok {
+		resp["degradedShards"] = qe.Shards
 	}
 }
 
@@ -784,8 +799,19 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 		Room string  `json:"room"`
 		P    float64 `json:"p"`
 	}
+	deadline, err := queryDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad deadline_ms: %v", err)
+		return
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	s.lock()
-	occ := s.sys.Occupancy()
+	occ, qerr := s.sys.OccupancyContext(ctx)
 	s.unlock()
 	// Non-nil so an empty answer encodes as [] rather than null.
 	out := []entry{}
@@ -796,7 +822,9 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, entry{Room: name, P: ro.P})
 	}
-	s.writeJSON(w, out)
+	resp := map[string]any{"occupancy": out}
+	addPartial(resp, qerr)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleObjects(w http.ResponseWriter, r *http.Request) {

@@ -147,12 +147,18 @@ func TestLocalizeEndpoint(t *testing.T) {
 
 func TestOccupancyStatsPlanSnapshot(t *testing.T) {
 	ts, _ := testServer(t)
-	var occ []struct {
-		Room string  `json:"room"`
-		P    float64 `json:"p"`
+	var occ struct {
+		Occupancy []struct {
+			Room string  `json:"room"`
+			P    float64 `json:"p"`
+		} `json:"occupancy"`
+		Partial bool `json:"partial"`
 	}
-	if code := getJSON(t, ts, "/occupancy", &occ); code != http.StatusOK || len(occ) == 0 {
-		t.Fatalf("occupancy: %d entries", len(occ))
+	if code := getJSON(t, ts, "/occupancy", &occ); code != http.StatusOK || len(occ.Occupancy) == 0 {
+		t.Fatalf("occupancy: %d entries", len(occ.Occupancy))
+	}
+	if occ.Partial {
+		t.Error("healthy occupancy marked partial")
 	}
 	var stats struct {
 		Now  int64       `json:"now"`
@@ -333,7 +339,10 @@ type workStats struct {
 func TestEmptyResultJSONShapes(t *testing.T) {
 	// A fresh system knows nothing; empty answers must encode as [], not null.
 	_, ts := freshServer(t, ingest.Config{})
-	for _, path := range []string{"/occupancy", "/objects"} {
+	for path, want := range map[string]string{
+		"/occupancy": `{"occupancy":[]}`,
+		"/objects":   "[]",
+	} {
 		resp, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -343,8 +352,8 @@ func TestEmptyResultJSONShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := strings.TrimSpace(string(body)); got != "[]" {
-			t.Errorf("%s empty body = %q, want []", path, got)
+		if got := strings.TrimSpace(string(body)); got != want {
+			t.Errorf("%s empty body = %q, want %q", path, got, want)
 		}
 	}
 }

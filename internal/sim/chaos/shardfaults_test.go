@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+func shardFaultConfig(t *testing.T, shards int) (*floorplan.Plan, *rfid.Deployment, ShardFaultConfig) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	ec := engine.DefaultConfig()
+	ec.Particle.Ns = 16
+	ec.Seed = 41
+	ec.Shards = shards
+	ec.SlowQueryThreshold = 0
+	ec.Durability = engine.DurabilityConfig{
+		Dir:           t.TempDir(),
+		Fsync:         wal.SyncAlways,
+		SnapshotEvery: 7,
+	}
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 12
+	tc.DwellMin, tc.DwellMax = 2, 6
+	return plan, dep, ShardFaultConfig{
+		Engine:  ec,
+		Trace:   tc,
+		Seconds: 40,
+		Seed:    909,
+	}
+}
+
+// checkShardReport fails the test on any contract violation and, when
+// CHAOS_LEDGER names a file, writes the conservation ledger there so CI can
+// upload it as an artifact for the failed run.
+func checkShardReport(t *testing.T, rep ShardFaultReport, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("shard-fault run failed: %v", err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("contract violation: %s", m)
+	}
+	if (t.Failed() || len(rep.Mismatches) > 0) && os.Getenv("CHAOS_LEDGER") != "" {
+		body := "ledger for " + t.Name() + "\n" +
+			strings.Join(rep.Ledger, "\n") + "\nmismatches:\n" +
+			strings.Join(rep.Mismatches, "\n") + "\n"
+		if werr := os.WriteFile(os.Getenv("CHAOS_LEDGER"), []byte(body), 0o644); werr != nil {
+			t.Logf("write chaos ledger: %v", werr)
+		}
+	}
+	t.Logf("quarantines=%d droppedQuarantined=%d transientAbsorbed=%d healed=%v ledger=%v",
+		rep.Quarantines, rep.DroppedQuarantined, rep.TransientAbsorbed, rep.Healed, rep.Ledger)
+}
+
+// TestShardFaultPermanentQuarantine breaks one shard's disk permanently
+// mid-stream: the shard must quarantine (exactly once), its readings must
+// become typed drops, the other shards must keep every acked reading, and
+// the end-of-run heal must bring the engine back to bit-for-bit equivalence
+// with an unfaulted oracle over the effective stream.
+func TestShardFaultPermanentQuarantine(t *testing.T) {
+	plan, dep, cfg := shardFaultConfig(t, 4)
+	cfg.Faults = []ShardFault{{Shard: 2, At: 10}}
+	rep, err := RunShardFaults(plan, dep, cfg)
+	checkShardReport(t, rep, err)
+	if rep.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", rep.Quarantines)
+	}
+	if rep.DroppedQuarantined == 0 {
+		t.Error("no readings were dropped for the quarantined shard; fault never bit")
+	}
+	if !rep.Healed {
+		t.Error("shard did not heal after the fault cleared")
+	}
+}
+
+// TestShardFaultTransientAbsorbed injects a short transient write fault: the
+// append retry loop must absorb it with no quarantine and no drops.
+func TestShardFaultTransientAbsorbed(t *testing.T) {
+	plan, dep, cfg := shardFaultConfig(t, 4)
+	cfg.Faults = []ShardFault{{Shard: 1, At: 15, Transient: true, TransientTimes: 2}}
+	rep, err := RunShardFaults(plan, dep, cfg)
+	checkShardReport(t, rep, err)
+	if rep.Quarantines != 0 {
+		t.Errorf("transient fault caused %d quarantine(s); retries should have absorbed it", rep.Quarantines)
+	}
+	if rep.DroppedQuarantined != 0 {
+		t.Errorf("transient fault dropped %d readings", rep.DroppedQuarantined)
+	}
+	if rep.TransientAbsorbed == 0 {
+		t.Error("transient fault never fired; scenario proves nothing")
+	}
+}
+
+// TestShardFaultMidStreamHeal clears the fault while the stream is still
+// running: the shard heals mid-stream, resumes ingesting, and the final
+// state matches the oracle (which saw the shard's readings vanish only for
+// the quarantine window).
+func TestShardFaultMidStreamHeal(t *testing.T) {
+	plan, dep, cfg := shardFaultConfig(t, 4)
+	cfg.Faults = []ShardFault{{Shard: 0, At: 8, Until: 22}}
+	rep, err := RunShardFaults(plan, dep, cfg)
+	checkShardReport(t, rep, err)
+	if rep.Quarantines == 0 {
+		t.Error("fault never quarantined the shard")
+	}
+	if !rep.Healed {
+		t.Error("shard did not heal")
+	}
+}
+
+// TestShardFaultTwoShards quarantines two of four shards at different times;
+// the remaining two must carry the stream and both must heal.
+func TestShardFaultTwoShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-shard fault scenario skipped in -short")
+	}
+	plan, dep, cfg := shardFaultConfig(t, 4)
+	cfg.Faults = []ShardFault{
+		{Shard: 1, At: 9},
+		{Shard: 3, At: 18},
+	}
+	rep, err := RunShardFaults(plan, dep, cfg)
+	checkShardReport(t, rep, err)
+	if rep.Quarantines != 2 {
+		t.Errorf("quarantines = %d, want 2", rep.Quarantines)
+	}
+	if !rep.Healed {
+		t.Error("shards did not heal")
+	}
+}

@@ -1,0 +1,329 @@
+// Package errfs wraps a wal.FS with deterministic fault injection: rules
+// select filesystem operations by kind, path substring, call ordinal, and
+// probability, then fail them with transient or permanent errors — including
+// a torn-write mode that persists a prefix of the data before failing, the
+// way a real disk tears a record mid-write. It is the disk-fault story for
+// every durability test: the chaos harness schedules per-shard faults through
+// it, and the engine's retry/quarantine/heal paths are proven against it.
+//
+// All randomness comes from a splitmix64 stream seeded at construction, so a
+// given rule set fails the exact same calls on every run.
+package errfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Op is a bitmask of filesystem operation kinds a Rule can match.
+type Op uint32
+
+const (
+	OpOpen Op = 1 << iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	OpReadDir
+	OpStat
+	OpRead
+
+	// OpAll matches every operation.
+	OpAll Op = 1<<iota - 1
+)
+
+func (o Op) String() string {
+	names := []struct {
+		op   Op
+		name string
+	}{
+		{OpOpen, "open"}, {OpWrite, "write"}, {OpSync, "sync"},
+		{OpRename, "rename"}, {OpRemove, "remove"}, {OpTruncate, "truncate"},
+		{OpMkdir, "mkdir"}, {OpReadDir, "readdir"}, {OpStat, "stat"},
+		{OpRead, "read"},
+	}
+	s := ""
+	for _, n := range names {
+		if o&n.op != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Error is the fault injected by a rule without a custom Err. Transient
+// errors report Temporary() true, which wal.IsTransient classifies as
+// retryable; permanent ones do not.
+type Error struct {
+	Op        Op
+	Path      string
+	Transient bool
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("errfs: injected %s %s error on %s", kind, e.Op, e.Path)
+}
+
+// Temporary reports whether the fault is transient (retryable).
+func (e *Error) Temporary() bool { return e.Transient }
+
+// Rule selects calls to fail. The zero value matches every operation on
+// every path, always, permanently.
+type Rule struct {
+	// Ops is the operation kinds to match; 0 means all.
+	Ops Op
+	// Path is a substring the operation's path must contain; "" matches all.
+	// Rename matches on either path.
+	Path string
+	// After skips the first After matching calls before the rule can fire
+	// (fail "at a chosen offset" into an I/O sequence).
+	After int
+	// Times bounds how many calls the rule fails; <= 0 means every matching
+	// call fails until the rule is removed — a permanent fault.
+	Times int
+	// Prob fires the rule on a matching call with this probability; <= 0 or
+	// >= 1 means always. Draws come from the FS's deterministic stream.
+	Prob float64
+	// Transient marks injected errors temporary, i.e. retryable.
+	Transient bool
+	// TornBytes, on a write fault, persists that prefix of the data through
+	// the inner filesystem before failing — a torn write. <= 0 tears at 0.
+	TornBytes int
+	// Err overrides the injected error (default: *Error).
+	Err error
+}
+
+// Handle identifies an installed rule so it can be removed and its fire
+// count read.
+type Handle struct {
+	fs   *FS
+	rule *Rule
+
+	mu      sync.Mutex
+	matched int
+	fired   int
+}
+
+// Fired returns how many calls the rule has failed.
+func (h *Handle) Fired() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+// FS wraps an inner wal.FS with fault injection. Safe for concurrent use.
+type FS struct {
+	inner wal.FS
+
+	mu    sync.Mutex
+	rng   uint64
+	rules []*Handle
+}
+
+// New wraps inner (nil means the real OS filesystem) with a deterministic
+// fault-injecting layer.
+func New(inner wal.FS, seed int64) *FS {
+	if inner == nil {
+		inner = wal.OS
+	}
+	return &FS{inner: inner, rng: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+// Fail installs a rule and returns its handle.
+func (f *FS) Fail(r Rule) *Handle {
+	h := &Handle{fs: f, rule: &r}
+	f.mu.Lock()
+	f.rules = append(f.rules, h)
+	f.mu.Unlock()
+	return h
+}
+
+// Clear removes the given rules, or every rule when called with none.
+func (f *FS) Clear(hs ...*Handle) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(hs) == 0 {
+		f.rules = nil
+		return
+	}
+	keep := f.rules[:0]
+	for _, r := range f.rules {
+		drop := false
+		for _, h := range hs {
+			if r == h {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, r)
+		}
+	}
+	f.rules = keep
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// check consults the rules for one operation. For writes it also returns the
+// number of bytes to persist before failing (torn write).
+func (f *FS) check(op Op, path, path2 string) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, h := range f.rules {
+		r := h.rule
+		if r.Ops != 0 && r.Ops&op == 0 {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) && !strings.Contains(path2, r.Path) {
+			continue
+		}
+		h.mu.Lock()
+		h.matched++
+		skip := h.matched <= r.After
+		spent := r.Times > 0 && h.fired >= r.Times
+		h.mu.Unlock()
+		if skip || spent {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			draw := float64(splitmix64(&f.rng)>>11) / float64(1<<53)
+			if draw >= r.Prob {
+				continue
+			}
+		}
+		h.mu.Lock()
+		h.fired++
+		h.mu.Unlock()
+		err := r.Err
+		if err == nil {
+			err = &Error{Op: op, Path: path, Transient: r.Transient}
+		}
+		return err, r.TornBytes
+	}
+	return nil, 0
+}
+
+// OpenFile implements wal.FS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	if err, _ := f.check(OpOpen, name, ""); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, path: name, inner: inner}, nil
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name, ""); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements wal.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, oldpath, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// MkdirAll implements wal.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := f.check(OpMkdir, path, ""); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements wal.FS.
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err, _ := f.check(OpReadDir, name, ""); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+// Stat implements wal.FS.
+func (f *FS) Stat(name string) (os.FileInfo, error) {
+	if err, _ := f.check(OpStat, name, ""); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// Truncate implements wal.FS.
+func (f *FS) Truncate(name string, size int64) error {
+	if err, _ := f.check(OpTruncate, name, ""); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// file wraps an open file, consulting the rules on write, sync, and read.
+type file struct {
+	fs    *FS
+	path  string
+	inner wal.File
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if err, _ := f.fs.check(OpRead, f.path, ""); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if err, torn := f.fs.check(OpWrite, f.path, ""); err != nil {
+		n := 0
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			// Persist a prefix through the real filesystem, then fail: the
+			// classic torn write. The caller sees the error; the bytes stay.
+			n, _ = f.inner.Write(p[:torn])
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) { return f.inner.Seek(offset, whence) }
+
+func (f *file) Sync() error {
+	if err, _ := f.fs.check(OpSync, f.path, ""); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *file) Close() error               { return f.inner.Close() }

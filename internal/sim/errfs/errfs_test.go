@@ -1,0 +1,172 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func writeThrough(t *testing.T, fsys *FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func TestRuleMatchesOpAndPath(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 1)
+	fsys.Fail(Rule{Ops: OpWrite, Path: "shard-0002"})
+
+	if err := writeThrough(t, fsys, filepath.Join(dir, "shard-0001.wal"), []byte("ok")); err != nil {
+		t.Fatalf("unmatched path failed: %v", err)
+	}
+	err := writeThrough(t, fsys, filepath.Join(dir, "shard-0002.wal"), []byte("no"))
+	if err == nil {
+		t.Fatal("matched write did not fail")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Op != OpWrite || fe.Transient {
+		t.Fatalf("injected error = %v, want permanent write *Error", err)
+	}
+	if wal.IsTransient(err) {
+		t.Error("permanent injection classified transient")
+	}
+	// Other ops on the matched path pass: the rule is write-only.
+	if _, err := fsys.OpenFile(filepath.Join(dir, "shard-0002.wal"), os.O_RDONLY, 0); err != nil {
+		t.Fatalf("open of matched path failed under write-only rule: %v", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 2)
+	h := fsys.Fail(Rule{Ops: OpSync, Transient: true, Times: 1})
+	f, err := fsys.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !wal.IsTransient(err) {
+		t.Fatalf("transient sync injection classified permanent: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("rule spent after Times=1 but sync still fails: %v", err)
+	}
+	if h.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", h.Fired())
+	}
+}
+
+func TestAfterSkipsEarlyCalls(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 3)
+	fsys.Fail(Rule{Ops: OpWrite, After: 2})
+	path := filepath.Join(dir, "x")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("a")); err != nil {
+			t.Fatalf("write %d inside the After window failed: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("a")); err == nil {
+		t.Fatal("third write passed; After offset ignored")
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 4)
+	fsys.Fail(Rule{Ops: OpWrite, TornBytes: 3, Times: 1})
+	path := filepath.Join(dir, "torn")
+	err := writeThrough(t, fsys, path, []byte("abcdef"))
+	if err == nil {
+		t.Fatal("torn write did not fail")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("persisted prefix = %q, want %q", got, "abc")
+	}
+	// Rule spent: a second write appends cleanly after the torn prefix.
+	if err := func() error {
+		f, err := fsys.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write([]byte("XY"))
+		return err
+	}(); err != nil {
+		t.Fatalf("write after spent rule: %v", err)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	fire := func(seed int64) []bool {
+		dir := t.TempDir()
+		fsys := New(nil, seed)
+		fsys.Fail(Rule{Ops: OpWrite, Prob: 0.5})
+		f, err := fsys.OpenFile(filepath.Join(dir, "p"), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		out := make([]bool, 32)
+		for i := range out {
+			_, werr := f.Write([]byte("z"))
+			out[i] = werr != nil
+		}
+		return out
+	}
+	a, b := fire(99), fire(99)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; not probabilistic", fired, len(a))
+	}
+}
+
+func TestClearRemovesRules(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(nil, 5)
+	h := fsys.Fail(Rule{Ops: OpWrite})
+	path := filepath.Join(dir, "c")
+	if err := writeThrough(t, fsys, path, []byte("x")); err == nil {
+		t.Fatal("rule did not fire")
+	}
+	fsys.Clear(h)
+	if err := writeThrough(t, fsys, path, []byte("x")); err != nil {
+		t.Fatalf("write after Clear failed: %v", err)
+	}
+}
+
+func TestCustomErr(t *testing.T) {
+	sentinel := errors.New("boom")
+	dir := t.TempDir()
+	fsys := New(nil, 6)
+	fsys.Fail(Rule{Ops: OpMkdir, Err: sentinel})
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, sentinel) {
+		t.Fatalf("custom error not injected: %v", err)
+	}
+}

@@ -53,8 +53,8 @@ type SegmentScan struct {
 // segmentStreamID reads a segment's header and returns its stream identity.
 // ok is false when the header is too short or the magic is wrong (the file
 // is damage, not a different stream); a version mismatch is an error.
-func segmentStreamID(path string) (streamID uint64, ok bool, err error) {
-	f, err := os.Open(path)
+func segmentStreamID(fsys FS, path string) (streamID uint64, ok bool, err error) {
+	f, err := fsOrOS(fsys).OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, false, fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -79,8 +79,13 @@ func segmentStreamID(path string) (streamID uint64, ok bool, err error) {
 // for I/O failures, an unreadable header, or a non-nil error from fn other
 // than the stop sentinel.
 func ScanSegment(path string, fn func(Rec) error) (SegmentScan, error) {
+	return ScanSegmentFS(OS, path, fn)
+}
+
+// ScanSegmentFS is ScanSegment through an injectable filesystem.
+func ScanSegmentFS(fsys FS, path string, fn func(Rec) error) (SegmentScan, error) {
 	var s SegmentScan
-	f, err := os.Open(path)
+	f, err := fsOrOS(fsys).OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return s, fmt.Errorf("wal: open segment: %w", err)
 	}

@@ -30,12 +30,18 @@ type SnapshotInfo struct {
 // WriteSnapshot atomically writes a snapshot covering every record up to and
 // including seq.
 func WriteSnapshot(dir string, streamID, seq uint64, payload []byte) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteSnapshotFS(OS, dir, streamID, seq, payload)
+}
+
+// WriteSnapshotFS is WriteSnapshot through an injectable filesystem.
+func WriteSnapshotFS(fsys FS, dir string, streamID, seq uint64, payload []byte) (string, error) {
+	fsys = fsOrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("wal: create dir: %w", err)
 	}
 	final := filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapSuffix))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return "", fmt.Errorf("wal: create snapshot: %w", err)
 	}
@@ -57,15 +63,15 @@ func WriteSnapshot(dir string, streamID, seq uint64, payload []byte) (string, er
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", fmt.Errorf("wal: write snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return "", fmt.Errorf("wal: commit snapshot: %w", err)
 	}
 	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(dir); err == nil {
+	if d, err := fsys.OpenFile(dir, os.O_RDONLY, 0); err == nil {
 		d.Sync()
 		d.Close()
 	}
@@ -75,7 +81,12 @@ func WriteSnapshot(dir string, streamID, seq uint64, payload []byte) (string, er
 // ListSnapshots returns the snapshot files in dir, ascending by covered
 // sequence number. Leftover temp files and unparsable names are ignored.
 func ListSnapshots(dir string) ([]SnapshotInfo, error) {
-	ents, err := os.ReadDir(dir)
+	return ListSnapshotsFS(OS, dir)
+}
+
+// ListSnapshotsFS is ListSnapshots through an injectable filesystem.
+func ListSnapshotsFS(fsys FS, dir string) ([]SnapshotInfo, error) {
+	ents, err := fsOrOS(fsys).ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -109,7 +120,12 @@ func ListSnapshots(dir string) ([]SnapshotInfo, error) {
 // (bad magic, short file, CRC failure) returns an error that is NOT a
 // MismatchError, so callers can fall back to an older snapshot.
 func ReadSnapshotFile(path string, streamID uint64) (seq uint64, payload []byte, err error) {
-	f, err := os.Open(path)
+	return ReadSnapshotFileFS(OS, path, streamID)
+}
+
+// ReadSnapshotFileFS is ReadSnapshotFile through an injectable filesystem.
+func ReadSnapshotFileFS(fsys FS, path string, streamID uint64) (seq uint64, payload []byte, err error) {
+	f, err := fsOrOS(fsys).OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, nil, fmt.Errorf("wal: open snapshot: %w", err)
 	}
@@ -150,12 +166,19 @@ const maxSnapshotPayload = 1 << 31
 // mismatch is fatal and returned immediately. ok is false when no usable
 // snapshot exists (not an error: a fresh or snapshot-less log).
 func ReadLatestSnapshot(dir string, streamID uint64) (seq uint64, payload []byte, ok bool, skipped int, err error) {
-	snaps, err := ListSnapshots(dir)
+	return ReadLatestSnapshotFS(OS, dir, streamID)
+}
+
+// ReadLatestSnapshotFS is ReadLatestSnapshot through an injectable
+// filesystem.
+func ReadLatestSnapshotFS(fsys FS, dir string, streamID uint64) (seq uint64, payload []byte, ok bool, skipped int, err error) {
+	fsys = fsOrOS(fsys)
+	snaps, err := ListSnapshotsFS(fsys, dir)
 	if err != nil {
 		return 0, nil, false, 0, err
 	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		seq, payload, rerr := ReadSnapshotFile(snaps[i].Path, streamID)
+		seq, payload, rerr := ReadSnapshotFileFS(fsys, snaps[i].Path, streamID)
 		if rerr == nil {
 			return seq, payload, true, skipped, nil
 		}
@@ -173,15 +196,21 @@ func ReadLatestSnapshot(dir string, streamID uint64) (seq uint64, payload []byte
 // safe bound for Log.PruneSegments: segments below it are redundant for
 // every retained snapshot.
 func PruneSnapshots(dir string, keep int) (oldestKept uint64, removed int, err error) {
+	return PruneSnapshotsFS(OS, dir, keep)
+}
+
+// PruneSnapshotsFS is PruneSnapshots through an injectable filesystem.
+func PruneSnapshotsFS(fsys FS, dir string, keep int) (oldestKept uint64, removed int, err error) {
+	fsys = fsOrOS(fsys)
 	if keep < 1 {
 		keep = 1
 	}
-	snaps, err := ListSnapshots(dir)
+	snaps, err := ListSnapshotsFS(fsys, dir)
 	if err != nil {
 		return 0, 0, err
 	}
 	for len(snaps) > keep {
-		if err := os.Remove(snaps[0].Path); err != nil {
+		if err := fsys.Remove(snaps[0].Path); err != nil {
 			return 0, removed, fmt.Errorf("wal: prune snapshot: %w", err)
 		}
 		snaps = snaps[1:]

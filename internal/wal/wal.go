@@ -121,11 +121,17 @@ type Options struct {
 	StreamID uint64
 	// SegmentBytes is the rotation threshold. 0 means DefaultSegmentBytes.
 	SegmentBytes int64
+	// FS is the filesystem the log reads and writes through. nil means the
+	// real OS filesystem; tests inject fault-wrapped filesystems.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = OS
 	}
 	return o
 }
@@ -154,7 +160,7 @@ type OpenReport struct {
 type Log struct {
 	dir     string
 	opts    Options
-	f       *os.File
+	f       File
 	size    int64 // size of the active segment file
 	lastSeq uint64
 	dirty   bool // appended since the last sync
@@ -180,11 +186,12 @@ type segmentRef struct {
 // log whose first Append creates the first segment.
 func Open(dir string, opts Options, replay func(seq uint64, payload []byte) error) (*Log, OpenReport, error) {
 	opts = opts.withDefaults()
+	fsys := opts.FS
 	var rep OpenReport
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, rep, fmt.Errorf("wal: create dir: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -196,7 +203,7 @@ func Open(dir string, opts Options, replay func(seq uint64, payload []byte) erro
 	truncated := false
 	for _, seg := range segs {
 		if truncated {
-			if err := os.Remove(seg.path); err != nil {
+			if err := fsys.Remove(seg.path); err != nil {
 				return nil, rep, fmt.Errorf("wal: remove orphaned segment: %w", err)
 			}
 			rep.RemovedSegments++
@@ -204,14 +211,14 @@ func Open(dir string, opts Options, replay func(seq uint64, payload []byte) erro
 		}
 		// Verify stream identity BEFORE replaying anything from the segment:
 		// records of a foreign stream must never reach the engine.
-		sid, hdrOK, err := segmentStreamID(seg.path)
+		sid, hdrOK, err := segmentStreamID(fsys, seg.path)
 		if err != nil {
 			return nil, rep, err
 		}
 		if hdrOK && sid != opts.StreamID {
 			return nil, rep, &MismatchError{Path: seg.path, Want: opts.StreamID, Got: sid}
 		}
-		scan, err := ScanSegment(seg.path, func(r Rec) error {
+		scan, err := ScanSegmentFS(fsys, seg.path, func(r Rec) error {
 			if l.lastSeq != 0 && r.Seq <= l.lastSeq {
 				// Sequence regression is framing damage, not a replayable
 				// record; stop here like any other corruption.
@@ -243,13 +250,13 @@ func Open(dir string, opts Options, replay func(seq uint64, payload []byte) erro
 				rep.Corrupt = true
 			}
 			if scan.EndOffset < segHeaderSize {
-				if err := os.Remove(seg.path); err != nil {
+				if err := fsys.Remove(seg.path); err != nil {
 					return nil, rep, fmt.Errorf("wal: remove unreadable segment: %w", err)
 				}
 				truncated = true
 				continue
 			}
-			if err := os.Truncate(seg.path, scan.EndOffset); err != nil {
+			if err := fsys.Truncate(seg.path, scan.EndOffset); err != nil {
 				return nil, rep, fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
 			truncated = true
@@ -262,7 +269,7 @@ func Open(dir string, opts Options, replay func(seq uint64, payload []byte) erro
 	// Position the append handle at the end of the last live segment.
 	if n := len(l.segments); n > 0 {
 		path := l.segments[n-1].path
-		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
 		if err != nil {
 			return nil, rep, fmt.Errorf("wal: open active segment: %w", err)
 		}
@@ -327,6 +334,26 @@ func (l *Log) Append(seq uint64, payload []byte) error {
 	return nil
 }
 
+// ResetTail undoes the on-disk effect of a failed Append so the same record
+// can be retried: the active segment is truncated back to the last durable
+// record boundary and the write position is restored. Without it, retrying
+// an append whose write failed part-way would frame a new record after
+// garbage bytes — unreachable on replay yet acknowledged to the caller. It
+// is a no-op when no segment is open.
+func (l *Log) ResetTail() error {
+	if l.closed || l.f == nil || len(l.segments) == 0 {
+		return nil
+	}
+	path := l.segments[len(l.segments)-1].path
+	if err := l.opts.FS.Truncate(path, l.size); err != nil {
+		return fmt.Errorf("wal: reset tail: %w", err)
+	}
+	if _, err := l.f.Seek(l.size, 0); err != nil {
+		return fmt.Errorf("wal: reset tail: %w", err)
+	}
+	return nil
+}
+
 // rotate closes the active segment (syncing it) and starts a new one whose
 // file name is the next record's sequence number.
 func (l *Log) rotate(firstSeq uint64) error {
@@ -340,7 +367,7 @@ func (l *Log) rotate(firstSeq uint64) error {
 		l.f = nil
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("%020d%s", firstSeq, segSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -350,6 +377,9 @@ func (l *Log) rotate(firstSeq uint64) error {
 	binary.LittleEndian.PutUint64(hdr[8:16], l.opts.StreamID)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
+		// Remove the half-born segment so a retried rotate's O_EXCL create
+		// does not trip over it.
+		l.opts.FS.Remove(path)
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
 	l.f = f
@@ -400,7 +430,7 @@ func (l *Log) Close() error {
 func (l *Log) PruneSegments(seq uint64) (int, error) {
 	removed := 0
 	for len(l.segments) > 1 && l.segments[1].firstSeq <= seq+1 {
-		if err := os.Remove(l.segments[0].path); err != nil {
+		if err := l.opts.FS.Remove(l.segments[0].path); err != nil {
 			return removed, fmt.Errorf("wal: prune segment: %w", err)
 		}
 		l.segments = l.segments[1:]
@@ -423,8 +453,8 @@ type segEntry struct {
 
 // listSegments returns the segment files in dir, ascending by first
 // sequence number. Files whose names do not parse are ignored.
-func listSegments(dir string) ([]segEntry, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]segEntry, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -450,13 +480,19 @@ func listSegments(dir string) ([]segEntry, error) {
 // SegmentInfos returns the segments of dir with their sizes, for inspection
 // tools.
 func SegmentInfos(dir string) ([]SegmentInfo, error) {
-	segs, err := listSegments(dir)
+	return SegmentInfosFS(OS, dir)
+}
+
+// SegmentInfosFS is SegmentInfos through an injectable filesystem.
+func SegmentInfosFS(fsys FS, dir string) ([]SegmentInfo, error) {
+	fsys = fsOrOS(fsys)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]SegmentInfo, 0, len(segs))
 	for _, s := range segs {
-		st, err := os.Stat(s.path)
+		st, err := fsys.Stat(s.path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: stat segment: %w", err)
 		}
@@ -496,7 +532,7 @@ func (l *Log) TruncateTo(seq uint64) (int64, error) {
 		ref := l.segments[len(l.segments)-1]
 		var cut int64
 		var lastKept uint64
-		scan, err := ScanSegment(ref.path, func(r Rec) error {
+		scan, err := ScanSegmentFS(l.opts.FS, ref.path, func(r Rec) error {
 			if r.Seq > seq {
 				return errStopScan
 			}
@@ -511,7 +547,7 @@ func (l *Log) TruncateTo(seq uint64) (int64, error) {
 			// No record at or below seq survives here; remove the segment
 			// (header included — the whole file leaves the disk).
 			removed += scan.FileSize
-			if err := os.Remove(ref.path); err != nil {
+			if err := l.opts.FS.Remove(ref.path); err != nil {
 				return removed, fmt.Errorf("wal: remove segment: %w", err)
 			}
 			l.segments = l.segments[:len(l.segments)-1]
@@ -519,7 +555,7 @@ func (l *Log) TruncateTo(seq uint64) (int64, error) {
 		}
 		if cut < scan.FileSize {
 			removed += scan.FileSize - cut
-			if err := os.Truncate(ref.path, cut); err != nil {
+			if err := l.opts.FS.Truncate(ref.path, cut); err != nil {
 				return removed, fmt.Errorf("wal: truncate segment: %w", err)
 			}
 		}
@@ -536,7 +572,7 @@ func (l *Log) TruncateTo(seq uint64) (int64, error) {
 	}
 	// Re-open the append handle at the end of the surviving segment.
 	path := l.segments[len(l.segments)-1].path
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	f, err := l.opts.FS.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return removed, fmt.Errorf("wal: open active segment: %w", err)
 	}
