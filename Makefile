@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race bench bench-smoke bench-json bench-diff bench-sharded chaos check experiments examples vet vuln profile
+.PHONY: build test race bench bench-smoke bench-json bench-diff bench-sharded chaos cluster-e2e check experiments examples vet vuln profile
 
 build:
 	go build ./...
@@ -33,13 +33,20 @@ check:
 	go test -race ./...
 	$(MAKE) bench-smoke
 
-# Chaos scenarios in short mode: crash-at-random-points and per-shard
-# disk-fault schedules (quarantine + heal) diffed against unfaulted oracles.
-# On failure, each scenario writes its conservation ledger to $(CHAOS_LEDGER)
-# (default chaos-ledger.txt) so CI can upload it as an artifact.
+# Chaos scenarios in short mode: crash-at-random-points, per-shard
+# disk-fault schedules (quarantine + heal), and two-node peer faults
+# (kill/partition/heal) diffed against unfaulted oracles. On failure, each
+# scenario writes its conservation ledger to $(CHAOS_LEDGER) (default
+# chaos-ledger.txt) so CI can upload it as an artifact.
 CHAOS_LEDGER ?= chaos-ledger.txt
 chaos:
 	CHAOS_LEDGER=$(CHAOS_LEDGER) go test -short -race ./internal/sim/chaos/
+
+# Two-node cluster smoke over real HTTP: both servers on loopback listeners,
+# gob RPC via /cluster/rpc, a batch ingested through node-0 must be queryable
+# identically through both nodes.
+cluster-e2e:
+	go test -race -run TestClusterE2E -v ./internal/server/
 
 bench:
 	go test -bench=. -benchmem ./...

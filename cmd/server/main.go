@@ -8,11 +8,17 @@
 //	server -addr :9000 -plan my-building.json -readers 24 -range 1.5
 //	server -demo                  # also run a built-in simulator feeding readings
 //	server -data-dir ./data       # durable: WAL + snapshots, recover on restart
+//	server -addr :8080 -node-id 10.0.0.1:8080 \
+//	       -peers 10.0.0.1:8080,10.0.0.2:8080   # one node of a static cluster
 //
 // With -data-dir set the server opens (or creates) a write-ahead log and
 // snapshot store there, recovers any prior state on startup, and on SIGINT or
 // SIGTERM drains in-flight requests, flushes the reorder buffer, and writes a
 // final snapshot before exiting.
+//
+// With -peers set the node joins a static cluster: every node is given the
+// same member list, owns the objects the shared jump hash assigns it, and
+// forwards the rest over gob RPC on /cluster/rpc (see DESIGN.md §17).
 package main
 
 import (
@@ -23,9 +29,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/health"
@@ -64,6 +72,9 @@ func run() error {
 		maxWait     = flag.Duration("max-wait", 500*time.Millisecond, "longest a query waits for an admission slot before 429")
 		degradedNs  = flag.Int("degraded-particles", 32, "per-object particle budget under sustained overload (0 disables degraded mode)")
 		ingestBytes = flag.Int64("ingest-max-bytes", server.DefaultMaxIngestBytes, "POST /ingest body cap in bytes (negative disables)")
+
+		peersFlag = flag.String("peers", "", "comma-separated cluster membership host:port list, including this node (empty: single-node)")
+		nodeID    = flag.String("node-id", "", "this node's address exactly as it appears in -peers (required with -peers)")
 
 		dataDir   = flag.String("data-dir", "", "data directory for the WAL and snapshots (empty: in-memory only)")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
@@ -108,14 +119,39 @@ func run() error {
 		}
 	}
 	var sys server.Engine
+	var eng cluster.Local
 	if *shards > 1 {
 		cfg.Shards = *shards
-		sys, err = engine.OpenSharded(plan, dep, cfg)
+		sh, serr := engine.OpenSharded(plan, dep, cfg)
+		sys, eng, err = sh, sh, serr
 	} else {
-		sys, err = engine.Open(plan, dep, cfg)
+		sg, serr := engine.Open(plan, dep, cfg)
+		sys, eng, err = sg, sg, serr
 	}
 	if err != nil {
 		return err
+	}
+	if *peersFlag != "" {
+		var members []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		node, err := cluster.New(eng, cluster.Config{
+			Self:      *nodeID,
+			Peers:     members,
+			Transport: cluster.NewHTTPTransport(),
+			Seed:      *seed,
+			// Bound concurrent remote evaluates by the same knob that bounds
+			// client queries, so a forwarded scatter cannot starve local ones.
+			EvaluateSlots: *maxInFlight,
+		})
+		if err != nil {
+			return err
+		}
+		sys = node
+		fmt.Printf("cluster: node %s of %v\n", *nodeID, node.Members())
 	}
 	adm := server.DefaultAdmissionConfig()
 	adm.MaxInFlight = *maxInFlight

@@ -1,0 +1,473 @@
+// Package cluster promotes the in-process object partition map to a
+// multi-node layer (DESIGN.md §17). Membership is static: every node is
+// started with the same -peers list and its own -node-id, and the ownership
+// table maps each object to its owning node with the same splitmix64 jump
+// hash (internal/shardmap) the sharded router uses for in-process shards —
+// stateless, identical on every node, and moving only ~1/(n+1) of the keys
+// when the membership grows by one.
+//
+// Any node accepts any ingest batch or query. Ingest deliveries are
+// partitioned by owner and forwarded synchronously (every peer receives its
+// sub-batch every second, even when empty, so remote stream clocks advance
+// in lockstep); queries run the same gather → prune → scatter → merge →
+// evaluate pipeline as the in-process router, with the remote stages carried
+// over an injectable Transport.
+//
+// The robustness contract mirrors PR 5/PR 9: a slow, partitioned, or dead
+// peer degrades service with typed partial results, never silent loss and
+// never a stalled cluster. Forwards retry with bounded exponential backoff
+// and deterministic jitter; repeated failures walk a per-peer circuit
+// breaker through LIVE → SUSPECT → DEAD; ingest owed to an unreachable peer
+// becomes a typed ingest.KindUnreachable drop counted in Stats, while the
+// missed seconds are queued and replayed as empty batches on heal so the
+// healed peer's clock and LEAVE detection realign with a never-partitioned
+// cluster; queries answered without an owner return partial results marked
+// with the degraded peer set.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/anchor"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/health"
+	"repro/internal/model"
+	"repro/internal/obs/trace"
+	"repro/internal/query"
+	"repro/internal/shardmap"
+	"repro/internal/walkgraph"
+)
+
+// Transport delivers one request to one peer and returns its response.
+// Errors are transport-level failures (unreachable, dropped, timed out);
+// application-level refusals (shed, rejected batch) ride inside Response.
+// Implementations must be safe for concurrent use.
+type Transport interface {
+	Send(ctx context.Context, addr string, req *Request) (*Response, error)
+}
+
+// Local is the engine surface a Node wraps: the single-shard *engine.System
+// and the in-process sharded *engine.Sharded both implement it. The first
+// block is the server-facing API the node mostly delegates; the second is
+// the piecewise query pipeline the distributed coordinator drives.
+type Local interface {
+	Ingest(t model.Time, raws []model.RawReading) error
+	IngestContext(ctx context.Context, t model.Time, raws []model.RawReading) error
+	Now() model.Time
+	KnownObjects() []model.ObjectID
+	Localize(obj model.ObjectID) (engine.Localization, bool)
+	DegradedShards() []int
+	Preprocess(candidates []model.ObjectID) *anchor.Table
+	Stats() engine.Stats
+	CacheStats() (hits, misses int)
+	Graph() *walkgraph.Graph
+	AnchorIndex() *anchor.Index
+	Telemetry() *engine.Telemetry
+	SyncMetrics()
+	SetParticleBudget(n int)
+	NoteOversizedBody()
+	HealthMonitorEnabled() bool
+	ReaderHealth() []health.ReaderHealth
+	WALError() error
+	Recovery() engine.RecoveryInfo
+	Close() error
+
+	ObjectInfos() []query.ObjectInfo
+	ObjectInfosAt(t model.Time) []query.ObjectInfo
+	PreprocessContext(ctx context.Context, candidates []model.ObjectID) (*anchor.Table, error)
+	PreprocessAt(candidates []model.ObjectID, t model.Time) *anchor.Table
+	Evaluator() *query.Evaluator
+	PruneRangeContext(ctx context.Context, infos []query.ObjectInfo, windows []geom.Rect, now model.Time) ([]model.ObjectID, error)
+	PruneKNNContext(ctx context.Context, infos []query.ObjectInfo, q geom.Point, k int, now model.Time) ([]model.ObjectID, error)
+	NoteTransportDrops(n int)
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Self is this node's address exactly as it appears in Peers.
+	Self string
+	// Peers is the full static membership, including Self. Every node must
+	// be started with the same set; the ownership table is the sorted list,
+	// so order does not matter but content does.
+	Peers []string
+	// Transport carries all peer I/O (HTTP/gob in production, netsim under
+	// test).
+	Transport Transport
+	// Retry bounds per-forward retransmissions: exponential backoff from
+	// BaseDelay to MaxDelay with deterministic per-peer jitter, mirroring
+	// the durability retry shape.
+	Retry RetryConfig
+	// ForwardTimeout caps one forward attempt (default 2s). Query forwards
+	// are additionally bounded by the client's propagated deadline.
+	ForwardTimeout time.Duration
+	// SuspectAfter and DeadAfter are the circuit-breaker thresholds:
+	// consecutive failed forwards (each already retried) before the peer is
+	// marked SUSPECT (default 1) and DEAD (default 3).
+	SuspectAfter int
+	DeadAfter    int
+	// ProbeBase and ProbeMax pace re-probes of a DEAD peer: the next
+	// forward after the probe interval elapses is attempted instead of
+	// dropped, with the interval doubling from ProbeBase to ProbeMax while
+	// the peer stays dead (defaults 500ms and 15s). Tests set ProbeBase
+	// very high and drive probes explicitly via ProbePeers.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// MaxMissedSeconds bounds the per-peer catch-up queue of stream seconds
+	// missed while the peer was unreachable (default 4096). Beyond it the
+	// oldest seconds are discarded and counted as lost: the peer can still
+	// heal, but clock lockstep with a never-partitioned cluster is no
+	// longer guaranteed.
+	MaxMissedSeconds int
+	// EvaluateSlots bounds concurrent remote-evaluate RPCs served by this
+	// node; excess requests are shed with a Retry-After estimated from
+	// recent evaluate latency (0: unbounded, never shed).
+	EvaluateSlots int
+	// Seed keys the deterministic retry jitter.
+	Seed int64
+}
+
+func (c *Config) forwardTimeout() time.Duration {
+	if c.ForwardTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.ForwardTimeout
+}
+
+func (c *Config) suspectAfter() int {
+	if c.SuspectAfter <= 0 {
+		return 1
+	}
+	return c.SuspectAfter
+}
+
+func (c *Config) deadAfter() int {
+	if c.DeadAfter <= 0 {
+		return 3
+	}
+	return c.DeadAfter
+}
+
+func (c *Config) probeBase() time.Duration {
+	if c.ProbeBase <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.ProbeBase
+}
+
+func (c *Config) probeMax() time.Duration {
+	if c.ProbeMax <= 0 {
+		return 15 * time.Second
+	}
+	return c.ProbeMax
+}
+
+func (c *Config) maxMissed() int {
+	if c.MaxMissedSeconds <= 0 {
+		return 4096
+	}
+	return c.MaxMissedSeconds
+}
+
+// Node wraps a local engine with cluster membership, forwarding, and the
+// distributed query pipeline. It implements the server's Engine interface,
+// so the HTTP layer is unchanged whether it fronts one engine or a fleet.
+type Node struct {
+	cfg     Config
+	eng     Local
+	members []string // sorted; index is the jump-hash bucket
+	selfIdx int
+	peers   []*peer // remote members in members order (nil at selfIdx)
+
+	// mu serializes access to engines that do not synchronize internally
+	// (the single-shard System); noLock skips it for the sharded router.
+	mu     sync.Mutex
+	noLock bool
+
+	// tracer stitches forwarded traces; set by the server at mount time
+	// (SetTracer). Nil disables owner-side spans.
+	tracer *trace.Tracer
+
+	// Idempotent forward application: recently applied (second,
+	// fingerprint) pairs with their cached ack, so a retransmission after a
+	// lost reply re-acks instead of double-counting.
+	idemMu   sync.Mutex
+	idem     map[idemKey]*Response
+	idemFIFO []idemKey
+
+	// Owner-side remote-evaluate gate (nil: unbounded).
+	gate     chan struct{}
+	ewmaMu   sync.Mutex
+	evalEWMA float64 // seconds, exponentially smoothed
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type idemKey struct {
+	t  model.Time
+	fp uint64
+}
+
+// maxIdem bounds the idempotency cache (FIFO eviction). A gateway retries
+// within seconds; 4096 cached acks cover over an hour of per-second
+// deliveries per peer.
+const maxIdem = 4096
+
+// selfSynchronizing mirrors the server's optional interface for engines
+// that do their own locking.
+type selfSynchronizing interface {
+	SelfSynchronizing() bool
+}
+
+// New builds a Node over a local engine. The membership must contain
+// cfg.Self and at least one other peer, and every node of the cluster must
+// be given the same set.
+func New(eng Local, cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cluster: Config.Transport is required")
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	members := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		members = append(members, p)
+	}
+	sort.Strings(members)
+	if len(members) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 distinct peers, got %d", len(members))
+	}
+	selfIdx := -1
+	for i, m := range members {
+		if m == cfg.Self {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", cfg.Self, members)
+	}
+	n := &Node{
+		cfg:     cfg,
+		eng:     eng,
+		members: members,
+		selfIdx: selfIdx,
+		peers:   make([]*peer, len(members)),
+		idem:    make(map[idemKey]*Response),
+	}
+	if ss, ok := eng.(selfSynchronizing); ok && ss.SelfSynchronizing() {
+		n.noLock = true
+	}
+	if cfg.EvaluateSlots > 0 {
+		n.gate = make(chan struct{}, cfg.EvaluateSlots)
+	}
+	reg := eng.Telemetry().Registry()
+	fwd := reg.HistogramVec("repro_peer_forward_seconds",
+		"Wall time of one forward attempt to a peer (ingest sub-batch or query RPC).", nil, "peer")
+	errs := reg.CounterVec("repro_peer_errors_total",
+		"Failed forward attempts per peer (transport errors, before retries give up).", "peer")
+	states := reg.GaugeVec("repro_peer_state",
+		"Peer circuit-breaker state: 0 live, 1 suspect, 2 dead.", "peer")
+	for i, m := range members {
+		if i == selfIdx {
+			continue
+		}
+		n.peers[i] = newPeer(m, cfg, fwd.With(m), errs.With(m), states.With(m))
+	}
+	return n, nil
+}
+
+// SetTracer attaches the tracer used to stitch forwarded request traces
+// (the server passes its own at mount time, so forwarder and owner halves
+// land in the same /debug/traces rings by shared trace ID).
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SelfSynchronizing reports that the node does its own locking; the HTTP
+// server skips its serialization mutex.
+func (n *Node) SelfSynchronizing() bool { return true }
+
+func (n *Node) lock() {
+	if !n.noLock {
+		n.mu.Lock()
+	}
+}
+
+func (n *Node) unlock() {
+	if !n.noLock {
+		n.mu.Unlock()
+	}
+}
+
+// Members returns the sorted membership (the ownership table: bucket i is
+// owned by Members()[i]).
+func (n *Node) Members() []string { return append([]string(nil), n.members...) }
+
+// Self returns this node's address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// OwnerIdx returns the membership index owning obj.
+func (n *Node) OwnerIdx(obj model.ObjectID) int { return shardmap.Of(obj, len(n.members)) }
+
+// Owner returns the address of the node owning obj.
+func (n *Node) Owner(obj model.ObjectID) string { return n.members[n.OwnerIdx(obj)] }
+
+// remotePeers iterates the remote peers in membership order.
+func (n *Node) remotePeers() []*peer {
+	out := make([]*peer, 0, len(n.peers)-1)
+	for _, p := range n.peers {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Engine delegations. Methods that only touch immutable wiring skip the
+// lock; everything touching engine state takes it (no-op over the sharded
+// router, which synchronizes internally).
+
+// Now returns the local engine's stream clock. Every node ingests every
+// delivered second (its own partition, possibly empty), so clocks agree
+// across a healthy cluster.
+func (n *Node) Now() model.Time {
+	n.lock()
+	defer n.unlock()
+	return n.eng.Now()
+}
+
+// Graph exposes the local walk graph (identical on every node).
+func (n *Node) Graph() *walkgraph.Graph { return n.eng.Graph() }
+
+// AnchorIndex exposes the local anchor index (identical on every node).
+func (n *Node) AnchorIndex() *anchor.Index { return n.eng.AnchorIndex() }
+
+// Telemetry exposes the local engine's observability surface.
+func (n *Node) Telemetry() *engine.Telemetry { return n.eng.Telemetry() }
+
+// Stats returns the local engine's counters; readings dropped because their
+// owner was unreachable are already merged in (NoteTransportDrops).
+func (n *Node) Stats() engine.Stats {
+	n.lock()
+	defer n.unlock()
+	return n.eng.Stats()
+}
+
+// CacheStats delegates to the local engine.
+func (n *Node) CacheStats() (hits, misses int) {
+	n.lock()
+	defer n.unlock()
+	return n.eng.CacheStats()
+}
+
+// DegradedShards reports the local engine's quarantined shards.
+func (n *Node) DegradedShards() []int {
+	n.lock()
+	defer n.unlock()
+	return n.eng.DegradedShards()
+}
+
+// SyncMetrics refreshes the local engine's scrape-time mirrors and the
+// per-peer state gauges.
+func (n *Node) SyncMetrics() {
+	n.lock()
+	n.eng.SyncMetrics()
+	n.unlock()
+	for _, p := range n.remotePeers() {
+		p.syncGauge()
+	}
+}
+
+// SetParticleBudget delegates to the local engine.
+func (n *Node) SetParticleBudget(k int) {
+	n.lock()
+	defer n.unlock()
+	n.eng.SetParticleBudget(k)
+}
+
+// NoteOversizedBody delegates to the local engine.
+func (n *Node) NoteOversizedBody() {
+	n.lock()
+	defer n.unlock()
+	n.eng.NoteOversizedBody()
+}
+
+// HealthMonitorEnabled delegates to the local engine.
+func (n *Node) HealthMonitorEnabled() bool { return n.eng.HealthMonitorEnabled() }
+
+// ReaderHealth delegates to the local engine. Per-node monitors observe
+// only the local partition of the stream; see DESIGN.md §17.
+func (n *Node) ReaderHealth() []health.ReaderHealth {
+	n.lock()
+	defer n.unlock()
+	return n.eng.ReaderHealth()
+}
+
+// WALError delegates to the local engine.
+func (n *Node) WALError() error {
+	n.lock()
+	defer n.unlock()
+	return n.eng.WALError()
+}
+
+// Recovery delegates to the local engine.
+func (n *Node) Recovery() engine.RecoveryInfo {
+	n.lock()
+	defer n.unlock()
+	return n.eng.Recovery()
+}
+
+// Close shuts the local engine down.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() { n.closeErr = n.eng.Close() })
+	return n.closeErr
+}
+
+// localQuarantineErr surfaces the local engine's quarantined shards as the
+// same typed partial marker the in-process router uses.
+func (n *Node) localQuarantineErr() error {
+	n.lock()
+	ds := n.eng.DegradedShards()
+	n.unlock()
+	if len(ds) == 0 {
+		return nil
+	}
+	return &engine.QuarantineError{Shards: ds}
+}
+
+// infoLess orders candidate summaries by object, matching the engines'.
+func infoLess(a, b query.ObjectInfo) bool { return a.Object < b.Object }
+
+// mergeInfos merges per-node candidate summaries (each sorted by object,
+// pairwise disjoint by ownership) into one sorted slice, so the coordinator
+// prunes over exactly the summary a single-process engine would produce.
+func mergeInfos(per [][]query.ObjectInfo) []query.ObjectInfo {
+	total := 0
+	for _, s := range per {
+		total += len(s)
+	}
+	out := make([]query.ObjectInfo, 0, total)
+	idx := make([]int, len(per))
+	for {
+		best := -1
+		for i, s := range per {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 || infoLess(s[idx[i]], per[best][idx[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, per[best][idx[best]])
+		idx[best]++
+	}
+}

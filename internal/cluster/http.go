@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Wire format: gob over a single POST /cluster/rpc endpoint. The trace ID
+// additionally rides the X-Repro-Trace-Id header so intermediaries (and
+// humans with curl) can follow a forwarded request without decoding the
+// body.
+const (
+	rpcPath       = "/cluster/rpc"
+	traceIDHeader = "X-Repro-Trace-Id"
+	fromHeader    = "X-Repro-From"
+)
+
+// HTTPTransport is the production Transport: one gob-encoded POST per RPC,
+// over a shared connection pool.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; nil uses a pooled default whose
+	// per-request timeout comes from the caller's context.
+	Client *http.Client
+}
+
+// NewHTTPTransport builds an HTTPTransport with a pooled client.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(ctx context.Context, addr string, req *Request) (*Response, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+rpcPath, &body)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hreq.Header.Set(fromHeader, req.From)
+	if req.TraceID != 0 {
+		hreq.Header.Set(traceIDHeader, strconv.FormatUint(req.TraceID, 16))
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return nil, fmt.Errorf("cluster: peer %s: %s: %s", addr, hresp.Status, bytes.TrimSpace(msg))
+	}
+	var resp Response
+	if err := gob.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: decode response from %s: %w", addr, err)
+	}
+	return &resp, nil
+}
+
+// RPCHandler returns the peer-facing HTTP handler the server mounts at
+// POST /cluster/rpc: it decodes the gob request, restores the propagated
+// trace ID from the header when the body lacks one, and serves it through
+// HandleRPC.
+func (n *Node) RPCHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad rpc body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.TraceID == 0 {
+			if h := r.Header.Get(traceIDHeader); h != "" {
+				if id, err := strconv.ParseUint(h, 16, 64); err == nil {
+					req.TraceID = id
+				}
+			}
+		}
+		resp, err := n.HandleRPC(r.Context(), &req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			http.Error(w, "encode response: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// RetryConfig bounds forward retransmissions, mirroring the durability
+// layer's retry shape (engine.RetryConfig): exponential backoff with a cap
+// and deterministic splitmix64 jitter in [d/2, d).
+type RetryConfig struct {
+	// Max is the number of re-attempts after the first failure. 0 means the
+	// default (3); negative disables retries.
+	Max int
+	// BaseDelay is the wait before the first retry, doubled per attempt up
+	// to MaxDelay, with deterministic ±50% jitter. 0 means 2ms and 100ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (rc RetryConfig) max() int {
+	if rc.Max < 0 {
+		return 0
+	}
+	if rc.Max == 0 {
+		return 3
+	}
+	return rc.Max
+}
+
+// delay returns the backoff before retry attempt (0-based), salted per peer
+// so lockstep retries across peers spread out without a shared randomness
+// source.
+func (rc RetryConfig) delay(attempt int, salt uint64) time.Duration {
+	base, cap := rc.BaseDelay, rc.MaxDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	x := salt + uint64(attempt)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if d > 1 {
+		d = d/2 + time.Duration(x%uint64(d))/2
+	}
+	return d
+}
+
+// splitmix64 finalizes x into a well-mixed 64-bit value (same mixer as the
+// partition map's).
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// peer is the forwarder's view of one remote member: circuit-breaker state,
+// the catch-up queue of missed seconds, counters, and metric handles.
+//
+// Lock order: fwMu (serializes the forward sequence so a peer receives its
+// seconds in delivery order) is taken before mu (guards the fields below);
+// mu is never held across a transport call.
+type peer struct {
+	addr string
+	salt uint64
+	cfg  *Config
+
+	fwMu sync.Mutex
+
+	mu        sync.Mutex
+	state     health.State
+	fails     int // consecutive failed forwards, each already retried
+	nextProbe time.Time
+	lastErr   string
+	// ticks are the stream seconds this peer missed while unreachable. The
+	// readings were dropped (typed); the bare seconds replay as empty
+	// batches on heal so the peer's clock and LEAVE detection catch up.
+	ticks     []model.Time
+	lostTicks int
+
+	// Counters, guarded by mu; surfaced at GET /cluster.
+	forwardedBatches int64
+	ackedReadings    int64
+	droppedReadings  int64
+	remoteDropped    int64 // readings the owner's own taxonomy refused
+	retries          int64
+	queryForwards    int64
+	queryFailures    int64
+	sheds            int64
+
+	mFwd   *obs.Histogram
+	mErr   *obs.Counter
+	mState *obs.Gauge
+}
+
+func newPeer(addr string, cfg Config, fwd *obs.Histogram, errs *obs.Counter, state *obs.Gauge) *peer {
+	h := splitmix64(uint64(cfg.Seed))
+	for _, c := range addr {
+		h = splitmix64(h + uint64(c))
+	}
+	p := &peer{addr: addr, salt: h, cfg: &cfg, mFwd: fwd, mErr: errs, mState: state}
+	p.mState.Set(float64(health.Live))
+	return p
+}
+
+// available reports whether a forward to this peer should be attempted now:
+// LIVE and SUSPECT peers always, DEAD peers only once their probe interval
+// has elapsed (the next forward doubles as the probe).
+func (p *peer) available(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state != health.Dead || !now.Before(p.nextProbe)
+}
+
+// currentState returns the breaker state.
+func (p *peer) currentState() health.State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// noteFailure records one failed forward (post-retry) and advances the
+// breaker: SuspectAfter consecutive failures mark the peer SUSPECT,
+// DeadAfter mark it DEAD; while DEAD the probe interval doubles from
+// ProbeBase to ProbeMax.
+func (p *peer) noteFailure(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails++
+	p.lastErr = err.Error()
+	switch {
+	case p.fails >= p.cfg.deadAfter():
+		p.state = health.Dead
+		d := p.cfg.probeBase()
+		for i := p.cfg.deadAfter(); i < p.fails && d < p.cfg.probeMax(); i++ {
+			d *= 2
+		}
+		if d > p.cfg.probeMax() {
+			d = p.cfg.probeMax()
+		}
+		p.nextProbe = time.Now().Add(d)
+	case p.fails >= p.cfg.suspectAfter():
+		p.state = health.Suspect
+	}
+	p.mState.Set(float64(p.state))
+}
+
+// noteSuccess resets the breaker to LIVE.
+func (p *peer) noteSuccess() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fails = 0
+	p.state = health.Live
+	p.lastErr = ""
+	p.mState.Set(float64(health.Live))
+}
+
+// recordMissed queues one missed stream second for heal-time catch-up,
+// bounded by MaxMissedSeconds (oldest seconds beyond it are lost: counted,
+// and clock lockstep is no longer guaranteed after heal).
+func (p *peer) recordMissed(t model.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ticks) >= p.cfg.maxMissed() {
+		p.ticks = p.ticks[1:]
+		p.lostTicks++
+	}
+	p.ticks = append(p.ticks, t)
+}
+
+func (p *peer) pendingTicks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ticks)
+}
+
+func (p *peer) syncGauge() {
+	p.mu.Lock()
+	p.mState.Set(float64(p.state))
+	p.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors of the degradation contract.
+
+// DegradedError marks a query answered without one or more unreachable (or
+// internally quarantined) owners: the result is correct over the reachable
+// owners' objects but is not the full population. The HTTP layer surfaces
+// it as "partial": true with "degradedPeers", mirroring the shard
+// quarantine contract.
+type DegradedError struct {
+	Peers []string
+}
+
+// Error implements the error interface.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("cluster: partial result: %d peer(s) degraded %v", len(e.Peers), e.Peers)
+}
+
+// IsDegraded reports whether err (or anything it wraps) marks a partial
+// result caused by unreachable peers.
+func IsDegraded(err error) (*DegradedError, bool) {
+	var de *DegradedError
+	if errors.As(err, &de) {
+		return de, true
+	}
+	return nil, false
+}
+
+// ShedError marks a query refused because an owner shed the forwarded
+// evaluate under load. The HTTP layer relays the owner's Retry-After —
+// not the forwarder's own estimate — as a 429.
+type ShedError struct {
+	Peer              string
+	RetryAfterSeconds int
+}
+
+// Error implements the error interface.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("cluster: peer %s shed the forwarded request, retry in %ds", e.Peer, e.RetryAfterSeconds)
+}
+
+// IsShed reports whether err (or anything it wraps) is an owner-side shed.
+func IsShed(err error) (*ShedError, bool) {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// ErrUnreachable is the sentinel wrapped by forward failures after the
+// breaker and retries gave up.
+var ErrUnreachable = errors.New("cluster: peer unreachable")

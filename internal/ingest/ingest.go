@@ -43,12 +43,16 @@ const (
 	// objects is quarantined after a WAL fail-stop (sharded engine only).
 	// The rest of the delivery is accepted; healthy shards are unaffected.
 	KindQuarantined
+	// KindUnreachable marks readings dropped because the cluster peer owning
+	// their objects was unreachable (DEAD, or a forward exhausted its
+	// retries). The local partition of the delivery is still accepted.
+	KindUnreachable
 )
 
 // ReadingKinds lists the kinds that classify dropped readings (KindGap is
 // excluded: gaps count missing seconds, not readings). The telemetry layer
 // iterates it to export one drop counter per kind.
-var ReadingKinds = []Kind{KindLate, KindDuplicate, KindMisstamped, KindInvalid, KindQuarantined}
+var ReadingKinds = []Kind{KindLate, KindDuplicate, KindMisstamped, KindInvalid, KindQuarantined, KindUnreachable}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -67,6 +71,8 @@ func (k Kind) String() string {
 		return "oversized"
 	case KindQuarantined:
 		return "quarantined"
+	case KindUnreachable:
+		return "unreachable"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -134,12 +140,16 @@ type Drops struct {
 	// across a crash (like OversizedBatches): the readings never reach any
 	// WAL, so the count cannot be recovered from one.
 	QuarantinedReadings int
+	// UnreachableReadings counts readings dropped because the cluster peer
+	// owning their objects was unreachable when the forward gave up.
+	// Forwarder-owned and volatile, like QuarantinedReadings.
+	UnreachableReadings int
 }
 
 // Readings returns the total number of raw readings dropped.
 func (d Drops) Readings() int {
 	return d.LateReadings + d.DuplicateReadings + d.MisstampedReadings +
-		d.InvalidReadings + d.QuarantinedReadings
+		d.InvalidReadings + d.QuarantinedReadings + d.UnreachableReadings
 }
 
 // Of returns the reading count (or, for KindGap, the second count)
@@ -160,6 +170,8 @@ func (d Drops) Of(k Kind) int {
 		return d.OversizedBatches
 	case KindQuarantined:
 		return d.QuarantinedReadings
+	case KindUnreachable:
+		return d.UnreachableReadings
 	default:
 		return 0
 	}
@@ -176,4 +188,5 @@ func (d *Drops) Merge(o Drops) {
 	d.GapSeconds += o.GapSeconds
 	d.OversizedBatches += o.OversizedBatches
 	d.QuarantinedReadings += o.QuarantinedReadings
+	d.UnreachableReadings += o.UnreachableReadings
 }

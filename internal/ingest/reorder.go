@@ -143,9 +143,13 @@ func (b *Reorder) Lag() model.Time {
 	return b.maxSeen - b.watermark
 }
 
-// fingerprint hashes the multiset of readings of one sub-batch (FNV-1a over
+// Fingerprint hashes the multiset of readings of one sub-batch (FNV-1a over
 // the sorted readings), so an identical retransmission hashes equal
-// regardless of reading order.
+// regardless of reading order. The reorder buffer uses it for duplicate
+// detection; the cluster layer keys idempotent ingest forwards on it.
+func Fingerprint(raws []model.RawReading) uint64 { return fingerprint(raws) }
+
+// fingerprint is the implementation behind Fingerprint.
 func fingerprint(raws []model.RawReading) uint64 {
 	sorted := append([]model.RawReading(nil), raws...)
 	sort.Slice(sorted, func(i, j int) bool {

@@ -65,6 +65,20 @@ func (t *Tracer) Start(kind string) *Context {
 	return &Context{id: id, kind: kind, begin: time.Now()}
 }
 
+// StartWith opens a trace that adopts a propagated trace ID instead of
+// drawing a fresh one — the receiving half of a forwarded cluster request.
+// Both nodes' rings then hold halves of the same logical trace, stitched by
+// ID at /debug/traces. A zero id falls back to Start.
+func (t *Tracer) StartWith(id uint64, kind string) *Context {
+	if t == nil {
+		return nil
+	}
+	if id == 0 {
+		return t.Start(kind)
+	}
+	return &Context{id: id, kind: kind, begin: time.Now()}
+}
+
 // Finish closes the trace and applies the tail-sampling decision: slow,
 // deadline-exceeded, shed, and errored traces are always kept; the rest keep
 // with probability Sample. No-op on a nil context.

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/anchor"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -97,6 +98,17 @@ type selfSynchronizing interface {
 	SelfSynchronizing() bool
 }
 
+// clusterNode is the optional surface of an Engine that is a cluster node
+// (*cluster.Node): the server mounts its peer RPC endpoint and status
+// document, folds its peer health into /readyz, and hands it the request
+// tracer so forwarded traces stitch.
+type clusterNode interface {
+	RPCHandler() http.Handler
+	ClusterStatus() cluster.Status
+	DegradedPeers() []string
+	SetTracer(t *trace.Tracer)
+}
+
 // Server wraps an Engine with an HTTP API.
 type Server struct {
 	mu sync.Mutex
@@ -119,6 +131,9 @@ type Server struct {
 	// tracer tail-samples request traces into the /debug/traces ring; nil
 	// when tracing is disabled (Config.Trace.Sample < 0).
 	tracer *trace.Tracer
+
+	// clu is non-nil when the engine is a cluster node; see clusterNode.
+	clu clusterNode
 
 	// Per-endpoint telemetry, registered into the system's registry so one
 	// /metrics scrape covers every layer. Encode errors and panics are
@@ -196,6 +211,10 @@ func NewWith(sys Engine, plan *floorplan.Plan, dep *rfid.Deployment, cfg Config)
 	}
 	if ss, ok := sys.(selfSynchronizing); ok && ss.SelfSynchronizing() {
 		s.noLock = true
+	}
+	if cn, ok := sys.(clusterNode); ok {
+		s.clu = cn
+		cn.SetTracer(s.tracer)
 	}
 	s.ready.Store(true)
 	return s
@@ -283,6 +302,12 @@ func (s *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	route("GET /metrics", "/metrics", s.handleMetrics)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /readyz", "/readyz", s.handleReadyz)
+	if s.clu != nil {
+		// Peer RPCs skip the JSON instrumentation path (gob body, peer-only
+		// traffic) but still get their own telemetry via repro_peer_*.
+		mux.Handle("POST /cluster/rpc", s.clu.RPCHandler())
+		route("GET /cluster", "/cluster", s.handleCluster)
+	}
 	route("GET /debug/filtertrace", "/debug/filtertrace", s.handleFilterTrace)
 	route("GET /debug/slowqueries", "/debug/slowqueries", s.handleSlowQueries)
 	route("GET /debug/traces", "/debug/traces", s.handleTraces)
@@ -333,6 +358,7 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.httpLatency.With(path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		r = r.WithContext(context.WithValue(r.Context(), arrivalKey{}, start))
 		sw := &statusWriter{ResponseWriter: w, path: path}
 		defer func() {
 			rec := recover()
@@ -461,6 +487,12 @@ func (s *Server) handleReaders(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCluster serves the cluster membership, ownership, and per-peer
+// forwarding status (mounted only when the engine is a cluster node).
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.clu.ClusterStatus())
+}
+
 // handleHealthz is liveness: the process is up and serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]string{"status": "ok"})
@@ -500,6 +532,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp["status"] = "degraded"
 		resp["quarantinedShards"] = len(degraded)
 		resp["degradedShards"] = degraded
+	}
+	// A node that cannot reach part of its cluster still serves correct
+	// partial answers, so unreachable peers degrade readiness (200) the same
+	// way quarantined shards do — they never fail it.
+	if s.clu != nil {
+		if peers := s.clu.DegradedPeers(); len(peers) > 0 {
+			resp["status"] = "degraded"
+			resp["degradedPeers"] = peers
+		}
 	}
 	s.writeJSON(w, resp)
 }
@@ -669,6 +710,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		rs, qerr = s.sys.RangeQueryContext(r.Context(), win)
 	}
 	s.unlock()
+	if relayShed(w, qerr) {
+		return
+	}
 	resp := map[string]any{"window": [4]float64{x, y, ww, h}, "result": toSorted(rs)}
 	addPartial(resp, qerr)
 	s.writeJSON(w, resp)
@@ -706,12 +750,25 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		rs, qerr = s.sys.KNNQueryContext(r.Context(), geom.Pt(x, y), k)
 	}
 	s.unlock()
+	if relayShed(w, qerr) {
+		return
+	}
 	resp := map[string]any{"q": [2]float64{x, y}, "k": k, "result": toSorted(rs)}
 	addPartial(resp, qerr)
 	s.writeJSON(w, resp)
 }
 
+// arrivalKey carries the request's arrival timestamp (stamped by
+// instrument, before admission queueing) through the context.
+type arrivalKey struct{}
+
 // queryDeadline parses the optional deadline_ms parameter (0: no deadline).
+// The budget is measured from the request's ARRIVAL, not from the moment the
+// handler finally runs: time spent queued behind the admission gate or the
+// serialization lock is subtracted, so a forwarded cluster query can never
+// spend more wall time than the client asked for end to end. A budget fully
+// consumed by queueing is clamped to 1ms — the query starts, expires at its
+// first deadline check, and returns a partial, the usual overrun contract.
 func queryDeadline(r *http.Request) (time.Duration, error) {
 	v := r.URL.Query().Get("deadline_ms")
 	if v == "" {
@@ -724,7 +781,14 @@ func queryDeadline(r *http.Request) (time.Duration, error) {
 	if ms <= 0 {
 		return 0, fmt.Errorf("deadline_ms must be positive, got %d", ms)
 	}
-	return time.Duration(ms) * time.Millisecond, nil
+	d := time.Duration(ms) * time.Millisecond
+	if arrival, ok := r.Context().Value(arrivalKey{}).(time.Time); ok {
+		d -= time.Since(arrival)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+	}
+	return d, nil
 }
 
 // addPartial marks a response produced by a query that could not cover the
@@ -744,6 +808,24 @@ func addPartial(resp map[string]any, qerr error) {
 	if qe, ok := engine.IsQuarantine(qerr); ok {
 		resp["degradedShards"] = qe.Shards
 	}
+	if ce, ok := cluster.IsDegraded(qerr); ok {
+		resp["degradedPeers"] = ce.Peers
+	}
+}
+
+// relayShed handles an owner-side shed of a forwarded cluster query: the
+// 429 carries the owner's own Retry-After estimate, relayed verbatim — the
+// forwarder's EWMA describes the forwarder's load, not the peer that shed.
+// Reports whether the response was written.
+func relayShed(w http.ResponseWriter, qerr error) bool {
+	se, ok := cluster.IsShed(qerr)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfterSeconds))
+	httpError(w, http.StatusTooManyRequests,
+		"overloaded: peer %s shed the forwarded query, retry in %ds", se.Peer, se.RetryAfterSeconds)
+	return true
 }
 
 // handleRoute returns the shortest indoor walking route between two points
@@ -813,6 +895,9 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 	s.lock()
 	occ, qerr := s.sys.OccupancyContext(ctx)
 	s.unlock()
+	if relayShed(w, qerr) {
+		return
+	}
 	// Non-nil so an empty answer encodes as [] rather than null.
 	out := []entry{}
 	for _, ro := range occ {

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/floorplan"
+	"repro/internal/rfid"
+	"repro/internal/sim"
+)
+
+func peerFaultConfig(t *testing.T) (*floorplan.Plan, *rfid.Deployment, PeerFaultConfig) {
+	t.Helper()
+	plan := floorplan.DefaultOffice()
+	dep := rfid.MustDeployUniform(plan, rfid.DefaultReaders, rfid.DefaultActivationRange)
+	ec := engine.DefaultConfig()
+	ec.Particle.Ns = 16
+	ec.Seed = 43
+	ec.SlowQueryThreshold = 0
+	tc := sim.DefaultTraceConfig()
+	tc.NumObjects = 12
+	tc.DwellMin, tc.DwellMax = 2, 6
+	return plan, dep, PeerFaultConfig{
+		Engine:  ec,
+		Trace:   tc,
+		Seconds: 40,
+		Seed:    911,
+	}
+}
+
+// checkPeerReport fails the test on any contract violation and, when
+// CHAOS_LEDGER names a file, writes the conservation ledger there so CI can
+// upload it as an artifact for the failed run.
+func checkPeerReport(t *testing.T, rep PeerFaultReport, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("peer-fault run failed: %v", err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("contract violation: %s", m)
+	}
+	if (t.Failed() || len(rep.Mismatches) > 0) && os.Getenv("CHAOS_LEDGER") != "" {
+		body := "ledger for " + t.Name() + "\n" +
+			strings.Join(rep.Ledger, "\n") + "\nmismatches:\n" +
+			strings.Join(rep.Mismatches, "\n") + "\n"
+		if werr := os.WriteFile(os.Getenv("CHAOS_LEDGER"), []byte(body), 0o644); werr != nil {
+			t.Logf("write chaos ledger: %v", werr)
+		}
+	}
+	t.Logf("droppedUnreachable=%d degradedObserved=%v healed=%v ledger=%v",
+		rep.DroppedUnreachable, rep.DegradedObserved, rep.Healed, rep.Ledger)
+}
+
+// checkNoLeaks verifies the run left no goroutines behind: all cluster
+// forwarding is synchronous, so quiescence means the baseline count.
+func checkNoLeaks(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before run, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPeerFaultKillHeal kills node-1 mid-stream and heals it before the end:
+// readings owed to it become typed unreachable drops, the survivor keeps
+// answering (partial, naming the dead peer), and after heal both nodes
+// answer range/kNN/occupancy bit-for-bit like a single-process oracle fed
+// the effective stream — the ISSUE's pinned equivalence scenario.
+func TestPeerFaultKillHeal(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan, dep, cfg := peerFaultConfig(t)
+	cfg.Faults = []PeerFault{{Kind: "kill", At: 10, Until: 25}}
+	rep, err := RunPeerFaults(plan, dep, cfg)
+	checkPeerReport(t, rep, err)
+	if rep.DroppedUnreachable == 0 {
+		t.Error("no readings were dropped while node-1 was dead; fault never bit")
+	}
+	if !rep.DegradedObserved {
+		t.Error("mid-fault query never reported the dead peer degraded")
+	}
+	if !rep.Healed {
+		t.Error("cluster did not heal after the fault cleared")
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestPeerFaultPartitionToEnd partitions the two nodes and never lifts the
+// rule until the final heal phase: the catch-up queue replays the whole
+// missed window at once.
+func TestPeerFaultPartitionToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan, dep, cfg := peerFaultConfig(t)
+	cfg.Faults = []PeerFault{{Kind: "partition", At: 20}}
+	rep, err := RunPeerFaults(plan, dep, cfg)
+	checkPeerReport(t, rep, err)
+	if rep.DroppedUnreachable == 0 {
+		t.Error("no readings were dropped during the partition; fault never bit")
+	}
+	if !rep.Healed {
+		t.Error("cluster did not heal in the final phase")
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestPeerFaultNoFaults is the control: a healthy two-node cluster must be
+// indistinguishable from the oracle with zero drops.
+func TestPeerFaultNoFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	plan, dep, cfg := peerFaultConfig(t)
+	rep, err := RunPeerFaults(plan, dep, cfg)
+	checkPeerReport(t, rep, err)
+	if rep.DroppedUnreachable != 0 {
+		t.Errorf("healthy cluster dropped %d readings", rep.DroppedUnreachable)
+	}
+	if !rep.Healed {
+		t.Error("healthy cluster reported itself degraded")
+	}
+	checkNoLeaks(t, before)
+}
+
+// TestPeerFaultRepeatedOutages kills and heals node-1 twice; the breaker
+// must re-open and re-close and the final state must still match the oracle.
+func TestPeerFaultRepeatedOutages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated-outage scenario skipped in -short")
+	}
+	before := runtime.NumGoroutine()
+	plan, dep, cfg := peerFaultConfig(t)
+	cfg.Faults = []PeerFault{
+		{Kind: "kill", At: 8, Until: 14},
+		{Kind: "partition", At: 24, Until: 32},
+	}
+	rep, err := RunPeerFaults(plan, dep, cfg)
+	checkPeerReport(t, rep, err)
+	if rep.DroppedUnreachable == 0 {
+		t.Error("no readings dropped across two outages; faults never bit")
+	}
+	if !rep.Healed {
+		t.Error("cluster did not heal after the second outage")
+	}
+	checkNoLeaks(t, before)
+}
